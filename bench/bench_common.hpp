@@ -1,0 +1,250 @@
+// Shared infrastructure for the reproduction bench binaries:
+//   * standard CLI (mode quick/paper, overrides for n/runs/seed/threads)
+//   * a flattened parallel cell runner (all (configuration, repetition)
+//     jobs share one work queue so every core stays busy even when a
+//     single configuration has few repetitions)
+//   * the paper's published results (Tables 12.3 and 12.4) embedded for
+//     side-by-side comparison
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "noisebalance.hpp"
+
+namespace nb::bench {
+
+/// Standard configuration shared by every bench binary.
+struct bench_config {
+  std::string mode = "quick";       // quick | paper
+  std::int64_t n_override = 0;      // 0 = per-mode default
+  std::int64_t runs_override = 0;   // 0 = per-mode default
+  std::int64_t m_multiplier = 1000; // m = multiplier * n (the paper's ratio)
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;          // 0 = hardware concurrency
+  std::string csv;                  // optional CSV output path ("" = none)
+
+  [[nodiscard]] bool paper_mode() const { return mode == "paper"; }
+
+  [[nodiscard]] std::vector<bin_count> bin_counts() const {
+    if (n_override > 0) return {static_cast<bin_count>(n_override)};
+    if (paper_mode()) return {10000, 50000, 100000};
+    return {10000};
+  }
+
+  [[nodiscard]] std::size_t runs() const {
+    if (runs_override > 0) return static_cast<std::size_t>(runs_override);
+    return paper_mode() ? 100 : 10;
+  }
+};
+
+/// Registers the standard flags on `cli`.
+inline void add_standard_flags(cli_parser& cli) {
+  cli.add_string("mode", "quick", "quick (n=10^4, 10 runs) or paper (n up to 10^5, 100 runs)");
+  cli.add_int("n", 0, "override the number of bins (0 = per-mode default)");
+  cli.add_int("runs", 0, "override the repetition count (0 = per-mode default)");
+  cli.add_int("m-mult", 1000, "balls per bin: m = m-mult * n (paper uses 1000)");
+  cli.add_int("seed", 1, "master seed; every run derives its own stream");
+  cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  cli.add_string("csv", "", "also write results to this CSV file");
+}
+
+/// Parses standard flags into a bench_config.  Returns nullopt on --help.
+inline std::optional<bench_config> parse_standard(cli_parser& cli, int argc,
+                                                  const char* const* argv) {
+  if (!cli.parse(argc, argv)) return std::nullopt;
+  bench_config cfg;
+  cfg.mode = cli.get_string("mode");
+  NB_REQUIRE(cfg.mode == "quick" || cfg.mode == "paper", "--mode must be quick or paper");
+  cfg.n_override = cli.get_int("n");
+  cfg.runs_override = cli.get_int("runs");
+  cfg.m_multiplier = cli.get_int("m-mult");
+  NB_REQUIRE(cfg.m_multiplier >= 1, "--m-mult must be >= 1");
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  cfg.csv = cli.get_string("csv");
+  return cfg;
+}
+
+/// One experiment configuration to be repeated `runs` times.
+struct cell {
+  std::string label;
+  std::function<any_process()> factory;
+  step_count m = 0;
+};
+
+/// Runs every (cell, repetition) job through one shared work queue.
+/// Deterministic: job seeds depend only on (master seed, cell index, run
+/// index), never on scheduling.
+inline std::vector<repeat_result> run_cells(const std::vector<cell>& cells, std::size_t runs,
+                                            std::uint64_t master_seed, std::size_t threads) {
+  NB_REQUIRE(runs >= 1, "need at least one run per cell");
+  std::vector<repeat_result> results(cells.size());
+  for (auto& r : results) r.runs.resize(runs);
+  parallel_for(cells.size() * runs, threads, [&](std::size_t job) {
+    const std::size_t c = job / runs;
+    const std::size_t r = job % runs;
+    any_process process = cells[c].factory();
+    const std::uint64_t seed = derive_seed(derive_seed(master_seed, c), r);
+    rng_t rng(seed);
+    results[c].runs[r] = simulate(process, cells[c].m, rng);
+    results[c].runs[r].seed = seed;
+  });
+  for (auto& res : results) {
+    for (const auto& r : res.runs) {
+      res.gap_histogram.add(static_cast<std::int64_t>(std::llround(r.gap)));
+    }
+  }
+  return results;
+}
+
+/// Wall-clock helper.
+class stopwatch {
+ public:
+  stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Published results (Tables 12.3 and 12.4 of the paper), for side-by-side
+// comparison columns.  Keys: (process, parameter, n).
+
+using distribution = std::vector<std::pair<int, int>>;  // (gap value, percent)
+
+struct paper_key {
+  std::string process;
+  int param;
+  std::int64_t n;
+  bool operator<(const paper_key& o) const {
+    return std::tie(process, param, n) < std::tie(o.process, o.param, o.n);
+  }
+};
+
+/// The paper's Table 12.3 (g-Bounded / g-Myopic-Comp / sigma-Noisy-Load)
+/// and Table 12.4 (b-Batch / One-Choice) empirical gap distributions.
+[[nodiscard]] inline const std::map<paper_key, distribution>& paper_distributions() {
+  static const std::map<paper_key, distribution> table = {
+      // ----- Table 12.3: g-Bounded -----
+      {{"g-bounded", 0, 10000}, {{2, 46}, {3, 54}}},
+      {{"g-bounded", 1, 10000}, {{4, 74}, {5, 26}}},
+      {{"g-bounded", 2, 10000}, {{5, 1}, {6, 89}, {7, 10}}},
+      {{"g-bounded", 4, 10000}, {{8, 1}, {9, 82}, {10, 17}}},
+      {{"g-bounded", 8, 10000}, {{13, 1}, {14, 35}, {15, 51}, {16, 11}, {17, 2}}},
+      {{"g-bounded", 16, 10000}, {{23, 4}, {24, 37}, {25, 43}, {26, 11}, {27, 5}}},
+      {{"g-bounded", 0, 50000}, {{2, 4}, {3, 96}}},
+      {{"g-bounded", 1, 50000}, {{4, 13}, {5, 86}, {6, 1}}},
+      {{"g-bounded", 2, 50000}, {{6, 67}, {7, 33}}},
+      {{"g-bounded", 4, 50000}, {{9, 46}, {10, 51}, {11, 3}}},
+      {{"g-bounded", 8, 50000}, {{14, 3}, {15, 72}, {16, 24}, {17, 1}}},
+      {{"g-bounded", 16, 50000}, {{25, 25}, {26, 47}, {27, 23}, {28, 4}, {29, 1}}},
+      {{"g-bounded", 0, 100000}, {{3, 100}}},
+      {{"g-bounded", 1, 100000}, {{4, 1}, {5, 99}}},
+      {{"g-bounded", 2, 100000}, {{6, 50}, {7, 50}}},
+      {{"g-bounded", 4, 100000}, {{9, 32}, {10, 67}, {11, 1}}},
+      {{"g-bounded", 8, 100000}, {{15, 39}, {16, 57}, {17, 4}}},
+      {{"g-bounded", 16, 100000}, {{25, 9}, {26, 50}, {27, 33}, {28, 7}, {29, 1}}},
+      // ----- Table 12.3: g-Myopic-Comp -----
+      {{"g-myopic", 0, 10000}, {{2, 46}, {3, 54}}},
+      {{"g-myopic", 1, 10000}, {{4, 97}, {5, 3}}},
+      {{"g-myopic", 2, 10000}, {{5, 49}, {6, 51}}},
+      {{"g-myopic", 4, 10000}, {{7, 2}, {8, 87}, {9, 11}}},
+      {{"g-myopic", 8, 10000}, {{12, 37}, {13, 50}, {14, 12}, {15, 1}}},
+      {{"g-myopic", 16, 10000}, {{20, 14}, {21, 47}, {22, 29}, {23, 8}, {25, 2}}},
+      {{"g-myopic", 0, 50000}, {{2, 4}, {3, 96}}},
+      {{"g-myopic", 1, 50000}, {{4, 73}, {5, 27}}},
+      {{"g-myopic", 2, 50000}, {{5, 1}, {6, 97}, {7, 2}}},
+      {{"g-myopic", 4, 50000}, {{8, 50}, {9, 50}}},
+      {{"g-myopic", 8, 50000}, {{12, 1}, {13, 50}, {14, 44}, {15, 5}}},
+      {{"g-myopic", 16, 50000}, {{21, 10}, {22, 44}, {23, 39}, {24, 6}, {26, 1}}},
+      {{"g-myopic", 0, 100000}, {{3, 100}}},
+      {{"g-myopic", 1, 100000}, {{4, 59}, {5, 41}}},
+      {{"g-myopic", 2, 100000}, {{6, 99}, {7, 1}}},
+      {{"g-myopic", 4, 100000}, {{8, 19}, {9, 78}, {10, 3}}},
+      {{"g-myopic", 8, 100000}, {{13, 21}, {14, 72}, {15, 7}}},
+      {{"g-myopic", 16, 100000}, {{22, 24}, {23, 51}, {24, 24}, {26, 1}}},
+      // ----- Table 12.3: sigma-Noisy-Load -----
+      {{"sigma-noisy-load", 0, 10000}, {{2, 46}, {3, 54}}},
+      {{"sigma-noisy-load", 1, 10000}, {{3, 29}, {4, 71}}},
+      {{"sigma-noisy-load", 2, 10000}, {{4, 9}, {5, 84}, {6, 7}}},
+      {{"sigma-noisy-load", 4, 10000}, {{6, 20}, {7, 73}, {8, 7}}},
+      {{"sigma-noisy-load", 8, 10000}, {{9, 36}, {10, 50}, {11, 12}, {12, 2}}},
+      {{"sigma-noisy-load", 16, 10000},
+       {{12, 2}, {13, 33}, {14, 42}, {15, 16}, {16, 6}, {18, 1}}},
+      {{"sigma-noisy-load", 0, 50000}, {{2, 4}, {3, 96}}},
+      {{"sigma-noisy-load", 1, 50000}, {{4, 98}, {5, 2}}},
+      {{"sigma-noisy-load", 2, 50000}, {{5, 61}, {6, 39}}},
+      {{"sigma-noisy-load", 4, 50000}, {{7, 51}, {8, 48}, {10, 1}}},
+      {{"sigma-noisy-load", 8, 50000}, {{9, 1}, {10, 37}, {11, 52}, {12, 8}, {13, 2}}},
+      {{"sigma-noisy-load", 16, 50000}, {{14, 24}, {15, 45}, {16, 24}, {17, 6}, {18, 1}}},
+      {{"sigma-noisy-load", 0, 100000}, {{3, 100}}},
+      {{"sigma-noisy-load", 1, 100000}, {{4, 95}, {5, 5}}},
+      {{"sigma-noisy-load", 2, 100000}, {{5, 58}, {6, 41}, {7, 1}}},
+      {{"sigma-noisy-load", 4, 100000}, {{7, 26}, {8, 69}, {9, 4}, {10, 1}}},
+      {{"sigma-noisy-load", 8, 100000}, {{10, 13}, {11, 56}, {12, 26}, {13, 4}, {14, 1}}},
+      {{"sigma-noisy-load", 16, 100000},
+       {{14, 1}, {15, 49}, {16, 35}, {17, 8}, {18, 6}, {19, 1}}},
+      // ----- Table 12.4: b-Batch at n = 10^4, m = 1000 n -----
+      {{"b-batch", 10, 10000}, {{3, 44}, {4, 56}}},
+      {{"b-batch", 100, 10000}, {{3, 40}, {4, 60}}},
+      {{"b-batch", 1000, 10000}, {{4, 91}, {5, 9}}},
+      {{"b-batch", 10000, 10000}, {{5, 29}, {6, 49}, {7, 18}, {8, 4}}},
+      {{"b-batch", 100000, 10000},
+       {{16, 1}, {17, 8}, {18, 15}, {19, 28}, {20, 18}, {21, 12}, {22, 14}, {24, 1}, {25, 2}, {26, 1}}},
+      // ----- Table 12.4: One-Choice with m = b balls, n = 10^4 -----
+      {{"one-choice", 10, 10000}, {{1, 100}}},
+      {{"one-choice", 100, 10000}, {{1, 47}, {2, 52}, {3, 1}}},
+      {{"one-choice", 1000, 10000}, {{2, 5}, {3, 88}, {4, 7}}},
+      {{"one-choice", 10000, 10000}, {{6, 22}, {7, 56}, {8, 19}, {9, 3}}},
+      {{"one-choice", 100000, 10000},
+       {{21, 2}, {22, 12}, {23, 13}, {24, 21}, {25, 18}, {26, 17}, {27, 4}, {28, 8}, {29, 4}, {31, 1}}},
+  };
+  return table;
+}
+
+/// Mean of a published distribution.
+[[nodiscard]] inline double paper_mean(const distribution& d) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& [value, pct] : d) {
+    num += static_cast<double>(value) * pct;
+    den += pct;
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+/// Looks up the paper's mean gap if published for this configuration.
+[[nodiscard]] inline std::optional<double> paper_mean_for(const std::string& process, int param,
+                                                          std::int64_t n) {
+  const auto& table = paper_distributions();
+  const auto it = table.find(paper_key{process, param, n});
+  if (it == table.end()) return std::nullopt;
+  return paper_mean(it->second);
+}
+
+/// "v1:p1%  v2:p2%" rendering of a published distribution.
+[[nodiscard]] inline std::string paper_style(const distribution& d) {
+  std::string out;
+  for (const auto& [value, pct] : d) {
+    if (!out.empty()) out += "  ";
+    out += std::to_string(value) + ":" + std::to_string(pct) + "%";
+  }
+  return out;
+}
+
+/// Formats an optional paper value for a table cell.
+[[nodiscard]] inline std::string opt_str(std::optional<double> v, int decimals = 2) {
+  return v ? format_fixed(*v, decimals) : "-";
+}
+
+}  // namespace nb::bench

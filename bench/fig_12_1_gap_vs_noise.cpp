@@ -1,0 +1,97 @@
+// Reproduces Figure 12.1: average gap of g-Bounded, g-Myopic-Comp (noise
+// parameter g = 1..20) and sigma-Noisy-Load (sigma = 1..20) for
+// n in {10^4, 5x10^4, 10^5}, m = 1000 n.
+//
+// Output: one table per n with the measured mean gap (and stddev) per
+// process per noise level, plus the paper's mean where Table 12.3 reports
+// that configuration; optional CSV of the full series.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nb;
+using namespace nb::bench;
+
+int run(int argc, const char* const* argv) {
+  cli_parser cli(
+      "fig_12_1_gap_vs_noise -- Figure 12.1: mean gap vs noise parameter for the three noisy "
+      "processes (m = 1000 n).");
+  add_standard_flags(cli);
+  cli.add_int("max-param", 20, "largest g / sigma in the sweep");
+  const auto cfg = parse_standard(cli, argc, argv);
+  if (!cfg) return 0;
+  const auto max_param = cli.get_int("max-param");
+  NB_REQUIRE(max_param >= 1, "--max-param must be >= 1");
+
+  std::printf("=== Figure 12.1: average gap vs noise parameter (mode=%s, runs=%zu) ===\n\n",
+              cfg->mode.c_str(), cfg->runs());
+
+  std::unique_ptr<csv_writer> csv;
+  if (!cfg->csv.empty()) {
+    csv = std::make_unique<csv_writer>(
+        cfg->csv, std::vector<std::string>{"n", "process", "param", "mean_gap", "stddev", "runs"});
+  }
+
+  stopwatch total;
+  for (const bin_count n : cfg->bin_counts()) {
+    const step_count m = static_cast<step_count>(cfg->m_multiplier) * n;
+
+    std::vector<cell> cells;
+    const auto params = arithmetic_range(1, max_param);
+    for (const auto g : params) {
+      cells.push_back({"g-bounded", [n, g] { return any_process(g_bounded(n, static_cast<load_t>(g))); }, m});
+      cells.push_back(
+          {"g-myopic", [n, g] { return any_process(g_myopic_comp(n, static_cast<load_t>(g))); }, m});
+      cells.push_back({"sigma-noisy-load",
+                       [n, g] {
+                         return any_process(
+                             sigma_noisy_load(n, rho_gaussian(static_cast<double>(g))));
+                       },
+                       m});
+    }
+    const auto results = run_cells(cells, cfg->runs(), cfg->seed, cfg->threads);
+
+    text_table table({"g / sigma", "g-Bounded", "(paper)", "g-Myopic", "(paper)", "s-Noisy-Load",
+                      "(paper)"});
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const auto& bounded_res = results[3 * i];
+      const auto& myopic_res = results[3 * i + 1];
+      const auto& noisy_res = results[3 * i + 2];
+      const int p = static_cast<int>(params[i]);
+      table.add_row({std::to_string(p), format_fixed(bounded_res.mean_gap(), 2),
+                     opt_str(paper_mean_for("g-bounded", p, n)),
+                     format_fixed(myopic_res.mean_gap(), 2),
+                     opt_str(paper_mean_for("g-myopic", p, n)),
+                     format_fixed(noisy_res.mean_gap(), 2),
+                     opt_str(paper_mean_for("sigma-noisy-load", p, n))});
+      if (csv) {
+        const repeat_result* rs[] = {&bounded_res, &myopic_res, &noisy_res};
+        const char* names[] = {"g-bounded", "g-myopic", "sigma-noisy-load"};
+        for (int k = 0; k < 3; ++k) {
+          const auto s = rs[k]->gap_summary();
+          csv->write_row({csv_writer::field(static_cast<std::int64_t>(n)), names[k],
+                          csv_writer::field(static_cast<std::int64_t>(p)),
+                          csv_writer::field(s.mean), csv_writer::field(s.stddev),
+                          csv_writer::field(static_cast<std::int64_t>(s.count))});
+        }
+      }
+    }
+    std::printf("n = %s, m = %s balls:\n%s\n", format_power_of_ten(n).c_str(),
+                format_power_of_ten(m).c_str(), table.render().c_str());
+  }
+  std::printf("Expected shape (paper): all three curves increase ~linearly for large "
+              "parameters,\nordered g-Bounded >= g-Myopic-Comp >= sigma-Noisy-Load.\n");
+  std::printf("[fig_12_1 done in %s]\n", format_duration(total.seconds()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

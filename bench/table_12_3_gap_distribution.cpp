@@ -1,0 +1,94 @@
+// Reproduces Table 12.3: the empirical gap *distribution* of g-Bounded,
+// g-Myopic-Comp and sigma-Noisy-Load for g, sigma in {0, 1, 2, 4, 8, 16},
+// n in {10^4, 5x10^4, 10^5}, m = 1000 n, printed side by side with the
+// paper's published distribution.
+//
+// Note g = 0 and sigma = 0 are the noise-free Two-Choice process (the
+// paper's sigma-Noisy-Load requires sigma > 0; its sigma=0 column equals
+// Two-Choice, which is how we reproduce it).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nb;
+using namespace nb::bench;
+
+any_process make_for(const std::string& process, int param, bin_count n) {
+  if (param == 0) return two_choice(n);
+  if (process == "g-bounded") return g_bounded(n, param);
+  if (process == "g-myopic") return g_myopic_comp(n, param);
+  if (process == "sigma-noisy-load") return sigma_noisy_load(n, rho_gaussian(param));
+  throw contract_error("unknown process in table 12.3: " + process);
+}
+
+int run(int argc, const char* const* argv) {
+  cli_parser cli(
+      "table_12_3_gap_distribution -- Table 12.3: empirical gap distributions of the three noisy "
+      "processes at g, sigma in {0,1,2,4,8,16}.");
+  add_standard_flags(cli);
+  auto cfg_opt = parse_standard(cli, argc, argv);
+  if (!cfg_opt) return 0;
+  auto cfg = *cfg_opt;
+  // Distributions need more repetitions than a mean: default to 25 in
+  // quick mode (paper mode keeps 100).
+  if (cfg.runs_override == 0 && !cfg.paper_mode()) cfg.runs_override = 25;
+
+  const std::vector<int> params = {0, 1, 2, 4, 8, 16};
+  const std::vector<std::string> processes = {"g-bounded", "g-myopic", "sigma-noisy-load"};
+
+  std::printf("=== Table 12.3: empirical gap distribution (mode=%s, runs=%zu) ===\n\n",
+              cfg.mode.c_str(), cfg.runs());
+
+  std::unique_ptr<csv_writer> csv;
+  if (!cfg.csv.empty()) {
+    csv = std::make_unique<csv_writer>(
+        cfg.csv, std::vector<std::string>{"n", "process", "param", "gap", "count"});
+  }
+
+  stopwatch total;
+  for (const bin_count n : cfg.bin_counts()) {
+    const step_count m = static_cast<step_count>(cfg.m_multiplier) * n;
+    std::vector<cell> cells;
+    for (const auto& process : processes) {
+      for (const int p : params) {
+        cells.push_back({process + "/" + std::to_string(p),
+                         [process, p, n] { return make_for(process, p, n); }, m});
+      }
+    }
+    const auto results = run_cells(cells, cfg.runs(), cfg.seed, cfg.threads);
+
+    for (std::size_t pi = 0; pi < processes.size(); ++pi) {
+      text_table table({"g/sigma", "measured distribution", "paper distribution"});
+      for (std::size_t gi = 0; gi < params.size(); ++gi) {
+        const auto& res = results[pi * params.size() + gi];
+        const auto& published = paper_distributions();
+        const auto it = published.find(paper_key{processes[pi], params[gi], n});
+        table.add_row({std::to_string(params[gi]), res.gap_histogram.to_paper_style(),
+                       it != published.end() ? paper_style(it->second) : "-"});
+        if (csv) {
+          for (const auto& [value, count] : res.gap_histogram.entries()) {
+            csv->write_row({csv_writer::field(static_cast<std::int64_t>(n)), processes[pi],
+                            csv_writer::field(static_cast<std::int64_t>(params[gi])),
+                            csv_writer::field(value), csv_writer::field(count)});
+          }
+        }
+      }
+      std::printf("%s, n = %s, m = %s:\n%s\n", processes[pi].c_str(),
+                  format_power_of_ten(n).c_str(), format_power_of_ten(m).c_str(),
+                  table.render().c_str());
+    }
+  }
+  std::printf("[table_12_3 done in %s]\n", format_duration(total.seconds()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

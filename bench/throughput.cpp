@@ -1,0 +1,80 @@
+// Microbenchmarks (google-benchmark): cost per allocation step of every
+// process, the type-erasure overhead, and the RNG primitives.  Not a paper
+// experiment -- this is the evidence that paper-scale runs (10^8 balls)
+// are routine on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "noisebalance.hpp"
+
+namespace {
+
+using namespace nb;
+
+constexpr bin_count kN = 1 << 16;
+
+template <typename P>
+void run_steps(benchmark::State& state, P process) {
+  rng_t rng(42);
+  for (auto _ : state) {
+    process.step(rng);
+    benchmark::DoNotOptimize(process.state().max_load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_OneChoice(benchmark::State& state) { run_steps(state, one_choice(kN)); }
+void BM_TwoChoice(benchmark::State& state) { run_steps(state, two_choice(kN)); }
+void BM_DChoice4(benchmark::State& state) { run_steps(state, d_choice(kN, 4)); }
+void BM_OnePlusBeta(benchmark::State& state) { run_steps(state, one_plus_beta(kN, 0.5)); }
+void BM_GBounded(benchmark::State& state) { run_steps(state, g_bounded(kN, 8)); }
+void BM_GMyopic(benchmark::State& state) { run_steps(state, g_myopic_comp(kN, 8)); }
+void BM_GAdvLoad(benchmark::State& state) {
+  run_steps(state, g_adv_load<inverting_estimates>(kN, 8));
+}
+void BM_SigmaNoisyRho(benchmark::State& state) {
+  run_steps(state, sigma_noisy_load(kN, rho_gaussian(8.0)));
+}
+void BM_SigmaNoisyGauss(benchmark::State& state) {
+  run_steps(state, sigma_noisy_load_gaussian(kN, 8.0));
+}
+void BM_BBatch(benchmark::State& state) { run_steps(state, b_batch(kN, kN)); }
+void BM_TauDelay(benchmark::State& state) {
+  run_steps(state, tau_delay<delay_adversarial>(kN, kN));
+}
+void BM_TypeErasedTwoChoice(benchmark::State& state) {
+  run_steps(state, any_process(two_choice(kN)));
+}
+
+void BM_RngNext(benchmark::State& state) {
+  rng_t rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+void BM_RngBounded(benchmark::State& state) {
+  rng_t rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(bounded(rng, 10007));
+}
+void BM_RngGaussian(benchmark::State& state) {
+  rng_t rng(1);
+  gaussian_sampler gs;
+  for (auto _ : state) benchmark::DoNotOptimize(gs.next(rng));
+}
+
+BENCHMARK(BM_OneChoice);
+BENCHMARK(BM_TwoChoice);
+BENCHMARK(BM_DChoice4);
+BENCHMARK(BM_OnePlusBeta);
+BENCHMARK(BM_GBounded);
+BENCHMARK(BM_GMyopic);
+BENCHMARK(BM_GAdvLoad);
+BENCHMARK(BM_SigmaNoisyRho);
+BENCHMARK(BM_SigmaNoisyGauss);
+BENCHMARK(BM_BBatch);
+BENCHMARK(BM_TauDelay);
+BENCHMARK(BM_TypeErasedTwoChoice);
+BENCHMARK(BM_RngNext);
+BENCHMARK(BM_RngBounded);
+BENCHMARK(BM_RngGaussian);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Scenario: auditing worst-case damage from a compromised load-reporting
+// component.
+//
+// Threat model: a malicious (or buggy) comparison service can lie about
+// which of two servers is less loaded, but only when their loads are
+// within g of each other -- bigger lies are caught by sanity checks.  This
+// is exactly the paper's g-Adv-Comp setting.  The audit question: what is
+// the worst imbalance such a component can engineer, and how fast does the
+// system heal once the component is fixed?
+//
+// The program (1) compares attack strategies at increasing g against the
+// O(g + log n) budget, and (2) runs a poison-then-heal timeline with the
+// phase-switch adversary to show self-stabilization (the property behind
+// the paper's recovery lemmas).
+#include <cstdio>
+
+#include "noisebalance.hpp"
+
+int main() {
+  using namespace nb;
+
+  constexpr bin_count n = 8192;
+  constexpr step_count m = 400LL * n;
+  constexpr std::uint64_t seed = 31337;
+
+  std::printf("Adversarial audit: %u servers, comparison lies limited to |load diff| <= g\n\n", n);
+
+  // ---- 1. Attack strategies vs the theory budget. ----
+  text_table table({"g", "random lies", "always lie (greedy)", "targeted (boost)",
+                    "fixed-target (index)", "budget ~ g + log n"});
+  for (const load_t g : {2, 8, 32, 128}) {
+    g_myopic_comp random_lies(n, g);
+    g_bounded greedy(n, g);
+    g_adv_comp<overload_booster> boost(n, g);
+    g_adv_comp<index_bias> fixed(n, g);
+    rng_t r1(seed);
+    rng_t r2(seed);
+    rng_t r3(seed);
+    rng_t r4(seed);
+    table.add_row({std::to_string(g), format_fixed(simulate(random_lies, m, r1).gap, 1),
+                   format_fixed(simulate(greedy, m, r2).gap, 1),
+                   format_fixed(simulate(boost, m, r3).gap, 1),
+                   format_fixed(simulate(fixed, m, r4).gap, 1),
+                   format_fixed(theory::adv_comp_linear_bound(n, g), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("No strategy escapes the O(g + log n) envelope (Theorem 5.12): the damage a\n"
+              "comparison-level attacker can do is *linear* in how big a lie it can tell.\n\n");
+
+  // ---- 2. Poison-then-heal timeline. ----
+  constexpr load_t g = 64;
+  constexpr step_count poison_until = 200LL * n;
+  g_adv_comp<phase_switch> timeline(n, g, phase_switch{poison_until});
+  rng_t rng(seed);
+  std::printf("Timeline with g = %d: component malicious until t = %lld, then fixed:\n\n", g,
+              static_cast<long long>(poison_until));
+  std::printf("  %-12s %-10s\n", "t / n", "gap");
+  const step_count sample_every = 25LL * n;
+  for (step_count t = 0; t < 2 * poison_until; t += sample_every) {
+    for (step_count s = 0; s < sample_every; ++s) timeline.step(rng);
+    std::printf("  %-12lld %-10.1f%s\n",
+                static_cast<long long>(timeline.state().balls() / n), timeline.state().gap(),
+                timeline.state().balls() == poison_until ? "   <-- component fixed" : "");
+  }
+  std::printf("\nThe imbalance drains within ~O(n (g + log n)) further allocations\n"
+              "(stabilization, Lemma 5.10): no manual rebalancing required.\n");
+  return 0;
+}

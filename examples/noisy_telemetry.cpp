@@ -1,0 +1,63 @@
+// Scenario: schedulers with *noisy* (rather than stale) load telemetry.
+//
+// Each sampled server reports its queue length perturbed by Gaussian
+// measurement noise with standard deviation sigma (sampling jitter,
+// ewma-smoothed counters, clock skew...).  This is the sigma-Noisy-Load
+// process; the paper proves the gap is polynomial in sigma and only
+// poly-logarithmic in n.
+//
+// The program sweeps sigma, prints the measured imbalance against the
+// paper's upper/lower bound band, and demonstrates the two regimes:
+// near-Two-Choice behaviour for small sigma and a graceful polynomial
+// degradation (never a cliff) for large sigma.
+#include <cstdio>
+
+#include "noisebalance.hpp"
+
+int main() {
+  using namespace nb;
+
+  constexpr bin_count n = 8192;
+  constexpr step_count m = 500LL * n;
+  constexpr std::uint64_t seed = 99;
+
+  std::printf("Noisy telemetry: %u servers, %lld jobs, reports = queue + sigma * N(0,1)\n\n", n,
+              static_cast<long long>(m));
+
+  // Reference levels.
+  two_choice exact(n);
+  one_choice blind(n);
+  rng_t r_exact(seed);
+  rng_t r_blind(seed);
+  const double exact_gap = simulate(exact, m, r_exact).gap;
+  const double blind_gap = simulate(blind, m, r_blind).gap;
+
+  text_table table({"sigma", "gap (physical Gaussian)", "gap (Eq. 2.1 rho-form)",
+                    "paper upper bound", "paper lower bound"});
+  for (const double sigma : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    sigma_noisy_load_gaussian physical(n, sigma);
+    sigma_noisy_load rho_form(n, rho_gaussian(sigma));
+    rng_t r1(seed);
+    rng_t r2(seed);
+    const double g_physical = simulate(physical, m, r1).gap;
+    const double g_rho = simulate(rho_form, m, r2).gap;
+    table.add_row({format_fixed(sigma, 1), format_fixed(g_physical, 1), format_fixed(g_rho, 1),
+                   format_fixed(theory::sigma_noisy_load_upper(n, sigma), 1),
+                   format_fixed(theory::sigma_noisy_load_lower(n, sigma), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reference levels: exact telemetry (Two-Choice) gap = %.1f; no telemetry "
+              "(One-Choice) gap = %.1f.\n\n",
+              exact_gap, blind_gap);
+  std::printf(
+      "Reading the table:\n"
+      "  * sigma <~ 1: measurement noise is absorbed entirely -- the gap sits at the\n"
+      "    Two-Choice level (noise below the integer load granularity rarely flips a\n"
+      "    comparison that matters).\n"
+      "  * growing sigma: the gap grows ~linearly in sigma (between the paper's bounds),\n"
+      "    NOT to the One-Choice level -- far-apart queues still compare correctly, so\n"
+      "    the scheduler keeps its self-correcting drift.\n"
+      "  * the two implementations of the process (physical perturbation vs the paper's\n"
+      "    Eq. 2.1 comparison-probability form) agree.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest complete use of the noisebalance public API.
+//
+//   $ ./quickstart
+//
+// Allocates one million balls into ten thousand bins with noise-free
+// Two-Choice and with three noisy variants of it, and prints the gap
+// (maximum load minus average load) of each -- the paper's headline
+// quantity.
+#include <cstdio>
+
+#include "noisebalance.hpp"
+
+int main() {
+  using namespace nb;
+
+  constexpr bin_count n = 10'000;
+  constexpr step_count m = 1'000'000;  // 100 balls per bin
+
+  // Every process draws from an explicit generator; same seed = same run.
+  constexpr std::uint64_t seed = 2022;
+
+  // 1. The baseline: noise-free Two-Choice.
+  two_choice baseline(n);
+  rng_t rng1(seed);
+  const run_result clean = simulate(baseline, m, rng1);
+
+  // 2. An adversary that can flip comparisons between bins whose loads
+  //    differ by at most g = 8 (the g-Bounded process).
+  g_bounded adversarial(n, 8);
+  rng_t rng2(seed);
+  const run_result noisy_adv = simulate(adversarial, m, rng2);
+
+  // 3. Comparisons that are simply *unreliable* among close bins
+  //    (g-Myopic-Comp: a coin flip when loads differ by at most 8).
+  g_myopic_comp myopic(n, 8);
+  rng_t rng3(seed);
+  const run_result noisy_myopic = simulate(myopic, m, rng3);
+
+  // 4. Gaussian-perturbed load reports with sigma = 8 (sigma-Noisy-Load).
+  sigma_noisy_load gaussian(n, rho_gaussian(8.0));
+  rng_t rng4(seed);
+  const run_result noisy_gauss = simulate(gaussian, m, rng4);
+
+  std::printf("%u bins, %lld balls (m/n = %lld):\n\n", n, static_cast<long long>(m),
+              static_cast<long long>(m / n));
+  std::printf("  %-28s gap = %5.1f   max load = %d\n", baseline.name().c_str(), clean.gap,
+              clean.max_load);
+  std::printf("  %-28s gap = %5.1f   max load = %d\n", adversarial.name().c_str(), noisy_adv.gap,
+              noisy_adv.max_load);
+  std::printf("  %-28s gap = %5.1f   max load = %d\n", myopic.name().c_str(), noisy_myopic.gap,
+              noisy_myopic.max_load);
+  std::printf("  %-28s gap = %5.1f   max load = %d\n", gaussian.name().c_str(), noisy_gauss.gap,
+              noisy_gauss.max_load);
+
+  std::printf("\nThe paper's result: even with adversarially wrong comparisons among bins\n"
+              "within g of each other, the gap stays O(g + log n) -- noise degrades the\n"
+              "power of two choices gracefully rather than destroying it.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scenario: a dispatcher routing jobs to a server farm with *stale* load
+// telemetry -- the paper's introductory motivation ("in a concurrent
+// setting, bins may not be able to update their load immediately").
+//
+// A fleet of n servers exports its queue lengths to the dispatcher through
+// one of three telemetry designs:
+//
+//   * periodic scrape   -- all queue lengths refreshed every `b` jobs
+//                          (the b-Batch process);
+//   * async gossip      -- each server's report may lag by up to `tau`
+//                          jobs, refreshed independently (tau-Delay with
+//                          benign random-in-window reports);
+//   * worst-case lag    -- the adversarial tau-Delay reporter: the gap
+//                          bound a pessimistic SRE should plan for.
+//
+// The program sweeps the refresh scale and prints the resulting imbalance
+// (gap) next to the theory shape Theta(log n / log((4n/scale) log n)),
+// answering the practical question: "how stale can telemetry get before
+// two-choice routing stops being worth it?"
+#include <cstdio>
+
+#include "noisebalance.hpp"
+
+int main() {
+  using namespace nb;
+
+  constexpr bin_count n = 4096;          // servers
+  constexpr step_count jobs = 400LL * n; // dispatched jobs
+  constexpr std::uint64_t seed = 7;
+
+  std::printf("Server farm: %u servers, %lld jobs, two-choice routing on stale telemetry\n\n",
+              n, static_cast<long long>(jobs));
+
+  text_table table({"refresh scale (jobs)", "periodic scrape", "async gossip",
+                    "worst-case lag", "theory shape", "one-choice (no telemetry)"});
+
+  // One-Choice = routing blind; the level at which telemetry is worthless.
+  one_choice blind(n);
+  rng_t blind_rng(seed);
+  const double blind_gap = simulate(blind, jobs, blind_rng).gap;
+
+  for (const step_count scale :
+       {step_count{n} / 16, step_count{n} / 4, step_count{n}, 4 * step_count{n},
+        16 * step_count{n}}) {
+    b_batch scrape(n, scale);
+    tau_delay<delay_random> gossip(n, scale);
+    tau_delay<delay_adversarial> worst(n, scale);
+    rng_t r1(seed);
+    rng_t r2(seed);
+    rng_t r3(seed);
+    const double scrape_gap = simulate(scrape, jobs, r1).gap;
+    const double gossip_gap = simulate(gossip, jobs, r2).gap;
+    const double worst_gap = simulate(worst, jobs, r3).gap;
+    table.add_row({std::to_string(scale), format_fixed(scrape_gap, 1),
+                   format_fixed(gossip_gap, 1), format_fixed(worst_gap, 1),
+                   format_fixed(theory::batch_gap(n, static_cast<double>(scale)), 1),
+                   format_fixed(blind_gap, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Reading the table:\n"
+      "  * Telemetry staleness up to ~n jobs costs only Theta(log n / log log n) imbalance\n"
+      "    (Theorem 10.2) -- scraping faster than once per n jobs buys little.\n"
+      "  * Synchronized scrapes and asynchronous gossip behave alike (the paper's point:\n"
+      "    the batch setting's synchronized refresh is not essential).\n"
+      "  * Even the *worst-case* lag pattern stays far below blind routing until the\n"
+      "    refresh scale approaches n log n.\n");
+  return 0;
+}

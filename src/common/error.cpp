@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace nb::detail {
+
+[[noreturn]] void throw_contract_error(std::string_view condition, std::string_view message,
+                                       std::string_view file, long line) {
+  std::ostringstream os;
+  os << "precondition violated: " << message << " [" << condition << "] at " << file << ":" << line;
+  throw contract_error(os.str());
+}
+
+[[noreturn]] void fail_assert(std::string_view condition, std::string_view file, long line) {
+  std::fprintf(stderr, "noisebalance internal invariant failed: %.*s at %.*s:%ld\n",
+               static_cast<int>(condition.size()), condition.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  std::abort();
+}
+
+}  // namespace nb::detail

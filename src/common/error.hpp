@@ -1,0 +1,54 @@
+// Contract and error-handling support for the noisebalance library.
+//
+// Two levels of checks, following the Core Guidelines (I.5-I.8, P.6-P.7):
+//
+//  * NB_REQUIRE(cond, msg)  -- precondition on a *public* interface.  A
+//    violation is a caller bug or bad configuration; throws
+//    nb::contract_error (derived from std::invalid_argument) with file/line
+//    context.  Always compiled in: configuration errors must be catchable in
+//    release builds too.
+//
+//  * NB_ASSERT(cond)        -- internal invariant.  Compiled in unless
+//    NB_NO_INTERNAL_CHECKS is defined; aborts with a diagnostic.  Used in
+//    cold paths and at state-transition boundaries, never in the per-ball
+//    hot loop (hot-loop invariants are covered by tests instead).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nb {
+
+/// Thrown when a public-interface precondition is violated.
+class contract_error : public std::invalid_argument {
+ public:
+  explicit contract_error(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_error(std::string_view condition, std::string_view message,
+                                       std::string_view file, long line);
+[[noreturn]] void fail_assert(std::string_view condition, std::string_view file, long line);
+}  // namespace detail
+
+}  // namespace nb
+
+#define NB_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::nb::detail::throw_contract_error(#cond, (msg), __FILE__, __LINE__); \
+    }                                                                      \
+  } while (false)
+
+#if defined(NB_NO_INTERNAL_CHECKS)
+#define NB_ASSERT(cond) ((void)0)
+#else
+#define NB_ASSERT(cond)                                          \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::nb::detail::fail_assert(#cond, __FILE__, __LINE__);      \
+    }                                                            \
+  } while (false)
+#endif

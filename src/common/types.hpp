@@ -1,0 +1,26 @@
+// Shared strong-ish aliases used across the library.
+//
+// The paper's notation: n bins, m balls, loads x^t_i, normalized loads
+// y^t_i = x^t_i - t/n, and Gap(t) = max_i y^t_i.  We keep the same names in
+// code wherever practical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nb {
+
+/// Index of a bin, in [0, n).  The paper uses 1-based [n]; code is 0-based.
+using bin_index = std::uint32_t;
+
+/// Absolute (integer) load of a bin.  With m <= 2^31 balls a 32-bit count
+/// is ample; the simulator checks m against this limit on construction.
+using load_t = std::int32_t;
+
+/// Number of balls / steps.  m can reach 10^8 at paper scale (n=1e5, m=1000n).
+using step_count = std::int64_t;
+
+/// Count of bins.
+using bin_count = std::uint32_t;
+
+}  // namespace nb

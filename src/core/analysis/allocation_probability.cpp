@@ -1,0 +1,87 @@
+#include "core/analysis/allocation_probability.hpp"
+
+#include <cmath>
+
+namespace nb {
+
+std::vector<double> rho_allocation_probabilities(const std::vector<load_t>& loads,
+                                                 const rho_fn& rho) {
+  NB_REQUIRE(!loads.empty(), "need at least one bin");
+  NB_REQUIRE(rho != nullptr, "rho must not be empty");
+  const std::size_t n = loads.size();
+  const double pair_mass = 1.0 / (static_cast<double>(n) * static_cast<double>(n));
+  std::vector<double> q(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Self-pair (i1 = i2 = i): the ball lands in i with certainty.
+    q[i] += pair_mass;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Unordered pair {i, j} has total sampling mass 2/n^2.
+      double p_i;  // probability the ball lands in i given this pair
+      if (loads[i] == loads[j]) {
+        p_i = 0.5;
+      } else {
+        const load_t delta =
+            loads[i] < loads[j] ? loads[j] - loads[i] : loads[i] - loads[j];
+        const double correct = rho(delta);
+        NB_REQUIRE(correct >= 0.0 && correct <= 1.0, "rho must map into [0,1]");
+        p_i = loads[i] < loads[j] ? correct : 1.0 - correct;
+      }
+      q[i] += 2.0 * pair_mass * p_i;
+      q[j] += 2.0 * pair_mass * (1.0 - p_i);
+    }
+  }
+  return q;
+}
+
+std::vector<double> two_choice_probabilities(const std::vector<load_t>& loads) {
+  return rho_allocation_probabilities(loads, [](load_t) { return 1.0; });
+}
+
+std::vector<double> g_bounded_probabilities(const std::vector<load_t>& loads, load_t g) {
+  NB_REQUIRE(g >= 0, "g must be non-negative");
+  return rho_allocation_probabilities(loads,
+                                      [g](load_t delta) { return delta <= g ? 0.0 : 1.0; });
+}
+
+std::vector<double> g_myopic_probabilities(const std::vector<load_t>& loads, load_t g) {
+  NB_REQUIRE(g >= 0, "g must be non-negative");
+  return rho_allocation_probabilities(loads,
+                                      [g](load_t delta) { return delta <= g ? 0.5 : 1.0; });
+}
+
+double expected_potential_drift(const std::vector<double>& y, const std::vector<double>& q,
+                                const std::function<double(double)>& f) {
+  NB_REQUIRE(y.size() == q.size(), "load and probability vectors must match");
+  NB_REQUIRE(f != nullptr, "potential term f must not be empty");
+  const double shift = 1.0 / static_cast<double>(y.size());
+  double drift = 0.0;
+  for (std::size_t k = 0; k < y.size(); ++k) {
+    drift += f(y[k] - shift) - f(y[k]);                             // common average shift
+    drift += q[k] * (f(y[k] + 1.0 - shift) - f(y[k] - shift));      // the allocated ball
+  }
+  return drift;
+}
+
+double lemma_4_1_upper_bound(const std::vector<double>& y, const std::vector<double>& q,
+                             double gamma) {
+  NB_REQUIRE(y.size() == q.size(), "load and probability vectors must match");
+  NB_REQUIRE(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+  const auto n = static_cast<double>(y.size());
+  double bound = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double over = std::exp(gamma * y[i]);
+    const double under = std::exp(-gamma * y[i]);
+    bound += (q[i] * (gamma + gamma * gamma) - gamma / n + gamma * gamma / (n * n)) * over;
+    bound += (q[i] * (-gamma + gamma * gamma) + gamma / n + gamma * gamma / (n * n)) * under;
+  }
+  return bound;
+}
+
+double lemma_5_1_quadratic_drift(const std::vector<double>& y, const std::vector<double>& q) {
+  NB_REQUIRE(y.size() == q.size(), "load and probability vectors must match");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) acc += 2.0 * q[i] * y[i];
+  return acc + 1.0 - 1.0 / static_cast<double>(y.size());
+}
+
+}  // namespace nb

@@ -1,0 +1,69 @@
+// Exact one-step analysis of comparison-based allocation processes.
+//
+// Every two-sample process in this library is characterized by the
+// probability rho(delta) of a *correct* comparison at load difference
+// delta (Section 2): Two-Choice is rho == 1, g-Bounded is the 0/1 step,
+// g-Myopic-Comp the 1/2 step, sigma-Noisy-Load the Gaussian tail.  Given a
+// concrete load vector x, the per-bin allocation probabilities
+//
+//   q_i = P(the next ball lands in bin i | x)
+//
+// are therefore computable exactly, and with them the exact expected
+// one-step change ("drift") of any separable potential sum_i f(y_i).  This
+// turns the paper's drift lemmas (Lemma 4.1, Lemma 5.1-5.3) into
+// *deterministically checkable* statements on arbitrary load vectors --
+// used by tests and by the potential ablation bench.
+//
+// These are analysis tools (O(n^2) / O(n log n)), not hot-path code.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nb {
+
+/// rho as a plain function double(load_t delta), delta >= 1.
+using rho_fn = std::function<double(load_t)>;
+
+/// Exact allocation probabilities of the two-sample process with
+/// comparison-correctness function `rho`, at load vector `loads`.
+/// Ties (delta = 0) are resolved by a fair coin, matching every process in
+/// this library.  O(n^2); exact up to floating point.
+[[nodiscard]] std::vector<double> rho_allocation_probabilities(const std::vector<load_t>& loads,
+                                                               const rho_fn& rho);
+
+/// Convenience wrappers for the named processes.
+[[nodiscard]] std::vector<double> two_choice_probabilities(const std::vector<load_t>& loads);
+[[nodiscard]] std::vector<double> g_bounded_probabilities(const std::vector<load_t>& loads,
+                                                          load_t g);
+[[nodiscard]] std::vector<double> g_myopic_probabilities(const std::vector<load_t>& loads,
+                                                         load_t g);
+
+/// Exact expected one-step change of the separable potential
+/// Phi(y) = sum_i f(y_i), where y_i = x_i - t/n, when one ball is placed
+/// according to `q` (all coordinates then shift by -1/n):
+///
+///   E[dPhi] = sum_k [f(y_k - 1/n) - f(y_k)]
+///           + sum_i q_i [f(y_i + 1 - 1/n) - f(y_i - 1/n)].
+///
+/// O(n) given q.
+[[nodiscard]] double expected_potential_drift(const std::vector<double>& y,
+                                              const std::vector<double>& q,
+                                              const std::function<double(double)>& f);
+
+/// The right-hand side of Lemma 4.1 evaluated exactly:
+///   sum_i [ (q_i (gamma + gamma^2) - gamma/n + gamma^2/n^2) e^{gamma y_i}
+///         + (q_i (-gamma + gamma^2) + gamma/n + gamma^2/n^2) e^{-gamma y_i} ].
+/// The exact drift of Gamma is provably <= this bound; tests verify the
+/// inequality on arbitrary vectors.
+[[nodiscard]] double lemma_4_1_upper_bound(const std::vector<double>& y,
+                                           const std::vector<double>& q, double gamma);
+
+/// The exact identity of Lemma 5.1(i): E[dUpsilon] = sum_i 2 q_i y_i + 1 - 1/n.
+[[nodiscard]] double lemma_5_1_quadratic_drift(const std::vector<double>& y,
+                                               const std::vector<double>& q);
+
+}  // namespace nb

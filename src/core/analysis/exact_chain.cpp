@@ -1,0 +1,45 @@
+#include "core/analysis/exact_chain.hpp"
+
+#include <cmath>
+
+namespace nb {
+
+namespace {
+double p_up(const rho_fn& rho, int d) { return 0.25 + 0.5 * (1.0 - rho(static_cast<load_t>(d))); }
+double p_down(const rho_fn& rho, int d) { return 0.25 + 0.5 * rho(static_cast<load_t>(d)); }
+}  // namespace
+
+std::vector<double> two_bin_stationary_distribution(const rho_fn& rho, int max_diff) {
+  NB_REQUIRE(rho != nullptr, "rho must not be empty");
+  NB_REQUIRE(max_diff >= 2, "truncation must allow at least d = 2");
+  std::vector<double> pi(static_cast<std::size_t>(max_diff) + 1, 0.0);
+  // Unnormalized detailed-balance products.  From d = 0 the chain moves up
+  // with probability 1, so pi(1) = pi(0) * 1 / p_down(1).
+  pi[0] = 1.0;
+  pi[1] = pi[0] * 1.0 / p_down(rho, 1);
+  for (int d = 1; d < max_diff; ++d) {
+    const double ratio = p_up(rho, d) / p_down(rho, d + 1);
+    pi[static_cast<std::size_t>(d) + 1] = pi[static_cast<std::size_t>(d)] * ratio;
+    if (pi[static_cast<std::size_t>(d) + 1] < 1e-300) break;  // numerically dead tail
+  }
+  double total = 0.0;
+  for (const double v : pi) total += v;
+  NB_ASSERT(total > 0.0);
+  for (double& v : pi) v /= total;
+  // The truncated tail must be negligible for the result to be exact in
+  // any useful sense.
+  NB_REQUIRE(pi.back() < 1e-9,
+             "truncation too small for this rho (mass left at the boundary)");
+  return pi;
+}
+
+double two_bin_stationary_gap(const rho_fn& rho, int max_diff) {
+  const auto pi = two_bin_stationary_distribution(rho, max_diff);
+  double mean_diff = 0.0;
+  for (std::size_t d = 0; d < pi.size(); ++d) {
+    mean_diff += static_cast<double>(d) * pi[d];
+  }
+  return mean_diff / 2.0;
+}
+
+}  // namespace nb

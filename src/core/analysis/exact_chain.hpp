@@ -1,0 +1,39 @@
+// Exact stationary analysis of the n = 2 case.
+//
+// With two bins, every comparison-based process reduces to a birth-death
+// chain on the load difference d = |x_1 - x_2|:
+//
+//   d = 0: the next ball makes d = 1 (with certainty);
+//   d >= 1: the sampled pair is a self-pair of the heavier bin w.p. 1/4
+//           (d increases), a self-pair of the lighter bin w.p. 1/4
+//           (d decreases), or mixed w.p. 1/2, in which case the comparison
+//           is correct w.p. rho(d):
+//
+//     p_up(d)   = 1/4 + (1 - rho(d)) / 2,
+//     p_down(d) = 1/4 + rho(d) / 2.
+//
+// The stationary distribution pi follows from detailed balance,
+// pi(d+1) = pi(d) * p_up(d) / p_down(d+1), and the stationary expected gap
+// is E[d] / 2 (the gap of a two-bin system is half the difference).
+//
+// This gives *exact* reference values every simulated process must match
+// at n = 2 -- a strong end-to-end correctness check used by the tests.
+#pragma once
+
+#include <vector>
+
+#include "core/analysis/allocation_probability.hpp"
+
+namespace nb {
+
+/// Stationary distribution of the two-bin load-difference chain, truncated
+/// at `max_diff` (mass beyond is provably geometric-decaying for any rho
+/// with rho(d) > 1/2 eventually; pick max_diff generously).
+/// Returns pi(0..max_diff), normalized.
+[[nodiscard]] std::vector<double> two_bin_stationary_distribution(const rho_fn& rho,
+                                                                  int max_diff);
+
+/// Exact stationary expected gap E[d]/2 of the two-bin chain.
+[[nodiscard]] double two_bin_stationary_gap(const rho_fn& rho, int max_diff = 4096);
+
+}  // namespace nb

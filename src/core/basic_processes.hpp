@@ -1,0 +1,141 @@
+// Baseline (noise-free) allocation processes from the paper:
+//
+//   * One-Choice     -- each ball into a uniformly random bin.
+//   * Two-Choice     -- sample two bins u.a.r. with replacement, allocate to
+//                       the less loaded one [ABKU99]; ties broken by a fair
+//                       coin (the paper allows arbitrary tie-breaking; the
+//                       coin makes Two-Choice the exact g=0 instance of
+//                       every noise setting we implement).
+//   * d-Choice       -- least loaded of d samples [ABKU99/BCSV06].
+//   * (1+beta)       -- Two-Choice step with probability beta, One-Choice
+//                       step otherwise [PTW15].
+#pragma once
+
+#include <string>
+
+#include "core/process.hpp"
+
+namespace nb {
+
+class one_choice {
+ public:
+  explicit one_choice(bin_count n) : state_(n) {}
+
+  void step(rng_t& rng) { state_.allocate(sample_bin(rng, state_.n())); }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return "one-choice"; }
+
+ private:
+  load_state state_;
+};
+
+class two_choice {
+ public:
+  explicit two_choice(bin_count n) : state_(n) {}
+
+  void step(rng_t& rng) {
+    const bin_index i1 = sample_bin(rng, state_.n());
+    const bin_index i2 = sample_bin(rng, state_.n());
+    const load_t x1 = state_.load(i1);
+    const load_t x2 = state_.load(i2);
+    bin_index chosen;
+    if (x1 < x2) {
+      chosen = i1;
+    } else if (x2 < x1) {
+      chosen = i2;
+    } else {
+      chosen = coin_flip(rng) ? i1 : i2;
+    }
+    state_.allocate(chosen);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return "two-choice"; }
+
+ private:
+  load_state state_;
+};
+
+/// Least loaded of d independent uniform samples (with replacement); ties
+/// among the minima are broken uniformly via reservoir sampling.
+class d_choice {
+ public:
+  d_choice(bin_count n, int d) : state_(n), d_(d) {
+    NB_REQUIRE(d >= 1, "d-choice needs d >= 1");
+  }
+
+  void step(rng_t& rng) {
+    bin_index best = sample_bin(rng, state_.n());
+    load_t best_load = state_.load(best);
+    std::uint64_t tie_count = 1;
+    for (int k = 1; k < d_; ++k) {
+      const bin_index candidate = sample_bin(rng, state_.n());
+      const load_t candidate_load = state_.load(candidate);
+      if (candidate_load < best_load) {
+        best = candidate;
+        best_load = candidate_load;
+        tie_count = 1;
+      } else if (candidate_load == best_load) {
+        ++tie_count;
+        if (bounded(rng, tie_count) == 0) best = candidate;
+      }
+    }
+    state_.allocate(best);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return std::to_string(d_) + "-choice"; }
+  [[nodiscard]] int d() const noexcept { return d_; }
+
+ private:
+  load_state state_;
+  int d_;
+};
+
+/// The (1+beta)-process of Peres, Talwar and Wieder.
+class one_plus_beta {
+ public:
+  one_plus_beta(bin_count n, double beta) : state_(n), beta_(beta) {
+    NB_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1]");
+  }
+
+  void step(rng_t& rng) {
+    const bin_index i1 = sample_bin(rng, state_.n());
+    if (!bernoulli(rng, beta_)) {
+      state_.allocate(i1);  // One-Choice step
+      return;
+    }
+    const bin_index i2 = sample_bin(rng, state_.n());
+    const load_t x1 = state_.load(i1);
+    const load_t x2 = state_.load(i2);
+    bin_index chosen;
+    if (x1 < x2) {
+      chosen = i1;
+    } else if (x2 < x1) {
+      chosen = i2;
+    } else {
+      chosen = coin_flip(rng) ? i1 : i2;
+    }
+    state_.allocate(chosen);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return "(1+beta)[" + std::to_string(beta_) + "]"; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+
+ private:
+  load_state state_;
+  double beta_;
+};
+
+static_assert(allocation_process<one_choice>);
+static_assert(allocation_process<two_choice>);
+static_assert(allocation_process<d_choice>);
+static_assert(allocation_process<one_plus_beta>);
+
+}  // namespace nb

@@ -1,0 +1,47 @@
+#include "core/load_vector.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace nb {
+
+load_state::load_state(bin_count n) {
+  NB_REQUIRE(n >= 1, "need at least one bin");
+  loads_.assign(n, 0);
+}
+
+void load_state::reset() {
+  std::fill(loads_.begin(), loads_.end(), 0);
+  max_load_ = 0;
+  balls_ = 0;
+}
+
+load_t load_state::min_load() const noexcept {
+  return *std::min_element(loads_.begin(), loads_.end());
+}
+
+std::vector<double> load_state::normalized() const {
+  const double avg = average_load();
+  std::vector<double> y(loads_.size());
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    y[i] = static_cast<double>(loads_[i]) - avg;
+  }
+  return y;
+}
+
+std::vector<double> load_state::sorted_normalized_desc() const {
+  std::vector<double> y = normalized();
+  std::sort(y.begin(), y.end(), std::greater<>());
+  return y;
+}
+
+bin_count load_state::overloaded_count() const noexcept {
+  const double avg = average_load();
+  bin_count count = 0;
+  for (const load_t x : loads_) {
+    if (static_cast<double>(x) >= avg) ++count;
+  }
+  return count;
+}
+
+}  // namespace nb

@@ -1,0 +1,73 @@
+// The central state of every balls-into-bins process: the load vector x^t.
+//
+// Paper notation (Section 3): after t allocations the load vector is
+// x^t = (x^t_1 .. x^t_n); the normalized load is y^t_i = x^t_i - t/n sorted
+// non-increasingly, and Gap(t) = max_i x^t_i - t/n = y^t_1.
+//
+// The hot loop only ever calls allocate(); max load is maintained
+// incrementally (it is non-decreasing under insertions), everything else is
+// computed on demand at observation points.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nb {
+
+class load_state {
+ public:
+  /// Creates n empty bins.  n must be at least 1.
+  explicit load_state(bin_count n);
+
+  /// Removes all balls (keeps n).
+  void reset();
+
+  [[nodiscard]] bin_count n() const noexcept { return static_cast<bin_count>(loads_.size()); }
+  [[nodiscard]] step_count balls() const noexcept { return balls_; }
+  [[nodiscard]] load_t load(bin_index i) const noexcept { return loads_[i]; }
+  [[nodiscard]] const std::vector<load_t>& loads() const noexcept { return loads_; }
+
+  /// Adds one ball to bin i.  Hot path: no bounds check beyond debug assert.
+  void allocate(bin_index i) noexcept {
+    NB_ASSERT(i < loads_.size());
+    const load_t updated = ++loads_[i];
+    if (updated > max_load_) max_load_ = updated;
+    ++balls_;
+  }
+
+  [[nodiscard]] load_t max_load() const noexcept { return max_load_; }
+  /// O(n) scan (max is tracked incrementally, min cannot be).
+  [[nodiscard]] load_t min_load() const noexcept;
+
+  [[nodiscard]] double average_load() const noexcept {
+    return static_cast<double>(balls_) / static_cast<double>(n());
+  }
+
+  /// Gap(t) = max_i x^t_i - t/n.  Integer whenever n divides t.
+  [[nodiscard]] double gap() const noexcept {
+    return static_cast<double>(max_load_) - average_load();
+  }
+
+  /// "Underload gap": t/n - min_i x^t_i (used by the two-sided potentials).
+  [[nodiscard]] double underload_gap() const noexcept {
+    return average_load() - static_cast<double>(min_load());
+  }
+
+  /// y_i = x_i - t/n in bin-index order (not sorted).
+  [[nodiscard]] std::vector<double> normalized() const;
+
+  /// y_1 >= y_2 >= ... >= y_n, the paper's sorted normalized load vector.
+  [[nodiscard]] std::vector<double> sorted_normalized_desc() const;
+
+  /// Number of overloaded bins |B+| = |{i : y_i >= 0}|.
+  [[nodiscard]] bin_count overloaded_count() const noexcept;
+
+ private:
+  std::vector<load_t> loads_;
+  load_t max_load_ = 0;
+  step_count balls_ = 0;
+};
+
+}  // namespace nb

@@ -1,0 +1,70 @@
+// The g-Adv-Comp setting (Section 2, "Adversarial Load and Comparison").
+//
+// Two-Choice with an adaptive adversary of power g: at each step two bins
+// i1, i2 are sampled u.a.r. with replacement; if |x_{i1} - x_{i2}| <= g the
+// adversary decides the outcome of the comparison (and hence the
+// allocation), otherwise the ball is placed in the less loaded bin.
+// g = 0 recovers noise-free Two-Choice exactly (step-for-step, given the
+// same RNG stream, because our Two-Choice breaks ties with the same coin).
+//
+// The adversary strategy is a template parameter (see adversary.hpp), so
+// the per-ball cost stays free of indirect calls.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/noise/adversary.hpp"
+#include "core/process.hpp"
+
+namespace nb {
+
+template <typename Strategy>
+class g_adv_comp {
+ public:
+  g_adv_comp(bin_count n, load_t g, Strategy strategy = Strategy{})
+      : state_(n), g_(g), strategy_(std::move(strategy)) {
+    NB_REQUIRE(g >= 0, "adversary power g must be non-negative");
+  }
+
+  void step(rng_t& rng) {
+    const bin_index i1 = sample_bin(rng, state_.n());
+    const bin_index i2 = sample_bin(rng, state_.n());
+    const load_t x1 = state_.load(i1);
+    const load_t x2 = state_.load(i2);
+    const load_t diff = x1 >= x2 ? x1 - x2 : x2 - x1;
+    bin_index chosen;
+    if (diff <= g_) {
+      chosen = strategy_.decide(i1, i2, state_, rng);
+      NB_ASSERT(chosen == i1 || chosen == i2);
+    } else {
+      chosen = (x1 < x2) ? i1 : i2;
+    }
+    state_.allocate(chosen);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const {
+    return std::string(Strategy::label) + "[g=" + std::to_string(g_) + "]";
+  }
+  [[nodiscard]] load_t g() const noexcept { return g_; }
+  [[nodiscard]] const Strategy& strategy() const noexcept { return strategy_; }
+
+ private:
+  load_state state_;
+  load_t g_;
+  Strategy strategy_;
+};
+
+/// The two processes the paper names (and benchmarks in Section 12).
+using g_bounded = g_adv_comp<greedy_reverser>;
+using g_myopic_comp = g_adv_comp<random_decision>;
+
+static_assert(allocation_process<g_bounded>);
+static_assert(allocation_process<g_myopic_comp>);
+static_assert(allocation_process<g_adv_comp<always_correct>>);
+static_assert(allocation_process<g_adv_comp<overload_booster>>);
+static_assert(allocation_process<g_adv_comp<index_bias>>);
+
+}  // namespace nb

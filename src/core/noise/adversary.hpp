@@ -1,0 +1,105 @@
+// Adversary strategies for the g-Adv-Comp setting (Section 2).
+//
+// In g-Adv-Comp the process samples two bins i1, i2; when their load
+// difference is at most g the *adversary* decides where the ball goes, and
+// otherwise the ball goes to the less loaded bin.  A strategy is the
+// adversary A_t restricted to the pairs it controls: it is invoked only
+// when |x_{i1} - x_{i2}| <= g and returns the chosen bin.
+//
+// The paper's two named instances:
+//   * greedy_reverser  == the g-Bounded process [Nadiradze'21]: always the
+//     heavier bin (the "greedily revert all comparisons" adversary).
+//   * random_decision  == g-Myopic-Comp: a fair coin.
+//
+// Extra strategies shipped for the adversary-strength ablation:
+//   * always_correct   -- degenerates to noise-free Two-Choice.
+//   * overload_booster -- spends the reversal budget only on bins that are
+//     already overloaded (load >= average): pushes to the heavier bin when
+//     doing so grows an overloaded bin, otherwise plays correctly.  A
+//     sharper adaptive adversary than greedy within the same g budget.
+//   * index_bias       -- deterministically prefers the smaller bin index,
+//     creating a fixed target set of hot bins (tests robustness to
+//     systematic, non-load-adaptive bias).
+#pragma once
+
+#include <string>
+
+#include "core/load_vector.hpp"
+#include "core/process.hpp"
+
+namespace nb {
+
+struct greedy_reverser {
+  static constexpr const char* label = "g-bounded";
+  bin_index decide(bin_index i1, bin_index i2, const load_state& s, rng_t& rng) const {
+    const load_t x1 = s.load(i1);
+    const load_t x2 = s.load(i2);
+    if (x1 > x2) return i1;
+    if (x2 > x1) return i2;
+    return coin_flip(rng) ? i1 : i2;
+  }
+};
+
+struct random_decision {
+  static constexpr const char* label = "g-myopic-comp";
+  bin_index decide(bin_index i1, bin_index i2, const load_state& /*s*/, rng_t& rng) const {
+    return coin_flip(rng) ? i1 : i2;
+  }
+};
+
+struct always_correct {
+  static constexpr const char* label = "g-adv-correct";
+  bin_index decide(bin_index i1, bin_index i2, const load_state& s, rng_t& rng) const {
+    const load_t x1 = s.load(i1);
+    const load_t x2 = s.load(i2);
+    if (x1 < x2) return i1;
+    if (x2 < x1) return i2;
+    return coin_flip(rng) ? i1 : i2;
+  }
+};
+
+struct overload_booster {
+  static constexpr const char* label = "g-adv-boost";
+  bin_index decide(bin_index i1, bin_index i2, const load_state& s, rng_t& rng) const {
+    const load_t x1 = s.load(i1);
+    const load_t x2 = s.load(i2);
+    const bin_index heavier = (x1 >= x2) ? i1 : i2;
+    const bin_index lighter = (x1 >= x2) ? i2 : i1;
+    if (x1 == x2) {
+      // Symmetric pair: grow it iff it is already overloaded.
+      if (static_cast<double>(x1) >= s.average_load()) return coin_flip(rng) ? i1 : i2;
+      return coin_flip(rng) ? i1 : i2;
+    }
+    // Reverse only when the heavier bin is overloaded -- reversals on
+    // underloaded pairs merely flatten the bottom of the distribution.
+    if (static_cast<double>(s.load(heavier)) >= s.average_load()) return heavier;
+    return lighter;
+  }
+};
+
+struct index_bias {
+  static constexpr const char* label = "g-adv-index";
+  bin_index decide(bin_index i1, bin_index i2, const load_state& /*s*/, rng_t& /*rng*/) const {
+    return i1 < i2 ? i1 : i2;
+  }
+};
+
+/// Greedy reverser until `switch_at` balls have been placed, correct
+/// afterwards.  This is the adversary used to probe the *self-stabilization*
+/// behaviour behind the paper's recovery lemmas (Lemma 5.9 / Theorem 5.12):
+/// poison the load vector, stop interfering, and watch the gap recover.
+struct phase_switch {
+  static constexpr const char* label = "g-adv-phase-switch";
+  step_count switch_at = 0;
+
+  bin_index decide(bin_index i1, bin_index i2, const load_state& s, rng_t& rng) const {
+    const load_t x1 = s.load(i1);
+    const load_t x2 = s.load(i2);
+    if (x1 == x2) return coin_flip(rng) ? i1 : i2;
+    const bool reverse = s.balls() < switch_at;
+    if (reverse) return x1 > x2 ? i1 : i2;
+    return x1 < x2 ? i1 : i2;
+  }
+};
+
+}  // namespace nb

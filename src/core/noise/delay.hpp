@@ -1,0 +1,142 @@
+// The tau-Delay setting (Section 2, "Adversarial Delay").
+//
+// When bins i1, i2 are sampled in step t, an adaptive adversary reports
+// load estimates within the sliding windows [x^{t-tau}_i, x^{t-1}_i]; the
+// ball goes to the bin with the smaller estimate (ties broken arbitrarily,
+// i.e. adversarially).  tau = 1 collapses to noise-free Two-Choice.
+//
+// Implementation is O(1) per step: a ring buffer stores the targets of the
+// last (tau-1) allocations -- exactly the allocations that are "in flight"
+// and may be hidden -- and per-bin counters give
+//     x^{t-tau}_i = x^{t-1}_i - (allocations to i inside the window).
+//
+// Estimate strategies:
+//   * delay_oldest       -- every bin reports its oldest legal value
+//     (maximum staleness everywhere; models "report what you knew tau
+//     steps ago").
+//   * delay_adversarial  -- the worst case: reverses the true comparison
+//     whenever some legal pair of estimates allows it (this is the
+//     adversary the paper's reduction to g-Adv-Comp bounds).
+//   * delay_random       -- each bin reports a uniform legal value
+//     (a benign asynchronous-update model).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace nb {
+
+struct delay_oldest {
+  static constexpr const char* label = "tau-delay-oldest";
+  bin_index decide(bin_index i1, load_t lo1, load_t /*hi1*/, bin_index i2, load_t lo2,
+                   load_t /*hi2*/, rng_t& rng) const {
+    if (lo1 < lo2) return i1;
+    if (lo2 < lo1) return i2;
+    return coin_flip(rng) ? i1 : i2;
+  }
+};
+
+struct delay_adversarial {
+  static constexpr const char* label = "tau-delay-adversarial";
+  bin_index decide(bin_index i1, load_t lo1, load_t hi1, bin_index i2, load_t lo2, load_t hi2,
+                   rng_t& rng) const {
+    // Current (true) loads are the upper window ends.
+    if (hi1 == hi2) return coin_flip(rng) ? i1 : i2;
+    const bool first_heavier = hi1 > hi2;
+    const bin_index heavier = first_heavier ? i1 : i2;
+    const bin_index lighter = first_heavier ? i2 : i1;
+    const load_t lo_heavy = first_heavier ? lo1 : lo2;
+    const load_t hi_light = first_heavier ? hi2 : hi1;
+    // The adversary reports lo for the heavier bin and hi for the lighter;
+    // with adversarial tie-breaking the heavier bin receives the ball iff
+    // lo_heavy <= hi_light.
+    return lo_heavy <= hi_light ? heavier : lighter;
+  }
+};
+
+struct delay_random {
+  static constexpr const char* label = "tau-delay-random";
+  bin_index decide(bin_index i1, load_t lo1, load_t hi1, bin_index i2, load_t lo2, load_t hi2,
+                   rng_t& rng) const {
+    const load_t e1 =
+        lo1 + static_cast<load_t>(bounded(rng, static_cast<std::uint64_t>(hi1 - lo1) + 1));
+    const load_t e2 =
+        lo2 + static_cast<load_t>(bounded(rng, static_cast<std::uint64_t>(hi2 - lo2) + 1));
+    if (e1 < e2) return i1;
+    if (e2 < e1) return i2;
+    return coin_flip(rng) ? i1 : i2;
+  }
+};
+
+template <typename Strategy>
+class tau_delay {
+ public:
+  tau_delay(bin_count n, step_count tau, Strategy strategy = Strategy{})
+      : state_(n),
+        tau_(tau),
+        strategy_(std::move(strategy)),
+        window_(static_cast<std::size_t>(tau > 0 ? tau - 1 : 0)),
+        in_window_(n, 0) {
+    NB_REQUIRE(tau >= 1, "delay tau must be at least 1");
+  }
+
+  void step(rng_t& rng) {
+    const bin_index i1 = sample_bin(rng, state_.n());
+    const bin_index i2 = sample_bin(rng, state_.n());
+    const load_t hi1 = state_.load(i1);
+    const load_t hi2 = state_.load(i2);
+    const load_t lo1 = hi1 - in_window_[i1];
+    const load_t lo2 = hi2 - in_window_[i2];
+    const bin_index chosen = strategy_.decide(i1, lo1, hi1, i2, lo2, hi2, rng);
+    NB_ASSERT(chosen == i1 || chosen == i2);
+    state_.allocate(chosen);
+    push_allocation(chosen);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+
+  void reset() {
+    state_.reset();
+    std::fill(in_window_.begin(), in_window_.end(), 0);
+    window_size_ = 0;
+    window_pos_ = 0;
+  }
+
+  [[nodiscard]] std::string name() const {
+    return std::string(Strategy::label) + "[tau=" + std::to_string(tau_) + "]";
+  }
+  [[nodiscard]] step_count tau() const noexcept { return tau_; }
+
+  /// Oldest legal estimate of bin i, i.e. x^{t-tau}_i (exposed for tests).
+  [[nodiscard]] load_t stale_load(bin_index i) const { return state_.load(i) - in_window_[i]; }
+
+ private:
+  void push_allocation(bin_index chosen) {
+    if (window_.empty()) return;  // tau == 1: no hidden allocations
+    if (window_size_ == window_.size()) {
+      // Evict the allocation that just became tau steps old.
+      in_window_[window_[window_pos_]] -= 1;
+    } else {
+      ++window_size_;
+    }
+    window_[window_pos_] = chosen;
+    in_window_[chosen] += 1;
+    window_pos_ = (window_pos_ + 1) % window_.size();
+  }
+
+  load_state state_;
+  step_count tau_;
+  Strategy strategy_;
+  std::vector<bin_index> window_;  // ring buffer of the last tau-1 targets
+  std::vector<load_t> in_window_;  // per-bin count of targets in the ring
+  std::size_t window_size_ = 0;
+  std::size_t window_pos_ = 0;
+};
+
+static_assert(allocation_process<tau_delay<delay_oldest>>);
+static_assert(allocation_process<tau_delay<delay_adversarial>>);
+static_assert(allocation_process<tau_delay<delay_random>>);
+
+}  // namespace nb

@@ -1,0 +1,163 @@
+// Probabilistic noise settings (Section 2, "Probabilistic Noise").
+//
+// rho-Noisy-Comp: a non-decreasing function rho : N -> [0,1] gives the
+// probability that a comparison between bins with absolute load difference
+// delta is *correct*; an incorrect comparison sends the ball to the heavier
+// bin.  delta = 0 is a tie and is resolved by a fair coin (correct and
+// incorrect coincide).
+//
+// Named rho instances (Fig. 2.2): step functions recover g-Bounded and
+// g-Myopic-Comp; constants recover One-Choice (1/2), Two-Choice (1) and
+// (1+beta) ((1+beta)/2); the Gaussian tail rho(delta) = 1 - exp(-(delta/
+// sigma)^2)/2 defines sigma-Noisy-Load (Eq. 2.1).
+//
+// sigma_noisy_load_gaussian is the "physical" form of the same process:
+// each sampled bin reports x + sigma * N(0,1) (fresh, independent noise per
+// sample) and the ball goes to the smaller report.  Eq. 2.1 is exactly this
+// after re-scaling sigma by sqrt(2) and tightening the Gaussian tail, so
+// the two agree up to that re-scaling (tested).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "core/process.hpp"
+
+namespace nb {
+
+/// rho(delta) = 1 - exp(-(delta/sigma)^2) / 2  (Eq. 2.1).
+class rho_gaussian {
+ public:
+  explicit rho_gaussian(double sigma) : sigma_(sigma) {
+    NB_REQUIRE(sigma > 0.0, "sigma must be positive");
+  }
+  [[nodiscard]] double operator()(load_t delta) const {
+    const double z = static_cast<double>(delta) / sigma_;
+    return 1.0 - 0.5 * std::exp(-z * z);
+  }
+  [[nodiscard]] std::string label() const { return "sigma-noisy-load[s=" + format(sigma_) + "]"; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  static std::string format(double v) {
+    std::string s = std::to_string(v);
+    // trim trailing zeros for readable names
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  }
+  double sigma_;
+};
+
+/// rho == c for all delta > 0.
+class rho_constant {
+ public:
+  explicit rho_constant(double c) : c_(c) {
+    NB_REQUIRE(c >= 0.0 && c <= 1.0, "rho must be in [0,1]");
+  }
+  [[nodiscard]] double operator()(load_t /*delta*/) const { return c_; }
+  [[nodiscard]] std::string label() const { return "rho-const[" + std::to_string(c_) + "]"; }
+
+ private:
+  double c_;
+};
+
+/// rho(delta) = low for delta <= g, 1 otherwise: low=0 is g-Bounded,
+/// low=1/2 is g-Myopic-Comp (Fig. 2.2 a/b).
+class rho_step {
+ public:
+  rho_step(load_t g, double low) : g_(g), low_(low) {
+    NB_REQUIRE(g >= 0, "step threshold g must be non-negative");
+    NB_REQUIRE(low >= 0.0 && low <= 1.0, "rho must be in [0,1]");
+  }
+  [[nodiscard]] double operator()(load_t delta) const { return delta <= g_ ? low_ : 1.0; }
+  [[nodiscard]] std::string label() const {
+    return "rho-step[g=" + std::to_string(g_) + ",lo=" + std::to_string(low_) + "]";
+  }
+
+ private:
+  load_t g_;
+  double low_;
+};
+
+template <typename Rho>
+class rho_noisy_comp {
+ public:
+  rho_noisy_comp(bin_count n, Rho rho) : state_(n), rho_(std::move(rho)) {}
+
+  void step(rng_t& rng) {
+    const bin_index i1 = sample_bin(rng, state_.n());
+    const bin_index i2 = sample_bin(rng, state_.n());
+    const load_t x1 = state_.load(i1);
+    const load_t x2 = state_.load(i2);
+    bin_index chosen;
+    if (x1 == x2) {
+      chosen = coin_flip(rng) ? i1 : i2;
+    } else {
+      const bin_index lighter = (x1 < x2) ? i1 : i2;
+      const bin_index heavier = (x1 < x2) ? i2 : i1;
+      const load_t delta = (x1 < x2) ? (x2 - x1) : (x1 - x2);
+      chosen = bernoulli(rng, rho_(delta)) ? lighter : heavier;
+    }
+    state_.allocate(chosen);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return rho_.label(); }
+  [[nodiscard]] const Rho& rho() const noexcept { return rho_; }
+
+ private:
+  load_state state_;
+  Rho rho_;
+};
+
+/// sigma-Noisy-Load in the form the paper benchmarks (Eq. 2.1).
+using sigma_noisy_load = rho_noisy_comp<rho_gaussian>;
+
+/// sigma-Noisy-Load in the physical form: fresh Gaussian perturbation of
+/// each sampled bin's reported load.
+class sigma_noisy_load_gaussian {
+ public:
+  sigma_noisy_load_gaussian(bin_count n, double sigma) : state_(n), sigma_(sigma) {
+    NB_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  }
+
+  void step(rng_t& rng) {
+    const bin_index i1 = sample_bin(rng, state_.n());
+    const bin_index i2 = sample_bin(rng, state_.n());
+    const double e1 = static_cast<double>(state_.load(i1)) + sigma_ * gauss_.next(rng);
+    const double e2 = static_cast<double>(state_.load(i2)) + sigma_ * gauss_.next(rng);
+    bin_index chosen;
+    if (e1 < e2) {
+      chosen = i1;
+    } else if (e2 < e1) {
+      chosen = i2;
+    } else {
+      chosen = coin_flip(rng) ? i1 : i2;  // probability-zero path for sigma>0
+    }
+    state_.allocate(chosen);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() {
+    state_.reset();
+    gauss_.reset();
+  }
+  [[nodiscard]] std::string name() const {
+    return "sigma-noisy-gauss[s=" + std::to_string(sigma_) + "]";
+  }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  load_state state_;
+  double sigma_;
+  gaussian_sampler gauss_;
+};
+
+static_assert(allocation_process<sigma_noisy_load>);
+static_assert(allocation_process<rho_noisy_comp<rho_constant>>);
+static_assert(allocation_process<rho_noisy_comp<rho_step>>);
+static_assert(allocation_process<sigma_noisy_load_gaussian>);
+
+}  // namespace nb

@@ -1,0 +1,63 @@
+#include "core/potential/majorization.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+std::vector<double> two_choice_allocation_vector(bin_count n) {
+  NB_REQUIRE(n >= 1, "need at least one bin");
+  std::vector<double> p(n);
+  const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  for (bin_count i = 0; i < n; ++i) {
+    p[i] = (2.0 * static_cast<double>(i) + 1.0) / n2;  // (2i-1)/n^2, 1-based i
+  }
+  return p;
+}
+
+std::vector<double> one_choice_allocation_vector(bin_count n) {
+  NB_REQUIRE(n >= 1, "need at least one bin");
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+std::vector<double> one_plus_beta_allocation_vector(bin_count n, double beta) {
+  NB_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1]");
+  std::vector<double> p = two_choice_allocation_vector(n);
+  const double uniform = 1.0 / static_cast<double>(n);
+  for (auto& v : p) v = beta * v + (1.0 - beta) * uniform;
+  return p;
+}
+
+bool majorizes(const std::vector<double>& q, const std::vector<double>& r, double tolerance) {
+  NB_REQUIRE(q.size() == r.size(), "vectors must have the same length");
+  double pq = 0.0;
+  double pr = 0.0;
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    pq += q[k];
+    pr += r[k];
+    if (pq + tolerance < pr) return false;
+  }
+  return true;
+}
+
+bool load_vector_majorizes(std::vector<load_t> a, std::vector<load_t> b) {
+  NB_REQUIRE(a.size() == b.size(), "load vectors must have the same length");
+  const auto sum_a = std::accumulate(a.begin(), a.end(), std::int64_t{0});
+  const auto sum_b = std::accumulate(b.begin(), b.end(), std::int64_t{0});
+  NB_REQUIRE(sum_a == sum_b, "load vectors must hold the same number of balls");
+  std::sort(a.begin(), a.end(), std::greater<>());
+  std::sort(b.begin(), b.end(), std::greater<>());
+  std::int64_t pa = 0;
+  std::int64_t pb = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    pa += a[k];
+    pb += b[k];
+    if (pa < pb) return false;
+  }
+  return true;
+}
+
+}  // namespace nb

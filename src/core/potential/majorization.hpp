@@ -1,0 +1,37 @@
+// Probability allocation vectors and majorization (Section 3, Appendix A.4).
+//
+// A process can be described by the probability r_i of allocating to the
+// i-th most loaded bin.  Two-Choice without noise has p_i = (2i-1)/n^2;
+// One-Choice is uniform.  Vector q majorizes r when every prefix sum of q
+// dominates the corresponding prefix sum of r; by Lemma A.13, majorization
+// of allocation vectors transfers to (a coupling of) sorted load vectors,
+// which is how the paper's Observation 11.1 lower-bounds every g-Adv-Comp
+// instance by noise-free Two-Choice.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nb {
+
+/// p_i = (2i - 1) / n^2 for i = 1..n (probability of hitting the i-th most
+/// loaded bin under Two-Choice without noise).
+[[nodiscard]] std::vector<double> two_choice_allocation_vector(bin_count n);
+
+/// Uniform vector 1/n (One-Choice).
+[[nodiscard]] std::vector<double> one_choice_allocation_vector(bin_count n);
+
+/// The (1+beta) process mixes the two: beta * two_choice + (1-beta) * uniform.
+[[nodiscard]] std::vector<double> one_plus_beta_allocation_vector(bin_count n, double beta);
+
+/// True iff sum_{j<=k} q_j >= sum_{j<=k} r_j for every prefix k (with a
+/// small tolerance for floating-point noise).  Requires equal lengths.
+[[nodiscard]] bool majorizes(const std::vector<double>& q, const std::vector<double>& r,
+                             double tolerance = 1e-12);
+
+/// Majorization for *load* vectors: sorts both non-increasingly and checks
+/// prefix dominance; requires equal sums (same ball count) and lengths.
+[[nodiscard]] bool load_vector_majorizes(std::vector<load_t> a, std::vector<load_t> b);
+
+}  // namespace nb

@@ -1,0 +1,64 @@
+#include "core/potential/potentials.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+double gamma_potential(const std::vector<double>& y, double gamma) {
+  NB_REQUIRE(gamma > 0.0, "gamma must be positive");
+  double acc = 0.0;
+  for (const double yi : y) acc += std::exp(gamma * yi) + std::exp(-gamma * yi);
+  return acc;
+}
+
+double lambda_potential(const std::vector<double>& y, double alpha, double offset) {
+  NB_REQUIRE(alpha > 0.0, "alpha must be positive");
+  NB_REQUIRE(offset >= 0.0, "offset must be non-negative");
+  double acc = 0.0;
+  for (const double yi : y) {
+    const double over = yi - offset;
+    const double under = -yi - offset;
+    acc += std::exp(alpha * (over > 0.0 ? over : 0.0));
+    acc += std::exp(alpha * (under > 0.0 ? under : 0.0));
+  }
+  return acc;
+}
+
+double absolute_potential(const std::vector<double>& y) {
+  double acc = 0.0;
+  for (const double yi : y) acc += std::fabs(yi);
+  return acc;
+}
+
+double quadratic_potential(const std::vector<double>& y) {
+  double acc = 0.0;
+  for (const double yi : y) acc += yi * yi;
+  return acc;
+}
+
+double super_exp_potential(const std::vector<double>& y, double phi, double z) {
+  NB_REQUIRE(phi > 0.0, "phi must be positive");
+  NB_REQUIRE(z > 0.0, "offset z must be positive");
+  double acc = 0.0;
+  for (const double yi : y) {
+    const double over = yi - z;
+    acc += std::exp(phi * (over > 0.0 ? over : 0.0));
+  }
+  return acc;
+}
+
+namespace paper_constants {
+double gamma_for_g(double g) {
+  NB_REQUIRE(g >= 1.0, "gamma_for_g expects g >= 1");
+  return -std::log(1.0 - 1.0 / (8.0 * 48.0)) / g;
+}
+}  // namespace paper_constants
+
+bool is_good_step(const std::vector<double>& y, double g, double d_constant) {
+  NB_REQUIRE(g >= 1.0, "good-step predicate expects g >= 1");
+  return absolute_potential(y) <= d_constant * static_cast<double>(y.size()) * g;
+}
+
+}  // namespace nb

@@ -1,0 +1,59 @@
+// The potential functions the paper's analysis is built on (Appendix C).
+//
+// All take the *normalized* load vector y (y_i = x_i - t/n, any order):
+//
+//   Gamma(y; gamma)      = sum_i e^{gamma y_i} + e^{-gamma y_i}      (Eq. 4.1)
+//   Lambda(y; a, off)    = sum_i e^{a(y_i-off)^+} + e^{a(-y_i-off)^+}(Eq. 5.1)
+//   Delta(y)             = sum_i |y_i|                               (Eq. 5.2)
+//   Upsilon(y)           = sum_i y_i^2                               (Eq. 5.3)
+//   Phi(y; phi, z)       = sum_i e^{phi (y_i - z)^+}                 (Eq. 6.1)
+//
+// plus the paper's choice of smoothing parameters/constants, so the
+// ablation bench can instrument exactly the quantities the proofs track
+// (drop inequalities, the "good step" condition Delta <= D n g, ...).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nb {
+
+/// Hyperbolic cosine potential Gamma(gamma) of Eq. (4.1).
+[[nodiscard]] double gamma_potential(const std::vector<double>& y, double gamma);
+
+/// Offset hyperbolic cosine potential Lambda(alpha, offset) of Eq. (5.1).
+[[nodiscard]] double lambda_potential(const std::vector<double>& y, double alpha, double offset);
+
+/// Absolute-value potential Delta of Eq. (5.2).
+[[nodiscard]] double absolute_potential(const std::vector<double>& y);
+
+/// Quadratic potential Upsilon of Eq. (5.3).
+[[nodiscard]] double quadratic_potential(const std::vector<double>& y);
+
+/// Super-exponential potential Phi(phi, z) of Eq. (6.1); only the
+/// overloaded side contributes.
+[[nodiscard]] double super_exp_potential(const std::vector<double>& y, double phi, double z);
+
+/// The paper's constants (Table C.2) used to parameterize the potentials.
+namespace paper_constants {
+/// gamma := -log(1 - 1/(8*48)) / g, the smoothing parameter of Gamma
+/// (Theorem 4.3).
+[[nodiscard]] double gamma_for_g(double g);
+/// D = 365: a step is "good" when Delta^t <= D * n * g (Section 5.3).
+inline constexpr double kD = 365.0;
+/// alpha = 1/18, the smoothing parameter of Lambda (Eq. 5.1).
+inline constexpr double kAlpha = 1.0 / 18.0;
+/// c4 = 730 = 2D, the offset multiplier of Lambda (Eq. 5.1).
+inline constexpr double kC4 = 730.0;
+/// epsilon = 1/12 (Lemma 5.7).
+inline constexpr double kEpsilon = 1.0 / 12.0;
+/// c = 12*18: Lambda is "large" above c*n (Lemma 5.7).
+inline constexpr double kC = 12.0 * 18.0;
+}  // namespace paper_constants
+
+/// The "good step" predicate of Section 5.3: Delta^t <= D * n * g.
+[[nodiscard]] bool is_good_step(const std::vector<double>& y, double g,
+                                double d_constant = paper_constants::kD);
+
+}  // namespace nb

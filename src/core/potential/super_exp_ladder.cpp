@@ -1,0 +1,56 @@
+#include "core/potential/super_exp_ladder.hpp"
+
+#include <cmath>
+
+#include "core/potential/potentials.hpp"
+
+namespace nb {
+
+super_exp_ladder::super_exp_ladder(bin_count n, double g, double alpha2, double c5) {
+  NB_REQUIRE(n >= 2, "need at least two bins");
+  NB_REQUIRE(g > 1.0, "the ladder is defined for g > 1 (Section 6.1)");
+  NB_REQUIRE(alpha2 > 0.0 && alpha2 <= 1.0, "alpha2 must be in (0,1]");
+  NB_REQUIRE(c5 > 0.0, "c5 must be positive");
+  const double logn = std::log(static_cast<double>(n));
+
+  // k(g): smallest integer k >= 2 with (log n)^{1/k} <= g (the shape
+  // version with a1 = 1; see theory::layered_induction_levels).
+  k_ = 2;
+  // Tolerance: (log n)^{1/k} <= g should hold at exact boundaries like
+  // g = (log n)^{1/2} despite floating-point rounding of log n.
+  while (std::pow(logn, 1.0 / k_) > g * (1.0 + 1e-6) && k_ < 64) ++k_;
+
+  const double step = std::ceil(4.0 / alpha2) * g;
+  for (int j = 0; j <= k_ - 1; ++j) {
+    ladder_level level;
+    level.j = j;
+    level.offset = c5 * g + step * j;
+    // Phi_0 has constant smoothing alpha2; higher levels multiply by
+    // log n * g^{j-k} (Eq. 6.5 / 6.6).
+    level.smoothing = (j == 0) ? alpha2 : alpha2 * logn * std::pow(g, j - k_);
+    NB_ASSERT(level.smoothing > 0.0);
+    levels_.push_back(level);
+  }
+  final_offset_ = c5 * g + step * k_;
+}
+
+const ladder_level& super_exp_ladder::level(int j) const {
+  NB_REQUIRE(j >= 0 && j < levels(), "ladder level out of range");
+  return levels_[static_cast<std::size_t>(j)];
+}
+
+double super_exp_ladder::evaluate(int j, const std::vector<double>& y) const {
+  const ladder_level& lv = level(j);
+  return super_exp_potential(y, lv.smoothing, lv.offset);
+}
+
+std::vector<double> super_exp_ladder::evaluate_all(const std::vector<double>& y) const {
+  std::vector<double> values;
+  values.reserve(levels_.size());
+  for (const auto& lv : levels_) {
+    values.push_back(super_exp_potential(y, lv.smoothing, lv.offset));
+  }
+  return values;
+}
+
+}  // namespace nb

@@ -1,0 +1,87 @@
+// The allocation-process abstraction.
+//
+// A process owns a load_state and knows how to allocate one ball per step
+// given a source of randomness.  Concrete processes are plain value types
+// (copyable, no virtual calls) so the simulation drivers can be templates
+// with fully inlined hot loops; `any_process` adds type erasure for
+// registry-style code where one indirect call per ball is acceptable.
+#pragma once
+
+#include <concepts>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/load_vector.hpp"
+#include "rng/rng.hpp"
+
+namespace nb {
+
+/// The library-wide generator type.  All processes consume randomness from
+/// an explicit instance of this; nothing keeps hidden RNG state.
+using rng_t = xoshiro256pp;
+
+/// Concept every allocation process satisfies.
+template <typename P>
+concept allocation_process = requires(P p, const P cp, rng_t& g) {
+  { p.step(g) } -> std::same_as<void>;
+  { cp.state() } -> std::convertible_to<const load_state&>;
+  { p.reset() } -> std::same_as<void>;
+  { cp.name() } -> std::convertible_to<std::string>;
+};
+
+/// Samples one bin uniformly at random (One-Choice primitive).
+inline bin_index sample_bin(rng_t& rng, bin_count n) {
+  return static_cast<bin_index>(bounded(rng, n));
+}
+
+/// Type-erased handle so heterogeneous processes can share registries,
+/// factories and driver code.  Copy = deep clone.
+class any_process {
+ public:
+  template <allocation_process P>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit wrap is the point.
+  any_process(P process) : impl_(std::make_unique<model<P>>(std::move(process))) {}
+
+  any_process(const any_process& other) : impl_(other.impl_->clone()) {}
+  any_process& operator=(const any_process& other) {
+    if (this != &other) impl_ = other.impl_->clone();
+    return *this;
+  }
+  any_process(any_process&&) noexcept = default;
+  any_process& operator=(any_process&&) noexcept = default;
+
+  void step(rng_t& rng) { impl_->step(rng); }
+  [[nodiscard]] const load_state& state() const { return impl_->state(); }
+  void reset() { impl_->reset(); }
+  [[nodiscard]] std::string name() const { return impl_->name(); }
+
+ private:
+  struct base {
+    virtual ~base() = default;
+    virtual void step(rng_t&) = 0;
+    [[nodiscard]] virtual const load_state& state() const = 0;
+    virtual void reset() = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::unique_ptr<base> clone() const = 0;
+  };
+
+  template <allocation_process P>
+  struct model final : base {
+    explicit model(P p) : process(std::move(p)) {}
+    void step(rng_t& rng) override { process.step(rng); }
+    [[nodiscard]] const load_state& state() const override { return process.state(); }
+    void reset() override { process.reset(); }
+    [[nodiscard]] std::string name() const override { return process.name(); }
+    [[nodiscard]] std::unique_ptr<base> clone() const override {
+      return std::make_unique<model<P>>(process);
+    }
+    P process;
+  };
+
+  std::unique_ptr<base> impl_;
+};
+
+static_assert(allocation_process<any_process>);
+
+}  // namespace nb

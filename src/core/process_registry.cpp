@@ -1,0 +1,85 @@
+#include "core/process_registry.hpp"
+
+#include <cmath>
+
+#include "core/basic_processes.hpp"
+#include "core/noise/adv_comp.hpp"
+#include "core/noise/adv_load.hpp"
+#include "core/noise/batch.hpp"
+#include "core/noise/delay.hpp"
+#include "core/noise/noisy_comp.hpp"
+#include "core/noise/thinning.hpp"
+
+namespace nb {
+
+namespace {
+load_t as_load(double param) {
+  NB_REQUIRE(param >= 0.0 && param == std::floor(param), "parameter must be a non-negative integer");
+  return static_cast<load_t>(param);
+}
+step_count as_steps(double param) {
+  NB_REQUIRE(param >= 1.0 && param == std::floor(param), "parameter must be a positive integer");
+  return static_cast<step_count>(param);
+}
+}  // namespace
+
+any_process make_process(const process_spec& spec) {
+  const bin_count n = spec.n;
+  NB_REQUIRE(n >= 1, "process spec needs n >= 1");
+  const std::string& kind = spec.kind;
+  const double p = spec.param;
+
+  if (kind == "one-choice") return one_choice(n);
+  if (kind == "two-choice") return two_choice(n);
+  if (kind == "d-choice") return d_choice(n, static_cast<int>(as_steps(p)));
+  if (kind == "one-plus-beta") return one_plus_beta(n, p);
+  if (kind == "g-bounded") return g_bounded(n, as_load(p));
+  if (kind == "g-myopic") return g_myopic_comp(n, as_load(p));
+  if (kind == "g-adv-boost") return g_adv_comp<overload_booster>(n, as_load(p));
+  if (kind == "g-adv-index") return g_adv_comp<index_bias>(n, as_load(p));
+  if (kind == "g-adv-correct") return g_adv_comp<always_correct>(n, as_load(p));
+  if (kind == "g-adv-load") return g_adv_load<inverting_estimates>(n, as_load(p));
+  if (kind == "g-adv-load-uniform") return g_adv_load<uniform_noise_estimates>(n, as_load(p));
+  if (kind == "sigma-noisy-load") return sigma_noisy_load(n, rho_gaussian(p));
+  if (kind == "sigma-noisy-gauss") return sigma_noisy_load_gaussian(n, p);
+  if (kind == "b-batch") return b_batch(n, as_steps(p));
+  if (kind == "tau-delay") return tau_delay<delay_adversarial>(n, as_steps(p));
+  if (kind == "tau-delay-oldest") return tau_delay<delay_oldest>(n, as_steps(p));
+  if (kind == "tau-delay-random") return tau_delay<delay_random>(n, as_steps(p));
+  if (kind == "mean-thinning") return mean_thinning(n, as_load(p));
+  if (kind == "noisy-mean-thinning") return noisy_mean_thinning<thinning_greedy>(n, as_load(p));
+  if (kind == "noisy-mean-thinning-myopic") {
+    return noisy_mean_thinning<thinning_random>(n, as_load(p));
+  }
+  if (kind == "noisy-one-plus-beta") return noisy_one_plus_beta<greedy_reverser>(n, 0.5, as_load(p));
+
+  throw contract_error("unknown process kind: '" + kind + "'");
+}
+
+std::vector<std::pair<std::string, std::string>> registered_process_kinds() {
+  return {
+      {"one-choice", "each ball into a uniformly random bin"},
+      {"two-choice", "less loaded of two uniform samples (ties: coin)"},
+      {"d-choice", "least loaded of param=d uniform samples"},
+      {"one-plus-beta", "Two-Choice step w.p. param=beta, else One-Choice"},
+      {"g-bounded", "g-Adv-Comp with the greedy reverser (param=g)"},
+      {"g-myopic", "g-Adv-Comp with random decisions among close bins (param=g)"},
+      {"g-adv-boost", "g-Adv-Comp reversing only onto overloaded bins (param=g)"},
+      {"g-adv-index", "g-Adv-Comp biased to the smaller bin index (param=g)"},
+      {"g-adv-correct", "g-Adv-Comp playing correctly (== Two-Choice; param=g)"},
+      {"g-adv-load", "estimates perturbed adversarially within +/-g (param=g)"},
+      {"g-adv-load-uniform", "estimates perturbed uniformly within +/-g (param=g)"},
+      {"sigma-noisy-load", "Gaussian-tail comparison noise, Eq. 2.1 (param=sigma)"},
+      {"sigma-noisy-gauss", "physical Gaussian perturbation of reports (param=sigma)"},
+      {"b-batch", "loads refreshed every param=b balls (random ties)"},
+      {"tau-delay", "adversarial sliding-window estimates (param=tau)"},
+      {"tau-delay-oldest", "every report param=tau steps stale"},
+      {"tau-delay-random", "uniform report from the sliding window (param=tau)"},
+      {"mean-thinning", "place on sampled bin iff below average, else fresh bin (param=g noise, 0 = exact)"},
+      {"noisy-mean-thinning", "mean-thinning with a greedy adversarial threshold test (param=g)"},
+      {"noisy-mean-thinning-myopic", "mean-thinning with a random threshold test within +/-g (param=g)"},
+      {"noisy-one-plus-beta", "(1+beta), beta=0.5, with a greedy g-band adversary (param=g)"},
+  };
+}
+
+}  // namespace nb

@@ -1,0 +1,32 @@
+// Name-based construction of processes, for CLI-facing binaries.
+//
+// A process_spec is (kind, n, param); `make_process` maps it to a concrete
+// process wrapped in any_process.  The registry covers every process the
+// paper defines plus the extra adversary/delay strategies this repo ships.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace nb {
+
+struct process_spec {
+  /// One of the names returned by registered_process_kinds().
+  std::string kind;
+  bin_count n = 0;
+  /// Meaning depends on kind: g for adversarial kinds, sigma for noisy
+  /// load, b for batch, tau for delay, beta for (1+beta), d for d-choice.
+  /// Ignored by one-choice / two-choice.
+  double param = 0.0;
+};
+
+/// Constructs the process described by `spec`.  Throws nb::contract_error
+/// for unknown kinds or invalid parameters.
+[[nodiscard]] any_process make_process(const process_spec& spec);
+
+/// All valid `kind` strings, with a one-line description each.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> registered_process_kinds();
+
+}  // namespace nb

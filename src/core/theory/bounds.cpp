@@ -1,0 +1,93 @@
+#include "core/theory/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nb::theory {
+
+namespace {
+// Guards against log of values <= 1 blowing up shape formulas at tiny n.
+double safe_log(double v) { return std::log(std::max(v, 1.0 + 1e-9)); }
+}  // namespace
+
+double two_choice_gap(double n) {
+  NB_REQUIRE(n > 1.0, "n must exceed 1");
+  return std::log2(std::max(safe_log(n), 1.0 + 1e-9));
+}
+
+double one_choice_maxload_light(double n, double m) {
+  NB_REQUIRE(n > 1.0 && m > 0.0, "need n > 1 and m > 0");
+  const double denom = safe_log((4.0 * n / m) * safe_log(n));
+  return safe_log(n) / std::max(denom, 1e-9);
+}
+
+double one_choice_gap_heavy(double n, double m) {
+  NB_REQUIRE(n > 1.0 && m > 0.0, "need n > 1 and m > 0");
+  return std::sqrt((m / n) * safe_log(n));
+}
+
+double one_choice_gap(double n, double m) {
+  if (m <= n * safe_log(n)) {
+    // Light regime: the gap is dominated by the max load (average m/n <= log n).
+    return std::max(one_choice_maxload_light(n, m) - m / n, 0.0);
+  }
+  return one_choice_gap_heavy(n, m);
+}
+
+double adv_comp_warmup_bound(double n, double g) {
+  NB_REQUIRE(g >= 1.0, "g must be >= 1");
+  return g * safe_log(n * g);
+}
+
+double adv_comp_linear_bound(double n, double g) {
+  NB_REQUIRE(g >= 0.0, "g must be non-negative");
+  return g + safe_log(n);
+}
+
+double adv_comp_sublinear_bound(double n, double g) {
+  NB_REQUIRE(g > 1.0, "sublinear bound needs g > 1");
+  return g / safe_log(g) * safe_log(safe_log(n));
+}
+
+double adv_comp_tight_gap(double n, double g) {
+  if (g <= 1.0) return safe_log(safe_log(n));  // Theta(log log n) for g in {0, 1}
+  return g + adv_comp_sublinear_bound(n, g);
+}
+
+double batch_gap(double n, double b) {
+  NB_REQUIRE(n > 1.0 && b >= 1.0, "need n > 1 and b >= 1");
+  if (b <= 1.0) return two_choice_gap(n);
+  if (b >= n * safe_log(n)) return b / n;  // Theta(b/n) regime [LS22a]
+  const double denom = safe_log((4.0 * n / b) * safe_log(n));
+  return safe_log(n) / std::max(denom, 1e-9);
+}
+
+double sigma_noisy_load_upper(double n, double sigma) {
+  NB_REQUIRE(sigma > 0.0, "sigma must be positive");
+  const double delta_star = sigma * std::sqrt(safe_log(n));
+  return delta_star * safe_log(n * std::max(delta_star, 1.0));
+}
+
+double sigma_noisy_load_lower(double n, double sigma) {
+  NB_REQUIRE(sigma > 0.0, "sigma must be positive");
+  return std::min(std::pow(sigma, 0.8), std::pow(sigma, 0.4) * std::sqrt(safe_log(n)));
+}
+
+double myopic_lower_bound_m(double n, double g) {
+  NB_REQUIRE(g >= 0.0, "g must be non-negative");
+  return 0.5 * n * g;
+}
+
+int layered_induction_levels(double n, double g) {
+  NB_REQUIRE(g > 1.0, "layered induction needs g > 1");
+  const double target = safe_log(n);  // alpha_1 = 1 in the shape version
+  int k = 2;
+  // smallest k >= 2 with target^{1/k} <= g (with tolerance for exact
+  // boundaries such as g = sqrt(log n))
+  while (std::pow(target, 1.0 / static_cast<double>(k)) > g * (1.0 + 1e-6) && k < 64) ++k;
+  return k;
+}
+
+}  // namespace nb::theory

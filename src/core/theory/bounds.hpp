@@ -1,0 +1,61 @@
+// Closed forms of the paper's gap bounds (Tables 2.3 and 11.1), with the
+// Theta-expression evaluated at constant 1.  Used by:
+//   * the bounds-check bench, which fits measured gaps against these
+//     predictors and reports R^2 / ratio stability, and
+//   * envelope property tests, which assert measured gaps stay within a
+//     generous constant multiple of the bound.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace nb::theory {
+
+/// log2(log(n)): the Two-Choice gap shape [BCSV06] (m >= n, w.h.p.).
+[[nodiscard]] double two_choice_gap(double n);
+
+/// One-Choice maximum load for m <= n log n balls (Lemmas A.5/A.8/A.10):
+/// log n / log((4n/m) * log n), the shape that is tight in both directions.
+[[nodiscard]] double one_choice_maxload_light(double n, double m);
+
+/// One-Choice gap for m = c n log n, c >= 1/log n (Lemma A.9):
+/// sqrt(c) * log n / 10 shape, i.e. sqrt((m/n) * log n) up to constants.
+[[nodiscard]] double one_choice_gap_heavy(double n, double m);
+
+/// One-Choice gap estimate across regimes (light: max-load shape, heavy:
+/// sqrt((m/n) log n)); continuous enough for plotting baselines.
+[[nodiscard]] double one_choice_gap(double n, double m);
+
+/// Warm-up upper bound O(g log(ng)) for g-Adv-Comp (Theorem 4.3).
+[[nodiscard]] double adv_comp_warmup_bound(double n, double g);
+
+/// O(g + log n) upper bound for g-Adv-Comp (Theorem 5.12).
+[[nodiscard]] double adv_comp_linear_bound(double n, double g);
+
+/// O(g / log g * log log n) for 1 < g <= log n (Theorem 9.2).
+[[nodiscard]] double adv_comp_sublinear_bound(double n, double g);
+
+/// The tight combined shape Theta(g + g/log g * log log n) (Corollary 11.4),
+/// the paper's headline phase-transition curve.
+[[nodiscard]] double adv_comp_tight_gap(double n, double g);
+
+/// Batched/delay setting, b in [n e^{-log^c n}, n log n]:
+/// Theta(log n / log((4n/b) log n)) (Corollary 10.4 + Observation 11.6).
+[[nodiscard]] double batch_gap(double n, double b);
+
+/// sigma-Noisy-Load upper bound O(sigma sqrt(log n) log(n sigma))
+/// (Proposition 10.1 with delta* = sigma sqrt(log n)).
+[[nodiscard]] double sigma_noisy_load_upper(double n, double sigma);
+
+/// sigma-Noisy-Load lower bound Omega(min{sigma^{4/5}, sigma^{2/5}
+/// sqrt(log n)}) for sigma >= 32 (Proposition 11.5 ii).
+[[nodiscard]] double sigma_noisy_load_lower(double n, double sigma);
+
+/// The myopic lower bound Omega(g) regime's ball count m = n*g/2
+/// (Proposition 11.2 i).
+[[nodiscard]] double myopic_lower_bound_m(double n, double g);
+
+/// Number of layered-induction levels k(g): the unique integer k >= 2 with
+/// (a1 log n)^{1/k} <= g < (a1 log n)^{1/(k-1)} (Section 6.1, a1 = 1).
+[[nodiscard]] int layered_induction_levels(double n, double g);
+
+}  // namespace nb::theory

@@ -1,0 +1,16 @@
+// rng is header-only for inlining; this TU exists to give the module a
+// compiled anchor (and to catch ODR/ABI issues early in the build).
+#include "rng/rng.hpp"
+
+namespace nb {
+namespace {
+// Force instantiation of the templated entry points against both generators.
+[[maybe_unused]] std::uint64_t instantiate_smoke() {
+  xoshiro256pp a(1);
+  xoshiro256ss b(2);
+  gaussian_sampler gs;
+  return bounded(a, 10) ^ bounded(b, 10) ^ static_cast<std::uint64_t>(canonical(a) * 8) ^
+         static_cast<std::uint64_t>(gs.next(b));
+}
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,18 @@
+// record_trace is a header template; this TU anchors the module and forces
+// an instantiation against the type-erased process for ABI hygiene.
+#include "sim/recorder.hpp"
+
+#include "core/basic_processes.hpp"
+
+namespace nb {
+namespace {
+[[maybe_unused]] trace instantiate_smoke() {
+  two_choice p(8);
+  any_process erased(p);
+  rng_t rng(7);
+  trace_options opt;
+  opt.sample_interval = 4;
+  return record_trace(erased, 8, rng, opt);
+}
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,72 @@
+// Time-series instrumentation: sample the gap and the paper's potential
+// functions along a run.  Used by the potential-dynamics ablation bench
+// (Section 5/7 machinery) and by the self-stabilization experiments.
+#pragma once
+
+#include <vector>
+
+#include "core/potential/potentials.hpp"
+#include "core/process.hpp"
+
+namespace nb {
+
+/// Which quantities to sample (gap and Delta/Upsilon are cheap; the
+/// exponential potentials are O(n) each per sample).
+struct trace_options {
+  step_count sample_interval = 0;  ///< required: sample every this many balls
+  bool record_gamma = false;
+  double gamma = 0.0;  ///< smoothing parameter for Gamma
+  bool record_lambda = false;
+  double lambda_alpha = paper_constants::kAlpha;
+  double lambda_offset = 0.0;
+  bool record_absolute = true;
+  bool record_quadratic = true;
+  bool record_good_step = false;
+  double good_step_g = 1.0;
+};
+
+struct trace_point {
+  step_count t = 0;
+  double gap = 0.0;
+  double gamma = 0.0;
+  double lambda = 0.0;
+  double absolute = 0.0;
+  double quadratic = 0.0;
+  bool good_step = false;
+};
+
+struct trace {
+  std::vector<trace_point> points;
+};
+
+/// Runs `process` for m balls, sampling per `opt`.  The state is sampled
+/// after every `opt.sample_interval` allocations (and once at the end when
+/// m is not a multiple).
+template <allocation_process P>
+trace record_trace(P& process, step_count m, rng_t& rng, const trace_options& opt) {
+  NB_REQUIRE(opt.sample_interval >= 1, "sample interval must be positive");
+  trace out;
+  out.points.reserve(static_cast<std::size_t>(m / opt.sample_interval) + 2);
+
+  auto sample = [&] {
+    trace_point p;
+    p.t = process.state().balls();
+    p.gap = process.state().gap();
+    const std::vector<double> y = process.state().normalized();
+    if (opt.record_gamma) p.gamma = gamma_potential(y, opt.gamma);
+    if (opt.record_lambda) p.lambda = lambda_potential(y, opt.lambda_alpha, opt.lambda_offset);
+    if (opt.record_absolute) p.absolute = absolute_potential(y);
+    if (opt.record_quadratic) p.quadratic = quadratic_potential(y);
+    if (opt.record_good_step) p.good_step = is_good_step(y, opt.good_step_g);
+    out.points.push_back(p);
+  };
+
+  for (step_count t = 0; t < m; ++t) {
+    process.step(rng);
+    if (process.state().balls() % opt.sample_interval == 0) sample();
+  }
+  if (m % opt.sample_interval != 0) sample();
+  return out;
+}
+
+}  // namespace nb

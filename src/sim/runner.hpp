@@ -1,0 +1,93 @@
+// Simulation drivers: run a process for m balls, repeat with independent
+// seeds (in parallel), and collect the gap statistics the paper reports.
+//
+// Determinism: run r of an experiment with master seed s always uses RNG
+// seed derive_seed(s, r), so results are bit-identical for any thread
+// count.  The templated entry points keep the per-ball loop fully inlined;
+// the any_process overloads trade ~1 indirect call per ball for dynamic
+// process choice.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/process.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nb {
+
+/// Outcome of one simulated run.
+struct run_result {
+  double gap = 0.0;          ///< Gap(m) = max load - m/n
+  double underload_gap = 0.0;///< m/n - min load
+  load_t max_load = 0;
+  load_t min_load = 0;
+  step_count balls = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Options for repeated runs.
+struct repeat_options {
+  std::size_t runs = 10;
+  std::uint64_t master_seed = 1;
+  /// 0 = one thread per hardware core.
+  std::size_t threads = 0;
+};
+
+/// Aggregate over repetitions of one configuration.
+struct repeat_result {
+  std::vector<run_result> runs;
+  /// Histogram of gaps rounded to the nearest integer (exact when n | m,
+  /// which holds for every paper experiment).
+  int_histogram gap_histogram;
+
+  [[nodiscard]] summary gap_summary() const;
+  [[nodiscard]] double mean_gap() const;
+};
+
+/// Runs `process` (from its current state) for `m` additional balls.
+template <allocation_process P>
+run_result simulate(P& process, step_count m, rng_t& rng) {
+  NB_REQUIRE(m >= 0, "ball count must be non-negative");
+  NB_REQUIRE(process.state().balls() + m <= step_count{2000000000},
+             "run would overflow 32-bit per-bin loads");
+  for (step_count t = 0; t < m; ++t) process.step(rng);
+  run_result r;
+  const load_state& s = process.state();
+  r.gap = s.gap();
+  r.underload_gap = s.underload_gap();
+  r.max_load = s.max_load();
+  r.min_load = s.min_load();
+  r.balls = s.balls();
+  return r;
+}
+
+/// Runs `factory()` for m balls, `opt.runs` times with derived seeds, in
+/// parallel, and aggregates.  The factory must yield a fresh process (same
+/// configuration) on every call and must be safe to call concurrently.
+template <typename Factory>
+repeat_result run_repeated_with(Factory&& factory, step_count m, const repeat_options& opt) {
+  NB_REQUIRE(opt.runs >= 1, "need at least one run");
+  std::vector<run_result> results(opt.runs);
+  parallel_for(opt.runs, opt.threads, [&](std::size_t r) {
+    auto process = factory();
+    rng_t rng(derive_seed(opt.master_seed, r));
+    results[r] = simulate(process, m, rng);
+    results[r].seed = derive_seed(opt.master_seed, r);
+  });
+  repeat_result agg;
+  agg.runs = std::move(results);
+  for (const auto& r : agg.runs) {
+    agg.gap_histogram.add(static_cast<std::int64_t>(std::llround(r.gap)));
+  }
+  return agg;
+}
+
+/// Dynamic-process convenience overload.
+repeat_result run_repeated(const std::function<any_process()>& factory, step_count m,
+                           const repeat_options& opt);
+
+}  // namespace nb

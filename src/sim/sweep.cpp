@@ -1,0 +1,36 @@
+#include "sim/sweep.hpp"
+
+#include "common/error.hpp"
+
+namespace nb {
+
+std::vector<std::int64_t> arithmetic_range(std::int64_t lo, std::int64_t hi, std::int64_t step) {
+  NB_REQUIRE(step >= 1, "step must be positive");
+  NB_REQUIRE(lo <= hi, "range must be non-empty");
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+std::vector<std::int64_t> geometric_range(std::int64_t base, std::int64_t hi, std::int64_t factor) {
+  NB_REQUIRE(base >= 1 && factor >= 2, "need base >= 1 and factor >= 2");
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = base; v <= hi; v *= factor) out.push_back(v);
+  return out;
+}
+
+std::vector<std::int64_t> one_five_decades(std::int64_t lo, std::int64_t hi) {
+  NB_REQUIRE(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
+  std::vector<std::int64_t> out;
+  std::int64_t decade = 1;
+  while (decade <= hi) {
+    for (std::int64_t mant : {std::int64_t{1}, std::int64_t{5}}) {
+      const std::int64_t v = mant * decade;
+      if (v >= lo && v <= hi) out.push_back(v);
+    }
+    decade *= 10;
+  }
+  return out;
+}
+
+}  // namespace nb

@@ -1,0 +1,93 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+void int_histogram::add(std::int64_t value, std::int64_t weight) {
+  NB_REQUIRE(weight > 0, "histogram weight must be positive");
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+std::int64_t int_histogram::count(std::int64_t value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double int_histogram::fraction(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::int64_t int_histogram::min_value() const {
+  NB_REQUIRE(!counts_.empty(), "min of empty histogram");
+  return counts_.begin()->first;
+}
+
+std::int64_t int_histogram::max_value() const {
+  NB_REQUIRE(!counts_.empty(), "max of empty histogram");
+  return counts_.rbegin()->first;
+}
+
+double int_histogram::mean() const {
+  NB_REQUIRE(total_ > 0, "mean of empty histogram");
+  double acc = 0.0;
+  for (const auto& [value, cnt] : counts_) {
+    acc += static_cast<double>(value) * static_cast<double>(cnt);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t int_histogram::quantile(double q) const {
+  NB_REQUIRE(total_ > 0, "quantile of empty histogram");
+  NB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  const auto target = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
+  std::int64_t cum = 0;
+  for (const auto& [value, cnt] : counts_) {
+    cum += cnt;
+    if (cum >= target) return value;
+  }
+  return counts_.rbegin()->first;
+}
+
+std::int64_t int_histogram::mode() const {
+  NB_REQUIRE(total_ > 0, "mode of empty histogram");
+  std::int64_t best_value = counts_.begin()->first;
+  std::int64_t best_count = 0;
+  for (const auto& [value, cnt] : counts_) {
+    if (cnt > best_count) {
+      best_count = cnt;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> int_histogram::entries() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::string int_histogram::to_paper_style() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [value, cnt] : counts_) {
+    const double pct = 100.0 * static_cast<double>(cnt) / static_cast<double>(total_);
+    if (!first) os << "  ";
+    os << value << ":" << static_cast<std::int64_t>(std::lround(pct)) << "%";
+    first = false;
+  }
+  return os.str();
+}
+
+void int_histogram::merge(const int_histogram& other) {
+  for (const auto& [value, cnt] : other.counts_) {
+    counts_[value] += cnt;
+    total_ += cnt;
+  }
+}
+
+}  // namespace nb

@@ -1,0 +1,47 @@
+// Integer-valued histograms in the style of the paper's Tables 12.3/12.4,
+// which report the empirical gap distribution as "value : percentage of
+// runs" lines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+/// Frequency table over integer outcomes (e.g. the gap of each run).
+class int_histogram {
+ public:
+  void add(std::int64_t value, std::int64_t weight = 1);
+
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t count(std::int64_t value) const;
+  /// Fraction of mass at `value`, in [0,1].
+  [[nodiscard]] double fraction(std::int64_t value) const;
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::int64_t min_value() const;
+  [[nodiscard]] std::int64_t max_value() const;
+  /// Mass-weighted mean.
+  [[nodiscard]] double mean() const;
+  /// Smallest value v with cumulative fraction >= q.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+  /// Value with the largest count (ties: smallest value).
+  [[nodiscard]] std::int64_t mode() const;
+
+  /// Sorted (value, count) pairs.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>> entries() const;
+
+  /// Renders the paper-table style "v : p%" lines, one per value, in
+  /// ascending value order (percentages rounded to nearest integer).
+  [[nodiscard]] std::string to_paper_style() const;
+
+  /// Merges another histogram into this one.
+  void merge(const int_histogram& other);
+
+ private:
+  std::map<std::int64_t, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace nb

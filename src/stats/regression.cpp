@@ -1,0 +1,56 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+namespace {
+struct moments {
+  double mean_x = 0.0, mean_y = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+};
+
+moments compute_moments(const std::vector<double>& x, const std::vector<double>& y) {
+  NB_REQUIRE(x.size() == y.size(), "x and y must have the same length");
+  NB_REQUIRE(x.size() >= 2, "need at least two points");
+  moments m;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m.mean_x += x[i];
+    m.mean_y += y[i];
+  }
+  m.mean_x /= n;
+  m.mean_y /= n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - m.mean_x;
+    const double dy = y[i] - m.mean_y;
+    m.sxx += dx * dx;
+    m.syy += dy * dy;
+    m.sxy += dx * dy;
+  }
+  return m;
+}
+}  // namespace
+
+linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  const moments m = compute_moments(x, y);
+  NB_REQUIRE(m.sxx > 0.0, "x values must not all be equal");
+  linear_fit fit;
+  fit.slope = m.sxy / m.sxx;
+  fit.intercept = m.mean_y - fit.slope * m.mean_x;
+  if (m.syy == 0.0) {
+    fit.r_squared = 1.0;  // y constant: the fit (slope 0) explains everything.
+  } else {
+    fit.r_squared = (m.sxy * m.sxy) / (m.sxx * m.syy);
+  }
+  return fit;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const moments m = compute_moments(x, y);
+  if (m.sxx == 0.0 || m.syy == 0.0) return 0.0;
+  return m.sxy / std::sqrt(m.sxx * m.syy);
+}
+
+}  // namespace nb

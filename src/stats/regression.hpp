@@ -1,0 +1,25 @@
+// Least-squares fitting and correlation, used by the bounds-check benches to
+// verify *shapes*: e.g. that Gap grows linearly in g for g >= log n, or like
+// log n / log log n in the batched setting.  Fitting gap against a candidate
+// predictor and reporting R^2 makes "the shape holds" a quantitative claim.
+#pragma once
+
+#include <vector>
+
+namespace nb {
+
+/// Result of an ordinary least squares fit y ~ slope * x + intercept.
+struct linear_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 = perfect linear relation).
+  double r_squared = 0.0;
+};
+
+/// Fits y against x (sizes must match and be >= 2).
+[[nodiscard]] linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient in [-1, 1].
+[[nodiscard]] double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace nb

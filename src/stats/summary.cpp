@@ -1,0 +1,74 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nb {
+
+void running_stats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void running_stats::merge(const running_stats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb_ = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb_;
+  mean_ += delta * nb_ / total;
+  m2_ += other.m2_ + delta * delta * na * nb_ / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double running_stats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  NB_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  NB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+summary summarize(std::vector<double> values) {
+  summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  running_stats rs;
+  for (double v : values) rs.add(v);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = values.front();
+  s.max = values.back();
+  s.median = quantile_sorted(values, 0.5);
+  s.q25 = quantile_sorted(values, 0.25);
+  s.q75 = quantile_sorted(values, 0.75);
+  return s;
+}
+
+}  // namespace nb

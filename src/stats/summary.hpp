@@ -1,0 +1,52 @@
+// Summary statistics used throughout the benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class running_stats {
+ public:
+  void add(double x) noexcept;
+  void merge(const running_stats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+};
+
+/// Computes a full summary of `values` (which is copied and sorted).
+[[nodiscard]] summary summarize(std::vector<double> values);
+
+/// Exact quantile with linear interpolation between order statistics.
+/// q must be in [0, 1]; `sorted` must be non-empty and ascending.
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace nb

@@ -1,0 +1,165 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+cli_parser::cli_parser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void cli_parser::add_int(const std::string& name, std::int64_t default_value, const std::string& help) {
+  NB_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  flag f;
+  f.type = kind::integer;
+  f.help = help;
+  f.int_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void cli_parser::add_double(const std::string& name, double default_value, const std::string& help) {
+  NB_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  flag f;
+  f.type = kind::real;
+  f.help = help;
+  f.double_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void cli_parser::add_string(const std::string& name, const std::string& default_value,
+                            const std::string& help) {
+  NB_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  flag f;
+  f.type = kind::text;
+  f.help = help;
+  f.string_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void cli_parser::add_bool(const std::string& name, bool default_value, const std::string& help) {
+  NB_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  flag f;
+  f.type = kind::boolean;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void cli_parser::set_from_text(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  NB_REQUIRE(it != flags_.end(), "unknown flag: --" + name);
+  flag& f = it->second;
+  try {
+    switch (f.type) {
+      case kind::integer:
+        f.int_value = std::stoll(text);
+        break;
+      case kind::real:
+        f.double_value = std::stod(text);
+        break;
+      case kind::text:
+        f.string_value = text;
+        break;
+      case kind::boolean:
+        if (text == "true" || text == "1" || text == "yes") {
+          f.bool_value = true;
+        } else if (text == "false" || text == "0" || text == "no") {
+          f.bool_value = false;
+        } else {
+          throw std::invalid_argument("not a boolean");
+        }
+        break;
+    }
+  } catch (const std::exception&) {
+    throw contract_error("invalid value for --" + name + ": '" + text + "'");
+  }
+}
+
+bool cli_parser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    NB_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_from_text(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    NB_REQUIRE(it != flags_.end(), "unknown flag: --" + arg);
+    if (it->second.type == kind::boolean) {
+      // Bare --flag sets true unless the next token is an explicit boolean.
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        if (next == "true" || next == "false" || next == "0" || next == "1") {
+          set_from_text(arg, next);
+          ++i;
+          continue;
+        }
+      }
+      it->second.bool_value = true;
+      continue;
+    }
+    NB_REQUIRE(i + 1 < argc, "missing value for --" + arg);
+    set_from_text(arg, argv[++i]);
+  }
+  return true;
+}
+
+const cli_parser::flag& cli_parser::find(const std::string& name, kind expected) const {
+  auto it = flags_.find(name);
+  NB_REQUIRE(it != flags_.end(), "flag not registered: " + name);
+  NB_REQUIRE(it->second.type == expected, "flag type mismatch for: " + name);
+  return it->second;
+}
+
+std::int64_t cli_parser::get_int(const std::string& name) const {
+  return find(name, kind::integer).int_value;
+}
+double cli_parser::get_double(const std::string& name) const {
+  return find(name, kind::real).double_value;
+}
+const std::string& cli_parser::get_string(const std::string& name) const {
+  return find(name, kind::text).string_value;
+}
+bool cli_parser::get_bool(const std::string& name) const {
+  return find(name, kind::boolean).bool_value;
+}
+
+std::string cli_parser::help_text() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const flag& f = flags_.at(name);
+    os << "  --" << name;
+    switch (f.type) {
+      case kind::integer:
+        os << " <int>     (default " << f.int_value << ")";
+        break;
+      case kind::real:
+        os << " <float>   (default " << f.double_value << ")";
+        break;
+      case kind::text:
+        os << " <string>  (default '" << f.string_value << "')";
+        break;
+      case kind::boolean:
+        os << "           (default " << (f.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    os << "\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nb

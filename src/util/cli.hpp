@@ -1,0 +1,54 @@
+// Tiny declarative command-line flag parser for the bench/example binaries.
+//
+// Supported syntax: --name value, --name=value, and bare --flag for booleans.
+// Unknown flags are an error (catches typos in experiment scripts); --help
+// prints the registered flags with defaults and descriptions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+class cli_parser {
+ public:
+  explicit cli_parser(std::string program_description);
+
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value, const std::string& help);
+  void add_bool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv.  Returns false if --help was requested (help text is
+  /// printed to stdout); throws nb::contract_error on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class kind { integer, real, text, boolean };
+  struct flag {
+    kind type;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  const flag& find(const std::string& name, kind expected) const;
+  void set_from_text(const std::string& name, const std::string& text);
+
+  std::string description_;
+  std::map<std::string, flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace nb

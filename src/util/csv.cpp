@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+csv_writer::csv_writer(const std::string& path, const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc), columns_(header.size()) {
+  NB_REQUIRE(out_.is_open(), "cannot open CSV file for writing: " + path);
+  NB_REQUIRE(!header.empty(), "CSV header must not be empty");
+  write_line(header);
+}
+
+void csv_writer::write_row(const std::vector<std::string>& fields) {
+  NB_REQUIRE(fields.size() == columns_, "CSV row width differs from header");
+  write_line(fields);
+  ++rows_;
+}
+
+void csv_writer::write_line(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string csv_writer::escape(const std::string& raw) {
+  const bool needs_quotes = raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return raw;
+  std::string quoted = "\"";
+  for (char c : raw) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string csv_writer::field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string csv_writer::field(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace nb

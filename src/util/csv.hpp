@@ -1,0 +1,36 @@
+// CSV output for bench results, so reproduction data can be re-plotted.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+/// Writes rows to a CSV file with RFC-4180 style quoting of fields that
+/// contain commas, quotes or newlines.
+class csv_writer {
+ public:
+  /// Opens (truncates) `path` and writes the header row.  Throws
+  /// nb::contract_error if the file cannot be opened.
+  csv_writer(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough precision for round-trips.
+  static std::string field(double v);
+  static std::string field(std::int64_t v);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_line(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& raw);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace nb

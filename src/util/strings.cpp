@@ -1,0 +1,79 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_power_of_ten(std::int64_t v) {
+  if (v <= 0) return std::to_string(v);
+  for (std::int64_t mant : {std::int64_t{1}, std::int64_t{5}}) {
+    std::int64_t p = mant;
+    int exp = 0;
+    while (p < v) {
+      p *= 10;
+      ++exp;
+    }
+    if (p == v) {
+      if (exp == 0) return std::to_string(mant);
+      std::string s = (mant == 1) ? "" : std::to_string(mant) + "x";
+      return s + "10^" + std::to_string(exp);
+    }
+  }
+  return std::to_string(v);
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> out;
+  if (text.empty()) return out;
+  for (const auto& token : split(text, ',')) {
+    try {
+      std::size_t pos = 0;
+      const std::int64_t v = std::stoll(token, &pos);
+      NB_REQUIRE(pos == token.size(), "trailing characters in integer list: '" + token + "'");
+      out.push_back(v);
+    } catch (const std::invalid_argument&) {
+      throw contract_error("malformed integer in list: '" + token + "'");
+    } catch (const std::out_of_range&) {
+      throw contract_error("integer out of range in list: '" + token + "'");
+    }
+  }
+  return out;
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 60.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+    return buf;
+  }
+  const auto minutes = static_cast<std::int64_t>(seconds / 60.0);
+  const auto rem = static_cast<std::int64_t>(std::lround(seconds - static_cast<double>(minutes) * 60.0));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lldm%02llds", static_cast<long long>(minutes),
+                static_cast<long long>(rem));
+  return buf;
+}
+
+}  // namespace nb

@@ -1,0 +1,26 @@
+// Small string/format helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+/// "1.234" style formatting with a fixed number of decimals.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+/// Human-readable large integers: 10000 -> "10^4" when an exact power of
+/// ten, "5x10^4" for 5*10^k, otherwise plain digits (matches paper axes).
+[[nodiscard]] std::string format_power_of_ten(std::int64_t v);
+
+/// Splits on a delimiter (no empty-token collapsing).
+[[nodiscard]] std::vector<std::string> split(const std::string& text, char delim);
+
+/// Parses a comma-separated list of integers; throws on malformed input.
+[[nodiscard]] std::vector<std::int64_t> parse_int_list(const std::string& text);
+
+/// Elapsed seconds formatted as "12.3s" / "1m02s".
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace nb

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+text_table::text_table(std::vector<std::string> header) : header_(std::move(header)) {
+  NB_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+  NB_REQUIRE(row.size() == header_.size(), "table row width differs from header");
+  rows_.push_back(std::move(row));
+}
+
+void text_table::add_rule() { rows_.emplace_back(); }
+
+bool text_table::looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  if (i >= cell.size()) return false;
+  bool any_digit = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      any_digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+std::string text_table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+
+  std::ostringstream os;
+  emit_row(os, header_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit_row(os, row);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace nb

@@ -1,0 +1,30 @@
+// Fixed-width text tables: the bench binaries print results in the shape of
+// the paper's tables, aligned for terminal reading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nb {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with column padding; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static bool looks_numeric(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector encodes a rule
+};
+
+}  // namespace nb

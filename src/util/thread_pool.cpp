@@ -1,0 +1,91 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+thread_pool::thread_pool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+  NB_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock lock(mutex_);
+    NB_ASSERT(!stopping_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  NB_REQUIRE(body != nullptr, "parallel_for body must not be empty");
+  if (count == 0) return;
+  if (threads == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  thread_pool pool(std::min(threads == 0 ? std::size_t{0} : threads, count));
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers = pool.size();
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&next, count, &body] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace nb

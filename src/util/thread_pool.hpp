@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool plus a deterministic parallel_for.
+//
+// The simulation driver runs repetitions concurrently; determinism comes
+// from giving each *index* (not each thread) its own derived RNG seed, so
+// results are identical for any thread count, including 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nb {
+
+class thread_pool {
+ public:
+  /// Creates `threads` workers (0 means std::thread::hardware_concurrency,
+  /// with a floor of 1).
+  explicit thread_pool(std::size_t threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; tasks must not throw (wrap and capture if needed).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across `threads` workers.  Exceptions
+/// escaping `body` terminate (tasks are noexcept by contract); callers that
+/// can throw should capture into a result slot instead.
+void parallel_for(std::size_t count, std::size_t threads, const std::function<void(std::size_t)>& body);
+
+}  // namespace nb

@@ -1,0 +1,201 @@
+// Tests for the g-Adv-Comp setting and its adversary strategies.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::mean_gap_of;
+using nb::testing::run_and_snapshot;
+using nb::testing::total_balls;
+
+// ---------------------------------------------------------------------------
+// Strategy-level unit tests: decide() is called only for |diff| <= g, so we
+// can probe it directly on crafted load states.
+
+load_state crafted_state() {
+  load_state s(4);
+  // loads: bin0 = 3, bin1 = 1, bin2 = 1, bin3 = 0 (avg = 1.25)
+  for (int i = 0; i < 3; ++i) s.allocate(0);
+  s.allocate(1);
+  s.allocate(2);
+  return s;
+}
+
+TEST(AdversaryStrategy, GreedyReverserPicksHeavier) {
+  const auto s = crafted_state();
+  rng_t rng(1);
+  greedy_reverser strategy;
+  EXPECT_EQ(strategy.decide(0, 1, s, rng), 0u);
+  EXPECT_EQ(strategy.decide(1, 0, s, rng), 0u);
+  EXPECT_EQ(strategy.decide(3, 1, s, rng), 1u);
+}
+
+TEST(AdversaryStrategy, GreedyReverserTieIsFairCoin) {
+  const auto s = crafted_state();
+  rng_t rng(2);
+  greedy_reverser strategy;
+  int first = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (strategy.decide(1, 2, s, rng) == 1u) ++first;
+  }
+  EXPECT_NEAR(first / 2000.0, 0.5, 0.05);
+}
+
+TEST(AdversaryStrategy, AlwaysCorrectPicksLighter) {
+  const auto s = crafted_state();
+  rng_t rng(3);
+  always_correct strategy;
+  EXPECT_EQ(strategy.decide(0, 1, s, rng), 1u);
+  EXPECT_EQ(strategy.decide(3, 0, s, rng), 3u);
+}
+
+TEST(AdversaryStrategy, RandomDecisionIsFair) {
+  const auto s = crafted_state();
+  rng_t rng(4);
+  random_decision strategy;
+  int first = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (strategy.decide(0, 3, s, rng) == 0u) ++first;
+  }
+  EXPECT_NEAR(first / 2000.0, 0.5, 0.05);
+}
+
+TEST(AdversaryStrategy, IndexBiasIsDeterministic) {
+  const auto s = crafted_state();
+  rng_t rng(5);
+  index_bias strategy;
+  EXPECT_EQ(strategy.decide(2, 3, s, rng), 2u);
+  EXPECT_EQ(strategy.decide(3, 2, s, rng), 2u);
+}
+
+TEST(AdversaryStrategy, OverloadBoosterRevertsOnlyOntoOverloadedBins) {
+  const auto s = crafted_state();  // avg 1.25; bin0 (3) overloaded, bins 1,2 (1) not
+  rng_t rng(6);
+  overload_booster strategy;
+  // Heavier bin overloaded -> reverse (pick heavier).
+  EXPECT_EQ(strategy.decide(0, 1, s, rng), 0u);
+  // Heavier bin (load 1) underloaded -> play correct (pick lighter bin3).
+  EXPECT_EQ(strategy.decide(1, 3, s, rng), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Process-level semantics.
+
+TEST(GAdvComp, RejectsNegativeG) { EXPECT_THROW(g_bounded(8, -1), nb::contract_error); }
+
+TEST(GAdvComp, ConservesBalls) {
+  EXPECT_EQ(total_balls(run_and_snapshot(g_bounded(64, 3), 5000, 7)), 5000);
+  EXPECT_EQ(total_balls(run_and_snapshot(g_myopic_comp(64, 3), 5000, 8)), 5000);
+}
+
+TEST(GAdvComp, ComparisonsBeyondGAreAlwaysCorrect) {
+  // Mirror the RNG to observe the sampled pair; whenever the pre-step load
+  // difference exceeds g the allocation must go to the lighter bin.
+  const bin_count n = 16;  // power of two: bounded() consumes exactly 1 draw
+  const load_t g = 2;
+  g_bounded p(n, g);
+  rng_t rng(9);
+  rng_t mirror(9);
+  int checked = 0;
+  for (int t = 0; t < 20000; ++t) {
+    const auto before = p.state().loads();
+    const auto i1 = static_cast<bin_index>(bounded(mirror, n));
+    const auto i2 = static_cast<bin_index>(bounded(mirror, n));
+    p.step(rng);
+    const auto after = p.state().loads();
+    bin_index chosen = 0;
+    for (bin_index i = 0; i < n; ++i) {
+      if (after[i] != before[i]) chosen = i;
+    }
+    const load_t diff = std::abs(before[i1] - before[i2]);
+    if (diff > g) {
+      const bin_index lighter = before[i1] < before[i2] ? i1 : i2;
+      ASSERT_EQ(chosen, lighter) << "step " << t;
+    } else if (before[i1] == before[i2]) {
+      mirror.next();  // greedy strategy flips a coin on exact ties
+    }
+    ASSERT_TRUE(chosen == i1 || chosen == i2);
+  }
+  // The run must actually have exercised the uncontrolled branch.
+  EXPECT_GT(p.state().gap(), static_cast<double>(g) / 2.0);
+  (void)checked;
+}
+
+TEST(GAdvComp, GapGrowsWithG) {
+  const step_count m = 100000;
+  const double g2 = mean_gap_of([] { return g_bounded(256, 2); }, m, 10, 10);
+  const double g8 = mean_gap_of([] { return g_bounded(256, 8); }, m, 10, 11);
+  const double g16 = mean_gap_of([] { return g_bounded(256, 16); }, m, 10, 12);
+  EXPECT_LT(g2, g8);
+  EXPECT_LT(g8, g16);
+}
+
+TEST(GAdvComp, BoundedAtLeastAsBadAsMyopic) {
+  // The greedy adversary always reverses; the myopic one only half the
+  // time, so g-Bounded's gap dominates (paper: both Theta(g) for large g,
+  // bounded constant larger; see Fig 12.1 ordering).
+  const step_count m = 100000;
+  const double bounded_gap = mean_gap_of([] { return g_bounded(256, 8); }, m, 15, 13);
+  const double myopic_gap = mean_gap_of([] { return g_myopic_comp(256, 8); }, m, 15, 14);
+  EXPECT_GE(bounded_gap + 0.5, myopic_gap);
+}
+
+TEST(GAdvComp, EveryAdversaryAtLeastTwoChoice) {
+  // Observation 11.1: no adversary beats noise-free Two-Choice.
+  const step_count m = 100000;
+  const double tc = mean_gap_of([] { return two_choice(256); }, m, 15, 15);
+  const double strategies[] = {
+      mean_gap_of([] { return g_bounded(256, 4); }, m, 15, 16),
+      mean_gap_of([] { return g_myopic_comp(256, 4); }, m, 15, 17),
+      mean_gap_of([] { return g_adv_comp<overload_booster>(256, 4); }, m, 15, 18),
+      mean_gap_of([] { return g_adv_comp<index_bias>(256, 4); }, m, 15, 19),
+  };
+  for (const double s : strategies) EXPECT_GE(s + 0.35, tc);
+}
+
+TEST(GAdvComp, MyopicGapStaysBelowLinearBound) {
+  // Theorem 5.12 shape: Gap = O(g + log n).  Use a generous constant.
+  const bin_count n = 256;
+  const step_count m = 200000;
+  for (const load_t g : {2, 4, 8, 16}) {
+    const double gap = mean_gap_of([&] { return g_myopic_comp(n, g); }, m, 5, 20 + g);
+    EXPECT_LE(gap, 4.0 * (static_cast<double>(g) + std::log(n))) << "g=" << g;
+  }
+}
+
+TEST(GAdvComp, GapScalesRoughlyLinearlyForLargeG) {
+  // For g >= log n the tight bound is Theta(g): doubling g should roughly
+  // double the gap (allow generous slack).
+  const step_count m = 200000;
+  const double g16 = mean_gap_of([] { return g_bounded(256, 16); }, m, 10, 30);
+  const double g32 = mean_gap_of([] { return g_bounded(256, 32); }, m, 10, 31);
+  EXPECT_GT(g32 / g16, 1.4);
+  EXPECT_LT(g32 / g16, 2.8);
+}
+
+TEST(GAdvComp, NameEncodesStrategyAndG) {
+  EXPECT_EQ(g_bounded(8, 3).name(), "g-bounded[g=3]");
+  EXPECT_EQ(g_myopic_comp(8, 5).name(), "g-myopic-comp[g=5]");
+}
+
+TEST(GAdvComp, SelfStabilizesAfterAdversarialPrefix) {
+  // The self-stabilization property behind Theorem 5.12's recovery phase:
+  // the phase_switch adversary reverses every controllable comparison for
+  // the first 100k balls (poisoning the load vector), then plays correctly.
+  // The gap must collapse back towards the Two-Choice level.
+  const bin_count n = 256;
+  const step_count poison_until = 100000;
+  g_adv_comp<phase_switch> p(n, 20, phase_switch{poison_until});
+  rng_t rng(91);
+  for (step_count t = 0; t < poison_until; ++t) p.step(rng);
+  const double poisoned_gap = p.state().gap();
+  for (step_count t = 0; t < poison_until; ++t) p.step(rng);
+  const double recovered_gap = p.state().gap();
+  EXPECT_GT(poisoned_gap, 10.0);
+  EXPECT_LT(recovered_gap, poisoned_gap / 2.0);
+  EXPECT_LT(recovered_gap, 8.0);
+}
+
+}  // namespace

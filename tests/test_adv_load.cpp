@@ -1,0 +1,114 @@
+// Tests for the g-Adv-Load setting (perturbed load reports).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::mean_gap_of;
+using nb::testing::run_and_snapshot;
+using nb::testing::total_balls;
+
+TEST(GAdvLoad, RejectsNegativeG) {
+  EXPECT_THROW(g_adv_load<inverting_estimates>(8, -1), nb::contract_error);
+}
+
+TEST(GAdvLoad, ConservesBalls) {
+  EXPECT_EQ(total_balls(run_and_snapshot(g_adv_load<inverting_estimates>(32, 3), 3000, 1)), 3000);
+  EXPECT_EQ(total_balls(run_and_snapshot(g_adv_load<uniform_noise_estimates>(32, 3), 3000, 2)), 3000);
+}
+
+TEST(GAdvLoad, EstimatesStayWithinLegalBox) {
+  // Every strategy must report within [x - g, x + g].
+  load_state s(4);
+  for (int i = 0; i < 5; ++i) s.allocate(0);
+  s.allocate(1);
+  rng_t rng(3);
+  const load_t g = 3;
+  inverting_estimates inv;
+  uniform_noise_estimates uni;
+  truthful_estimates tru;
+  for (bin_index i = 0; i < 4; ++i) {
+    const double x = static_cast<double>(s.load(i));
+    for (int trial = 0; trial < 50; ++trial) {
+      EXPECT_LE(std::fabs(inv.estimate(i, s, g, rng) - x), g);
+      EXPECT_LE(std::fabs(uni.estimate(i, s, g, rng) - x), g);
+      EXPECT_DOUBLE_EQ(tru.estimate(i, s, g, rng), x);
+    }
+  }
+}
+
+TEST(GAdvLoad, InvertingStrategyFlipsCloseComparisons) {
+  // Overloaded bin under-reports, underloaded over-reports: with g = 3 and
+  // loads 5 vs 1 (diff 4 < 2g = 6) the estimates become 2 vs 4 -> reversed.
+  load_state s(4);
+  for (int i = 0; i < 5; ++i) s.allocate(0);
+  s.allocate(1);  // loads (5,1,0,0), avg 1.5
+  rng_t rng(4);
+  inverting_estimates inv;
+  const double e_heavy = inv.estimate(0, s, 3, rng);
+  const double e_light = inv.estimate(1, s, 3, rng);
+  EXPECT_DOUBLE_EQ(e_heavy, 2.0);
+  EXPECT_DOUBLE_EQ(e_light, 4.0);
+  EXPECT_LT(e_heavy, e_light);  // the heavier bin now *looks* lighter
+}
+
+TEST(GAdvLoad, UniformNoiseIsIntegerOffset) {
+  load_state s(2);
+  s.allocate(0);
+  rng_t rng(5);
+  uniform_noise_estimates uni;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double e = uni.estimate(0, s, 2, rng);
+    EXPECT_DOUBLE_EQ(e, std::round(e));
+    EXPECT_GE(e, -1.0);
+    EXPECT_LE(e, 3.0);
+  }
+}
+
+TEST(GAdvLoad, InvertingWorseThanUniformNoise) {
+  const step_count m = 80000;
+  const double adversarial =
+      mean_gap_of([] { return g_adv_load<inverting_estimates>(256, 4); }, m, 10, 6);
+  const double benign =
+      mean_gap_of([] { return g_adv_load<uniform_noise_estimates>(256, 4); }, m, 10, 7);
+  EXPECT_GT(adversarial + 0.3, benign);
+}
+
+TEST(GAdvLoad, GapGrowsWithG) {
+  const step_count m = 80000;
+  const double g2 = mean_gap_of([] { return g_adv_load<inverting_estimates>(256, 2); }, m, 10, 8);
+  const double g8 = mean_gap_of([] { return g_adv_load<inverting_estimates>(256, 8); }, m, 10, 9);
+  EXPECT_LT(g2, g8);
+}
+
+TEST(GAdvLoad, StaysWithinWarmupBound) {
+  // g-Adv-Load <= (2g)-Adv-Comp <= O(2g + log n) (Theorem 5.12 shape).
+  const bin_count n = 256;
+  const step_count m = 100000;
+  for (const load_t g : {2, 4, 8}) {
+    const double gap = mean_gap_of([&] { return g_adv_load<inverting_estimates>(n, g); }, m, 5, 10 + g);
+    EXPECT_LE(gap, 4.0 * (2.0 * g + std::log(n))) << "g=" << g;
+  }
+}
+
+TEST(GAdvLoad, NameIncludesStrategyAndParameter) {
+  EXPECT_EQ(g_adv_load<inverting_estimates>(8, 3).name(), "g-adv-load-invert[g=3]");
+  EXPECT_EQ(g_adv_load<uniform_noise_estimates>(8, 2).name(), "g-adv-load-uniform[g=2]");
+}
+
+TEST(GAdvLoad, ResetReproducesRun) {
+  g_adv_load<inverting_estimates> p(32, 4);
+  rng_t rng(11);
+  for (int t = 0; t < 2000; ++t) p.step(rng);
+  const auto first = p.state().loads();
+  p.reset();
+  rng_t rng2(11);
+  for (int t = 0; t < 2000; ++t) p.step(rng2);
+  EXPECT_EQ(p.state().loads(), first);
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+// Tests for the exact one-step analysis module: allocation probability
+// vectors and exact potential drift.  These make the paper's drift lemmas
+// deterministically checkable -- several tests below verify Lemma 4.1,
+// Lemma 5.1, Lemma 5.2 and Lemma 5.3 *exactly* on concrete and random
+// reachable load vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/analysis/allocation_probability.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+
+std::vector<load_t> crafted_loads() { return {5, 3, 3, 1, 0}; }
+
+double total(const std::vector<double>& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+
+// ---------------------------------------------------------------------------
+// Probability vectors.
+
+TEST(AllocProb, SumsToOneForAllProcesses) {
+  const auto loads = crafted_loads();
+  EXPECT_NEAR(total(two_choice_probabilities(loads)), 1.0, 1e-12);
+  EXPECT_NEAR(total(g_bounded_probabilities(loads, 2)), 1.0, 1e-12);
+  EXPECT_NEAR(total(g_myopic_probabilities(loads, 2)), 1.0, 1e-12);
+  EXPECT_NEAR(total(rho_allocation_probabilities(
+                  loads, [](load_t d) { return 1.0 - 0.5 * std::exp(-d / 2.0); })),
+              1.0, 1e-12);
+}
+
+TEST(AllocProb, TwoChoiceMatchesRankFormula) {
+  // Distinct loads: the r-th most loaded bin is hit with prob (2r-1)/n^2.
+  const std::vector<load_t> loads = {9, 7, 5, 2};  // already sorted descending
+  const auto q = two_choice_probabilities(loads);
+  const double n2 = 16.0;
+  EXPECT_NEAR(q[0], 1.0 / n2, 1e-12);
+  EXPECT_NEAR(q[1], 3.0 / n2, 1e-12);
+  EXPECT_NEAR(q[2], 5.0 / n2, 1e-12);
+  EXPECT_NEAR(q[3], 7.0 / n2, 1e-12);
+}
+
+TEST(AllocProb, UniformLoadsGiveUniformProbabilities) {
+  const std::vector<load_t> loads(6, 4);
+  for (const auto& q : {two_choice_probabilities(loads), g_bounded_probabilities(loads, 3),
+                        g_myopic_probabilities(loads, 3)}) {
+    for (const double qi : q) EXPECT_NEAR(qi, 1.0 / 6.0, 1e-12);
+  }
+}
+
+TEST(AllocProb, GBoundedReversesWithinBand) {
+  // loads {2, 0}: delta = 2 <= g = 2, so the heavier bin gets everything
+  // except the lighter's self-pair: q_heavy = 1/4 + 2/4 = 3/4.
+  const std::vector<load_t> loads = {2, 0};
+  const auto q = g_bounded_probabilities(loads, 2);
+  EXPECT_NEAR(q[0], 0.75, 1e-12);
+  EXPECT_NEAR(q[1], 0.25, 1e-12);
+  // Outside the band the comparison is correct: q_heavy = 1/4.
+  const auto q2 = g_bounded_probabilities(loads, 1);
+  EXPECT_NEAR(q2[0], 0.25, 1e-12);
+  EXPECT_NEAR(q2[1], 0.75, 1e-12);
+}
+
+TEST(AllocProb, GMyopicIsUniformWithinBand) {
+  const std::vector<load_t> loads = {2, 0};
+  const auto q = g_myopic_probabilities(loads, 2);
+  EXPECT_NEAR(q[0], 0.5, 1e-12);
+  EXPECT_NEAR(q[1], 0.5, 1e-12);
+}
+
+TEST(AllocProb, MajorizationOrderOfNoiseLevels) {
+  // In the sorted-by-load order, more noise moves probability mass towards
+  // the heavier bins: q^{g-bounded} majorizes q^{myopic} majorizes
+  // q^{two-choice} (prefix sums over the most-loaded bins).
+  std::vector<load_t> loads = {8, 6, 5, 3, 2, 0};  // sorted descending
+  const auto clean = two_choice_probabilities(loads);
+  const auto myopic = g_myopic_probabilities(loads, 3);
+  const auto bounded = g_bounded_probabilities(loads, 3);
+  double pc = 0.0;
+  double pm = 0.0;
+  double pb = 0.0;
+  for (std::size_t k = 0; k < loads.size(); ++k) {
+    pc += clean[k];
+    pm += myopic[k];
+    pb += bounded[k];
+    EXPECT_GE(pb + 1e-12, pm) << "prefix " << k;
+    EXPECT_GE(pm + 1e-12, pc) << "prefix " << k;
+  }
+}
+
+TEST(AllocProb, MatchesEmpiricalFrequencies) {
+  // Clone a mid-run g-Bounded process repeatedly, take one step, and
+  // compare observed allocation frequencies with the exact vector.
+  const bin_count n = 8;
+  g_bounded base(n, 2);
+  rng_t warm(1);
+  for (int t = 0; t < 200; ++t) base.step(warm);
+  const auto q = g_bounded_probabilities(base.state().loads(), 2);
+  std::vector<int> hits(n, 0);
+  rng_t rng(2);
+  constexpr int kTrials = 200000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    g_bounded probe = base;  // copy of the frozen state
+    const auto before = probe.state().loads();
+    probe.step(rng);
+    for (bin_index i = 0; i < n; ++i) {
+      if (probe.state().load(i) != before[i]) {
+        ++hits[i];
+        break;
+      }
+    }
+  }
+  for (bin_index i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / kTrials, q[i], 0.01) << "bin " << i;
+  }
+}
+
+TEST(AllocProb, RejectsBadInput) {
+  EXPECT_THROW((void)rho_allocation_probabilities({}, [](load_t) { return 1.0; }),
+               contract_error);
+  EXPECT_THROW((void)rho_allocation_probabilities({1, 2}, nullptr), contract_error);
+  EXPECT_THROW((void)rho_allocation_probabilities({1, 0}, [](load_t) { return 2.0; }),
+               contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// Exact drift.
+
+std::vector<double> normalize(const std::vector<load_t>& loads) {
+  double avg = 0.0;
+  for (const auto x : loads) avg += static_cast<double>(x);
+  avg /= static_cast<double>(loads.size());
+  std::vector<double> y;
+  y.reserve(loads.size());
+  for (const auto x : loads) y.push_back(static_cast<double>(x) - avg);
+  return y;
+}
+
+TEST(ExactDrift, MatchesBruteForceEnumeration) {
+  const auto loads = crafted_loads();
+  const auto q = two_choice_probabilities(loads);
+  const auto y = normalize(loads);
+  const double gamma = 0.3;
+  const auto f = [gamma](double v) { return std::exp(gamma * v) + std::exp(-gamma * v); };
+  // Brute force: enumerate the landing bin.
+  const double n = static_cast<double>(loads.size());
+  double brute = 0.0;
+  const double before = [&] {
+    double acc = 0.0;
+    for (const double v : y) acc += f(v);
+    return acc;
+  }();
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    double after = 0.0;
+    for (std::size_t k = 0; k < loads.size(); ++k) {
+      const double yk = y[k] - 1.0 / n + (k == i ? 1.0 : 0.0);
+      after += f(yk);
+    }
+    brute += q[i] * (after - before);
+  }
+  EXPECT_NEAR(expected_potential_drift(y, q, f), brute, 1e-10);
+}
+
+TEST(ExactDrift, QuadraticIdentityOfLemma5_1) {
+  // E[dUpsilon] computed through the generic drift must equal the closed
+  // form sum 2 q_i y_i + 1 - 1/n of Lemma 5.1(i), for any process.
+  const auto loads = crafted_loads();
+  const auto y = normalize(loads);
+  for (const auto& q : {two_choice_probabilities(loads), g_bounded_probabilities(loads, 2),
+                        g_myopic_probabilities(loads, 4)}) {
+    const double generic = expected_potential_drift(y, q, [](double v) { return v * v; });
+    EXPECT_NEAR(generic, lemma_5_1_quadratic_drift(y, q), 1e-10);
+  }
+}
+
+TEST(ExactDrift, Lemma5_2TwoChoiceQuadraticDropHolds) {
+  // Lemma 5.2: for Two-Choice, E[dUpsilon] <= -Delta/n + 1, on *any*
+  // reachable load vector.  Check across random trajectories.
+  rng_t rng(3);
+  two_choice p(16);
+  for (int round = 0; round < 50; ++round) {
+    for (int t = 0; t < 64; ++t) p.step(rng);
+    const auto& loads = p.state().loads();
+    const auto q = two_choice_probabilities(loads);
+    const auto y = normalize(loads);
+    double delta = 0.0;
+    for (const double v : y) delta += std::fabs(v);
+    const double drift = lemma_5_1_quadratic_drift(y, q);
+    EXPECT_LE(drift, -delta / 16.0 + 1.0 + 1e-9) << "round " << round;
+  }
+}
+
+TEST(ExactDrift, Lemma5_3GAdvCompQuadraticDropHolds) {
+  // Lemma 5.3: under g-Adv-Comp, E[dUpsilon] <= -Delta/n + 2g + 1.
+  rng_t rng(4);
+  const load_t g = 3;
+  g_bounded p(16, g);
+  for (int round = 0; round < 50; ++round) {
+    for (int t = 0; t < 64; ++t) p.step(rng);
+    const auto& loads = p.state().loads();
+    const auto q = g_bounded_probabilities(loads, g);
+    const auto y = normalize(loads);
+    double delta = 0.0;
+    for (const double v : y) delta += std::fabs(v);
+    const double drift = lemma_5_1_quadratic_drift(y, q);
+    EXPECT_LE(drift, -delta / 16.0 + 2.0 * g + 1.0 + 1e-9) << "round " << round;
+  }
+}
+
+TEST(ExactDrift, Lemma4_1UpperBoundsGammaDrift) {
+  // Lemma 4.1: the exact E[dGamma] is bounded by the lemma's RHS, for any
+  // allocation probability vector.  Verify along g-Bounded trajectories
+  // with the paper's gamma(g).
+  rng_t rng(5);
+  const load_t g = 2;
+  const double gamma = paper_constants::gamma_for_g(g);
+  g_bounded p(12, g);
+  const auto f = [gamma](double v) { return std::exp(gamma * v) + std::exp(-gamma * v); };
+  for (int round = 0; round < 40; ++round) {
+    for (int t = 0; t < 48; ++t) p.step(rng);
+    const auto& loads = p.state().loads();
+    const auto q = g_bounded_probabilities(loads, g);
+    const auto y = normalize(loads);
+    const double exact = expected_potential_drift(y, q, f);
+    const double bound = lemma_4_1_upper_bound(y, q, gamma);
+    EXPECT_LE(exact, bound + 1e-9) << "round " << round;
+  }
+}
+
+TEST(ExactDrift, TwoChoiceGammaDriftNegativeWhenImbalanced) {
+  // The engine of Theorem 4.3: on a strongly imbalanced vector, Two-Choice
+  // drifts Gamma downward.
+  const std::vector<load_t> loads = {40, 10, 10, 10, 10, 10, 10, 0};
+  const auto q = two_choice_probabilities(loads);
+  const auto y = normalize(loads);
+  const double gamma = 0.2;
+  const auto f = [gamma](double v) { return std::exp(gamma * v) + std::exp(-gamma * v); };
+  EXPECT_LT(expected_potential_drift(y, q, f), 0.0);
+}
+
+TEST(ExactDrift, OneChoiceGammaDriftPositiveOnBalancedVector) {
+  // One-Choice from a balanced vector must *increase* Gamma in expectation
+  // (imbalance is created): uniform q, y = 0.
+  const std::vector<load_t> loads(8, 5);
+  const std::vector<double> q(8, 1.0 / 8.0);
+  const auto y = normalize(loads);
+  const double gamma = 0.5;
+  const auto f = [gamma](double v) { return std::exp(gamma * v) + std::exp(-gamma * v); };
+  EXPECT_GT(expected_potential_drift(y, q, f), 0.0);
+}
+
+TEST(ExactDrift, AbsolutePotentialDriftBounded) {
+  // |dDelta| <= 2 per step deterministically; the expected drift must
+  // respect that too.
+  const auto loads = crafted_loads();
+  const auto q = g_myopic_probabilities(loads, 2);
+  const auto y = normalize(loads);
+  const double drift = expected_potential_drift(y, q, [](double v) { return std::fabs(v); });
+  EXPECT_LE(std::fabs(drift), 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the baseline (noise-free) processes: One-Choice, Two-Choice,
+// d-Choice and (1+beta).
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::mean_gap_of;
+using nb::testing::run_and_snapshot;
+using nb::testing::total_balls;
+using nb::testing::traces_identical;
+
+TEST(OneChoice, ConservesBalls) {
+  const auto loads = run_and_snapshot(one_choice(50), 1000, 1);
+  EXPECT_EQ(total_balls(loads), 1000);
+}
+
+TEST(OneChoice, DeterministicForSeed) {
+  EXPECT_EQ(run_and_snapshot(one_choice(50), 500, 3), run_and_snapshot(one_choice(50), 500, 3));
+  EXPECT_NE(run_and_snapshot(one_choice(50), 500, 3), run_and_snapshot(one_choice(50), 500, 4));
+}
+
+TEST(OneChoice, HitsEveryBinEventually) {
+  const auto loads = run_and_snapshot(one_choice(10), 2000, 5);
+  for (const auto x : loads) EXPECT_GT(x, 0);
+}
+
+TEST(TwoChoice, ConservesBalls) {
+  const auto loads = run_and_snapshot(two_choice(50), 1000, 1);
+  EXPECT_EQ(total_balls(loads), 1000);
+}
+
+TEST(TwoChoice, NeverAllocatesToStrictlyHeavierBin) {
+  // Invariant check at every step via a mirrored manual simulation.
+  const bin_count n = 16;
+  two_choice p(n);
+  rng_t rng(11);
+  rng_t mirror(11);
+  for (int t = 0; t < 5000; ++t) {
+    const auto before = p.state().loads();
+    const auto i1 = static_cast<bin_index>(bounded(mirror, n));
+    const auto i2 = static_cast<bin_index>(bounded(mirror, n));
+    p.step(rng);
+    const auto after = p.state().loads();
+    bin_index chosen = 0;
+    for (bin_index i = 0; i < n; ++i) {
+      if (after[i] != before[i]) chosen = i;
+    }
+    EXPECT_TRUE(chosen == i1 || chosen == i2);
+    const bin_index other = (chosen == i1) ? i2 : i1;
+    EXPECT_LE(before[chosen], before[other]) << "allocated to the heavier sampled bin";
+    if (before[i1] == before[i2]) mirror.next();  // the tie-break coin
+  }
+}
+
+TEST(TwoChoice, MuchBetterBalancedThanOneChoice) {
+  const step_count m = 50000;
+  const double one = mean_gap_of([] { return one_choice(500); }, m, 10, 21);
+  const double two = mean_gap_of([] { return two_choice(500); }, m, 10, 22);
+  EXPECT_LT(two * 4.0, one);  // the power of two choices
+}
+
+TEST(TwoChoice, GapStaysNearLogLogN) {
+  // n = 1024, m = 100n: w.h.p. gap is log2 log n + O(1) ~ 3.3.
+  const double gap = mean_gap_of([] { return two_choice(1024); }, 102400, 10, 33);
+  EXPECT_GE(gap, 1.0);
+  EXPECT_LE(gap, 6.0);
+}
+
+TEST(DChoice, RejectsBadD) { EXPECT_THROW(d_choice(10, 0), nb::contract_error); }
+
+TEST(DChoice, DEqualsOneIsExactlyOneChoice) {
+  EXPECT_TRUE(traces_identical(d_choice(64, 1), one_choice(64), 4000, 17));
+}
+
+TEST(DChoice, DEqualsTwoMatchesTwoChoiceDistributionally) {
+  const step_count m = 50000;
+  const double d2 = mean_gap_of([] { return d_choice(256, 2); }, m, 20, 41);
+  const double tc = mean_gap_of([] { return two_choice(256); }, m, 20, 42);
+  EXPECT_NEAR(d2, tc, 0.5);
+}
+
+TEST(DChoice, LargerDNeverWorse) {
+  const step_count m = 20000;
+  const double d2 = mean_gap_of([] { return d_choice(128, 2); }, m, 20, 51);
+  const double d4 = mean_gap_of([] { return d_choice(128, 4); }, m, 20, 52);
+  EXPECT_LE(d4, d2 + 0.3);
+}
+
+TEST(DChoice, ConservesBalls) {
+  const auto loads = run_and_snapshot(d_choice(32, 5), 999, 2);
+  EXPECT_EQ(total_balls(loads), 999);
+}
+
+TEST(OnePlusBeta, RejectsBetaOutsideUnitInterval) {
+  EXPECT_THROW(one_plus_beta(10, -0.1), nb::contract_error);
+  EXPECT_THROW(one_plus_beta(10, 1.1), nb::contract_error);
+}
+
+TEST(OnePlusBeta, BetaZeroIsExactlyOneChoice) {
+  EXPECT_TRUE(traces_identical(one_plus_beta(64, 0.0), one_choice(64), 4000, 19));
+}
+
+TEST(OnePlusBeta, BetaOneIsExactlyTwoChoice) {
+  EXPECT_TRUE(traces_identical(one_plus_beta(64, 1.0), two_choice(64), 4000, 23));
+}
+
+TEST(OnePlusBeta, GapInterpolatesBetweenExtremes) {
+  const step_count m = 50000;
+  const double one = mean_gap_of([] { return one_choice(256); }, m, 10, 61);
+  const double half = mean_gap_of([] { return one_plus_beta(256, 0.5); }, m, 10, 62);
+  const double two = mean_gap_of([] { return two_choice(256); }, m, 10, 63);
+  EXPECT_LT(two, half);
+  EXPECT_LT(half, one);
+}
+
+TEST(Names, AreDescriptive) {
+  EXPECT_EQ(one_choice(4).name(), "one-choice");
+  EXPECT_EQ(two_choice(4).name(), "two-choice");
+  EXPECT_EQ(d_choice(4, 3).name(), "3-choice");
+  EXPECT_NE(one_plus_beta(4, 0.25).name().find("(1+beta)"), std::string::npos);
+}
+
+TEST(Reset, AllowsReuseWithIdenticalResults) {
+  two_choice p(32);
+  rng_t rng(71);
+  for (int t = 0; t < 1000; ++t) p.step(rng);
+  const auto first = p.state().loads();
+  p.reset();
+  EXPECT_EQ(p.state().balls(), 0);
+  rng_t rng2(71);
+  for (int t = 0; t < 1000; ++t) p.step(rng2);
+  EXPECT_EQ(p.state().loads(), first);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Tests for the b-Batch process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::mean_gap_of;
+using nb::testing::run_and_snapshot;
+using nb::testing::total_balls;
+
+TEST(BBatch, RejectsBatchBelowOne) { EXPECT_THROW(b_batch(8, 0), nb::contract_error); }
+
+TEST(BBatch, ConservesBalls) {
+  EXPECT_EQ(total_balls(run_and_snapshot(b_batch(64, 100), 5000, 1)), 5000);
+}
+
+TEST(BBatch, ReportedLoadsFrozenWithinBatch) {
+  const bin_count n = 16;
+  const step_count b = 50;
+  b_batch p(n, b);
+  rng_t rng(2);
+  for (int batch = 0; batch < 20; ++batch) {
+    // Snapshot reported loads at the batch start; they must not change
+    // until the batch completes.
+    std::vector<load_t> reported(n);
+    for (bin_index i = 0; i < n; ++i) reported[i] = p.reported_load(i);
+    for (step_count s = 0; s < b; ++s) {
+      for (bin_index i = 0; i < n; ++i) {
+        ASSERT_EQ(p.reported_load(i), reported[i])
+            << "batch " << batch << " step " << s << " bin " << i;
+      }
+      p.step(rng);
+    }
+  }
+}
+
+TEST(BBatch, SnapshotRefreshesToTrueLoadsAtBoundary) {
+  const bin_count n = 16;
+  const step_count b = 37;
+  b_batch p(n, b);
+  rng_t rng(3);
+  for (int batch = 0; batch < 15; ++batch) {
+    for (step_count s = 0; s < b; ++s) p.step(rng);
+    for (bin_index i = 0; i < n; ++i) {
+      ASSERT_EQ(p.reported_load(i), p.state().load(i)) << "after batch " << batch;
+    }
+  }
+}
+
+TEST(BBatch, FirstBatchReportsAllZero) {
+  b_batch p(8, 100);
+  rng_t rng(4);
+  for (int s = 0; s < 99; ++s) {
+    p.step(rng);
+    for (bin_index i = 0; i < 8; ++i) ASSERT_EQ(p.reported_load(i), 0);
+  }
+}
+
+TEST(BBatch, GapGrowsWithBatchSize) {
+  const bin_count n = 256;
+  const step_count m = 100000;
+  const double b1 = mean_gap_of([&] { return b_batch(n, 1); }, m, 10, 5);
+  const double bn = mean_gap_of([&] { return b_batch(n, n); }, m, 10, 6);
+  const double b10n = mean_gap_of([&] { return b_batch(n, 10 * n); }, m, 10, 7);
+  EXPECT_LT(b1, bn);
+  EXPECT_LT(bn, b10n);
+}
+
+TEST(BBatch, HeavyBatchRegimeScalesLikeBOverN) {
+  // For b >= n log n the tight gap is Theta(b/n) [LS22a].  Doubling b
+  // should roughly double the gap.
+  const bin_count n = 128;
+  const step_count m = 200000;
+  const auto blo = static_cast<step_count>(16 * n);
+  const double g_lo = mean_gap_of([&] { return b_batch(n, blo); }, m, 10, 8);
+  const double g_hi = mean_gap_of([&] { return b_batch(n, 2 * blo); }, m, 10, 9);
+  EXPECT_GT(g_hi / g_lo, 1.35);
+  EXPECT_LT(g_hi / g_lo, 3.0);
+}
+
+TEST(BBatch, BatchOfNStaysNearLogOverLogLog) {
+  // Theorem 10.2: Gap = Theta(log n / log log n) for b = n.
+  const bin_count n = 1024;
+  const step_count m = 200000;
+  const double gap = mean_gap_of([&] { return b_batch(n, n); }, m, 10, 10);
+  const double shape = std::log(n) / std::log(std::log(n));
+  EXPECT_GT(gap, 0.4 * shape);
+  EXPECT_LT(gap, 4.0 * shape);
+}
+
+TEST(BBatch, DominatedByAdversarialDelayAtSameScale) {
+  const bin_count n = 256;
+  const step_count m = 80000;
+  const double batch = mean_gap_of([&] { return b_batch(n, n); }, m, 15, 11);
+  const double delay = mean_gap_of([&] { return tau_delay<delay_adversarial>(n, n); }, m, 15, 12);
+  EXPECT_LE(batch, delay + 1.0);
+}
+
+TEST(BBatch, ResetClearsSnapshotState) {
+  b_batch p(32, 20);
+  rng_t rng(13);
+  for (int t = 0; t < 30; ++t) p.step(rng);  // mid-batch
+  p.reset();
+  EXPECT_EQ(p.state().balls(), 0);
+  for (bin_index i = 0; i < 32; ++i) EXPECT_EQ(p.reported_load(i), 0);
+  rng_t a(14);
+  rng_t b(14);
+  b_batch q(32, 20);
+  for (int t = 0; t < 500; ++t) {
+    p.step(a);
+    q.step(b);
+  }
+  EXPECT_EQ(p.state().loads(), q.state().loads());
+}
+
+TEST(BBatch, NameEncodesBatchSize) { EXPECT_EQ(b_batch(8, 3).name(), "b-batch[b=3]"); }
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for the tau-Delay setting: sliding-window estimate semantics and
+// the three reporting strategies.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::mean_gap_of;
+using nb::testing::run_and_snapshot;
+using nb::testing::total_balls;
+
+TEST(TauDelay, RejectsTauBelowOne) {
+  EXPECT_THROW(tau_delay<delay_oldest>(8, 0), nb::contract_error);
+}
+
+TEST(TauDelay, ConservesBalls) {
+  EXPECT_EQ(total_balls(run_and_snapshot(tau_delay<delay_adversarial>(64, 32), 5000, 1)), 5000);
+  EXPECT_EQ(total_balls(run_and_snapshot(tau_delay<delay_oldest>(64, 32), 5000, 2)), 5000);
+  EXPECT_EQ(total_balls(run_and_snapshot(tau_delay<delay_random>(64, 32), 5000, 3)), 5000);
+}
+
+TEST(TauDelay, StaleLoadMatchesBruteForceHistory) {
+  // Maintain the full load-vector history and check stale_load(i) equals
+  // x^{t-tau}_i (with x at negative times = 0) at every step.
+  const bin_count n = 8;
+  const step_count tau = 5;
+  tau_delay<delay_random> p(n, tau);
+  rng_t rng(4);
+  std::deque<std::vector<load_t>> history;  // history.front() = x^{t}, back older
+  history.push_front(std::vector<load_t>(n, 0));
+  for (int t = 1; t <= 2000; ++t) {
+    // Before the step: stale_load must equal the load tau steps ago.
+    for (bin_index i = 0; i < n; ++i) {
+      const std::size_t back =
+          std::min(static_cast<std::size_t>(tau - 1), history.size() - 1);
+      ASSERT_EQ(p.stale_load(i), history[back][i]) << "t=" << t << " bin=" << i;
+    }
+    p.step(rng);
+    history.push_front(p.state().loads());
+    if (history.size() > static_cast<std::size_t>(tau + 1)) history.pop_back();
+  }
+}
+
+TEST(TauDelay, EstimateWindowsAreOrderedCorrectly) {
+  // stale_load <= current load always; difference bounded by tau - 1.
+  const step_count tau = 9;
+  tau_delay<delay_adversarial> p(16, tau);
+  rng_t rng(5);
+  for (int t = 0; t < 3000; ++t) {
+    p.step(rng);
+    for (bin_index i = 0; i < 16; ++i) {
+      EXPECT_LE(p.stale_load(i), p.state().load(i));
+      EXPECT_LE(p.state().load(i) - p.stale_load(i), static_cast<load_t>(tau - 1));
+    }
+  }
+}
+
+TEST(DelayStrategies, AdversarialReverserLogic) {
+  delay_adversarial strategy;
+  rng_t rng(6);
+  // Bin 0 truly heavier (hi 10 vs 6); its window reaches down to 5 < 6:
+  // reversal feasible, so the heavier bin 0 must win.
+  EXPECT_EQ(strategy.decide(0, 5, 10, 1, 6, 6, rng), 0u);
+  // Window bottom 8 > 6: reversal infeasible (every legal estimate of the
+  // heavy bin exceeds the light bin's ceiling) -> correct allocation.
+  EXPECT_EQ(strategy.decide(0, 8, 10, 1, 2, 6, rng), 1u);
+  // Boundary lo_heavy == hi_light: adversarial tie-break favours heavier.
+  EXPECT_EQ(strategy.decide(0, 6, 10, 1, 2, 6, rng), 0u);
+}
+
+TEST(DelayStrategies, OldestComparesWindowBottoms) {
+  delay_oldest strategy;
+  rng_t rng(7);
+  EXPECT_EQ(strategy.decide(0, 3, 10, 1, 4, 4, rng), 0u);  // lo 3 < lo 4
+  EXPECT_EQ(strategy.decide(0, 9, 9, 1, 2, 8, rng), 1u);
+}
+
+TEST(DelayStrategies, RandomInRangeStaysLegalAndCoversRange) {
+  delay_random strategy;
+  rng_t rng(8);
+  int bin0_wins = 0;
+  for (int i = 0; i < 4000; ++i) {
+    // Ranges [0,4] vs [2,2]: bin 0's estimate is uniform on {0..4}.
+    const bin_index chosen = strategy.decide(0, 0, 4, 1, 2, 2, rng);
+    if (chosen == 0u) ++bin0_wins;
+  }
+  // P(win) = P(e0 < 2) + P(e0 == 2)/2 = 2/5 + 1/10 = 0.5.
+  EXPECT_NEAR(bin0_wins / 4000.0, 0.5, 0.05);
+}
+
+TEST(TauDelay, GapGrowsWithTau) {
+  const bin_count n = 256;
+  const step_count m = 100000;
+  const double t1 = mean_gap_of([&] { return tau_delay<delay_adversarial>(n, 1); }, m, 10, 9);
+  const double tn = mean_gap_of([&] { return tau_delay<delay_adversarial>(n, n); }, m, 10, 10);
+  const double t4n = mean_gap_of([&] { return tau_delay<delay_adversarial>(n, 4 * n); }, m, 10, 11);
+  EXPECT_LT(t1, tn);
+  EXPECT_LE(tn, t4n + 0.3);
+}
+
+TEST(TauDelay, AdversarialDominatesBenignStrategies) {
+  const bin_count n = 256;
+  const step_count m = 100000;
+  const double adv = mean_gap_of([&] { return tau_delay<delay_adversarial>(n, n); }, m, 10, 12);
+  const double oldest = mean_gap_of([&] { return tau_delay<delay_oldest>(n, n); }, m, 10, 13);
+  const double random = mean_gap_of([&] { return tau_delay<delay_random>(n, n); }, m, 10, 14);
+  EXPECT_GE(adv + 0.5, oldest);
+  EXPECT_GE(adv + 0.5, random);
+}
+
+TEST(TauDelay, SublinearTauMatchesTheoremShape) {
+  // Theorem 10.2 / Remark 10.6: for tau ~ n the gap is
+  // O(log n / log log n); it must stay far below the One-Choice level of
+  // the first n balls.
+  const bin_count n = 1024;
+  const step_count m = 200000;
+  const double gap = mean_gap_of([&] { return tau_delay<delay_adversarial>(n, n); }, m, 5, 15);
+  const double one_choice_level = mean_gap_of([&] { return one_choice(n); }, m, 5, 16);
+  EXPECT_LT(gap * 3.0, one_choice_level);
+  EXPECT_LE(gap, 4.0 * std::log(n) / std::log(std::log(n)));
+}
+
+TEST(TauDelay, ResetReproducesRun) {
+  tau_delay<delay_adversarial> p(32, 16);
+  rng_t rng(17);
+  for (int t = 0; t < 2000; ++t) p.step(rng);
+  const auto first = p.state().loads();
+  p.reset();
+  EXPECT_EQ(p.state().balls(), 0);
+  EXPECT_EQ(p.stale_load(0), 0);
+  rng_t rng2(17);
+  for (int t = 0; t < 2000; ++t) p.step(rng2);
+  EXPECT_EQ(p.state().loads(), first);
+}
+
+TEST(TauDelay, NameEncodesStrategyAndTau) {
+  EXPECT_EQ(tau_delay<delay_oldest>(8, 3).name(), "tau-delay-oldest[tau=3]");
+  EXPECT_EQ(tau_delay<delay_adversarial>(8, 5).name(), "tau-delay-adversarial[tau=5]");
+}
+
+}  // namespace

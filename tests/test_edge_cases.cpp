@@ -1,0 +1,186 @@
+// Edge-case and boundary tests across the process zoo: extreme parameter
+// values, degenerate bin counts, window/batch boundaries, and the exact
+// effective-rho reduction of g-Adv-Load.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis/exact_chain.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::run_and_snapshot;
+using nb::testing::total_balls;
+
+// ---------------------------------------------------------------------------
+// Degenerate bin counts.
+
+TEST(EdgeCases, SingleBinProcessesWork) {
+  // Everything funnels into bin 0; gap stays 0.
+  for (const char* kind : {"one-choice", "two-choice", "g-bounded", "b-batch", "tau-delay"}) {
+    process_spec spec;
+    spec.kind = kind;
+    spec.n = 1;
+    spec.param = 2.0;
+    auto p = make_process(spec);
+    rng_t rng(1);
+    for (int t = 0; t < 100; ++t) p.step(rng);
+    EXPECT_EQ(p.state().load(0), 100) << kind;
+    EXPECT_DOUBLE_EQ(p.state().gap(), 0.0) << kind;
+  }
+}
+
+TEST(EdgeCases, TwoBinsLongRunStaysTight) {
+  two_choice p(2);
+  rng_t rng(2);
+  for (int t = 0; t < 200000; ++t) p.step(rng);
+  // Stationary two-bin difference is geometric: gap beyond 10 would be a
+  // ~3^-20 event.
+  EXPECT_LE(p.state().gap(), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parameter boundaries.
+
+TEST(EdgeCases, GLargerThanBallCountIsMaxOfTwo) {
+  // With g >= m every comparison is controlled; greedy makes the process
+  // "max of two samples" -- still conserves and keeps gap <= m bound.
+  const step_count m = 2000;
+  g_bounded p(16, 1000000);
+  rng_t rng(3);
+  for (step_count t = 0; t < m; ++t) p.step(rng);
+  EXPECT_EQ(p.state().balls(), m);
+  EXPECT_GT(p.state().gap(), 10.0);  // far worse than two-choice
+}
+
+TEST(EdgeCases, BatchLargerThanRunNeverRefreshes) {
+  const bin_count n = 32;
+  b_batch p(n, 1000000);
+  rng_t rng(4);
+  for (int t = 0; t < 5000; ++t) {
+    p.step(rng);
+    for (bin_index i = 0; i < n; ++i) {
+      ASSERT_EQ(p.reported_load(i), 0);  // snapshot never refreshes
+    }
+  }
+}
+
+TEST(EdgeCases, TauTwoWindowHoldsExactlyOneAllocation) {
+  const bin_count n = 16;
+  tau_delay<delay_oldest> p(n, 2);
+  rng_t rng(5);
+  for (int t = 0; t < 3000; ++t) {
+    p.step(rng);
+    // Window size tau-1 = 1: exactly one allocation can be hidden.
+    load_t hidden = 0;
+    for (bin_index i = 0; i < n; ++i) hidden += p.state().load(i) - p.stale_load(i);
+    ASSERT_EQ(hidden, 1);
+  }
+}
+
+TEST(EdgeCases, DelayLongerThanRunKeepsZeroEstimates) {
+  // tau > balls thrown so far: the "oldest" reporter sees the initial
+  // empty vector... but only the last tau-1 allocations are hidden, so
+  // after t < tau steps ALL t allocations are hidden.
+  const bin_count n = 8;
+  tau_delay<delay_oldest> p(n, 1000);
+  rng_t rng(6);
+  for (int t = 0; t < 500; ++t) {
+    p.step(rng);
+    for (bin_index i = 0; i < n; ++i) ASSERT_EQ(p.stale_load(i), 0);
+  }
+}
+
+TEST(EdgeCases, RhoExactlyHalfEverywhereConservesAndBalancesLoosely) {
+  rho_noisy_comp<rho_constant> p(64, rho_constant(0.5));
+  rng_t rng(7);
+  for (int t = 0; t < 64000; ++t) p.step(rng);
+  EXPECT_EQ(p.state().balls(), 64000);
+  EXPECT_GT(p.state().gap(), 0.0);
+}
+
+TEST(EdgeCases, SigmaVeryLargeApproachesOneChoice) {
+  // rho(delta) -> 1/2 for delta << sigma: with sigma = 10^6 the process is
+  // One-Choice for any reachable load difference.
+  const step_count m = 50000;
+  const double noisy =
+      nb::testing::mean_gap_of([] { return sigma_noisy_load(128, rho_gaussian(1e6)); }, m, 10, 8);
+  const double one = nb::testing::mean_gap_of([] { return one_choice(128); }, m, 10, 9);
+  EXPECT_NEAR(noisy, one, 0.2 * one);
+}
+
+TEST(EdgeCases, SigmaVerySmallIsTwoChoice) {
+  const step_count m = 50000;
+  const double noisy =
+      nb::testing::mean_gap_of([] { return sigma_noisy_load(128, rho_gaussian(1e-6)); }, m, 10, 10);
+  const double two = nb::testing::mean_gap_of([] { return two_choice(128); }, m, 10, 11);
+  EXPECT_NEAR(noisy, two, 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Exact effective rho of g-Adv-Load (inverting estimates).
+//
+// With estimates x_h - g (overloaded) and x_l + g (underloaded), the
+// comparison flips exactly when delta < 2g, ties at delta == 2g (coin) and
+// is correct beyond: effective rho(d) = [d > 2g] + 0.5 [d == 2g].  The n=2
+// chain for that rho must match the simulated process.
+//
+// Note: at n = 2 the inverting strategy needs the heavier bin to be the
+// overloaded one, which holds whenever the loads differ.
+
+TEST(EdgeCases, AdvLoadEffectiveRhoMatchesExactChainAtNTwo) {
+  const load_t g = 2;
+  const auto effective_rho = [g](load_t d) -> double {
+    if (d < 2 * g) return 0.0;
+    if (d == 2 * g) return 0.5;
+    return 1.0;
+  };
+  const double exact = two_bin_stationary_gap(effective_rho);
+  g_adv_load<inverting_estimates> p(2, g);
+  rng_t rng(12);
+  for (int t = 0; t < 20000; ++t) p.step(rng);
+  double acc = 0.0;
+  const int kSteps = 600000;
+  for (int t = 0; t < kSteps; ++t) {
+    p.step(rng);
+    acc += p.state().gap();
+  }
+  EXPECT_NEAR(acc / kSteps, exact, 0.05 * exact + 0.05);
+}
+
+TEST(EdgeCases, GBoundedExactChainDominatesMyopicChain) {
+  // Exact-by-construction comparison of the two adversaries at n = 2,
+  // across a g sweep: the greedy chain's stationary gap dominates.
+  for (const load_t g : {1, 2, 4, 8, 16}) {
+    const double bounded = two_bin_stationary_gap([g](load_t d) { return d <= g ? 0.0 : 1.0; });
+    const double myopic = two_bin_stationary_gap([g](load_t d) { return d <= g ? 0.5 : 1.0; });
+    EXPECT_GT(bounded, myopic) << "g=" << g;
+    // Both are Theta(g) at n = 2: sandwich with generous constants.
+    EXPECT_GT(bounded, 0.4 * g);
+    EXPECT_LT(bounded, 3.0 * g + 3.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Long-run stability (overflow / drift safety).
+
+TEST(EdgeCases, MillionBallsOnTinyBins) {
+  two_choice p(4);
+  rng_t rng(13);
+  for (int t = 0; t < 1000000; ++t) p.step(rng);
+  EXPECT_EQ(p.state().balls(), 1000000);
+  EXPECT_EQ(total_balls(p.state().loads()), 1000000);
+  EXPECT_LE(p.state().gap(), 12.0);  // two-choice keeps it tiny
+}
+
+TEST(EdgeCases, SnapshotsAreIndependentCopies) {
+  const auto a = run_and_snapshot(two_choice(16), 1000, 14);
+  const auto b = run_and_snapshot(two_choice(16), 1000, 14);
+  EXPECT_EQ(a, b);
+  const auto c = run_and_snapshot(two_choice(16), 1000, 15);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace

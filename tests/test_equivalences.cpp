@@ -1,0 +1,139 @@
+// The setting-hierarchy equivalences of the paper's Figure 2.1, verified in
+// the strongest possible sense: *trace identity* (same allocations from the
+// same RNG stream) where entropy consumption matches, and distributional
+// agreement otherwise.
+//
+//   g=0 Adv-Comp (any strategy)  == Two-Choice
+//   rho == 1                     == Two-Choice
+//   b = 1 Batch                  == Two-Choice
+//   tau = 1 Delay                == Two-Choice
+//   truthful Adv-Load            == Two-Choice
+//   g = infinity Myopic          == One-Choice       (distributional)
+//   first batch of b-Batch       == One-Choice       (distributional)
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::mean_gap_of;
+using nb::testing::traces_identical;
+
+constexpr bin_count kN = 64;
+constexpr step_count kM = 4000;
+
+TEST(Equivalence, ZeroGBoundedIsTwoChoice) {
+  EXPECT_TRUE(traces_identical(g_bounded(kN, 0), two_choice(kN), kM, 101));
+}
+
+TEST(Equivalence, ZeroGMyopicIsTwoChoice) {
+  EXPECT_TRUE(traces_identical(g_myopic_comp(kN, 0), two_choice(kN), kM, 102));
+}
+
+TEST(Equivalence, ZeroGAlwaysCorrectIsTwoChoice) {
+  EXPECT_TRUE(traces_identical(g_adv_comp<always_correct>(kN, 0), two_choice(kN), kM, 103));
+}
+
+TEST(Equivalence, AlwaysCorrectAnyGIsTwoChoice) {
+  // The always-correct adversary neutralizes any g.
+  EXPECT_TRUE(traces_identical(g_adv_comp<always_correct>(kN, 10), two_choice(kN), kM, 104));
+}
+
+TEST(Equivalence, RhoOneIsTwoChoice) {
+  EXPECT_TRUE(
+      traces_identical(rho_noisy_comp<rho_constant>(kN, rho_constant(1.0)), two_choice(kN), kM, 105));
+}
+
+TEST(Equivalence, BatchSizeOneIsTwoChoice) {
+  EXPECT_TRUE(traces_identical(b_batch(kN, 1), two_choice(kN), kM, 106));
+}
+
+TEST(Equivalence, DelayOneAdversarialIsTwoChoice) {
+  EXPECT_TRUE(traces_identical(tau_delay<delay_adversarial>(kN, 1), two_choice(kN), kM, 107));
+}
+
+TEST(Equivalence, DelayOneOldestIsTwoChoice) {
+  EXPECT_TRUE(traces_identical(tau_delay<delay_oldest>(kN, 1), two_choice(kN), kM, 108));
+}
+
+TEST(Equivalence, TruthfulAdvLoadIsTwoChoice) {
+  EXPECT_TRUE(
+      traces_identical(g_adv_load<truthful_estimates>(kN, 5), two_choice(kN), kM, 109));
+}
+
+TEST(Equivalence, ZeroSigmaGaussianIsTwoChoiceDistributionally) {
+  // sigma = 0 physical noise: estimates equal true loads.  Entropy use
+  // differs (Gaussian draws), so compare gaps statistically.
+  const double noisy = mean_gap_of([] { return sigma_noisy_load_gaussian(256, 0.0); }, 30000, 20, 110);
+  const double clean = mean_gap_of([] { return two_choice(256); }, 30000, 20, 111);
+  EXPECT_NEAR(noisy, clean, 0.5);
+}
+
+TEST(Equivalence, InfiniteGMyopicIsOneChoiceDistributionally) {
+  // With g >= m every comparison is controlled and the myopic process
+  // allocates to a uniformly random bin of the two samples == One-Choice.
+  const step_count m = 50000;
+  const double myopic = mean_gap_of([] { return g_myopic_comp(128, 1000000); }, m, 20, 112);
+  const double one = mean_gap_of([] { return one_choice(128); }, m, 20, 113);
+  EXPECT_NEAR(myopic, one, 0.15 * one);
+}
+
+TEST(Equivalence, RhoHalfIsOneChoiceDistributionally) {
+  const step_count m = 50000;
+  const double rho_half =
+      mean_gap_of([] { return rho_noisy_comp<rho_constant>(128, rho_constant(0.5)); }, m, 20, 114);
+  const double one = mean_gap_of([] { return one_choice(128); }, m, 20, 115);
+  EXPECT_NEAR(rho_half, one, 0.15 * one);
+}
+
+TEST(Equivalence, RhoStepZeroMatchesGBounded) {
+  // rho-step with low=0 *is* g-Bounded: both always send controlled
+  // comparisons to the heavier bin.  Entropy differs (bernoulli(0) draws
+  // nothing, but tie paths align), so check distributionally.
+  const step_count m = 30000;
+  const double via_rho =
+      mean_gap_of([] { return rho_noisy_comp<rho_step>(128, rho_step(4, 0.0)); }, m, 20, 116);
+  const double direct = mean_gap_of([] { return g_bounded(128, 4); }, m, 20, 117);
+  EXPECT_NEAR(via_rho, direct, 0.6);
+}
+
+TEST(Equivalence, RhoStepHalfMatchesGMyopic) {
+  const step_count m = 30000;
+  const double via_rho =
+      mean_gap_of([] { return rho_noisy_comp<rho_step>(128, rho_step(4, 0.5)); }, m, 20, 118);
+  const double direct = mean_gap_of([] { return g_myopic_comp(128, 4); }, m, 20, 119);
+  EXPECT_NEAR(via_rho, direct, 0.6);
+}
+
+TEST(Equivalence, FirstBatchOfBatchProcessIsOneChoice) {
+  // During the first batch every reported load is 0, so every comparison
+  // ties and the ball lands on a random sample: One-Choice on b balls.
+  const bin_count n = 128;
+  const step_count b = 2000;
+  const double batch_gap = mean_gap_of([&] { return b_batch(n, b); }, b, 30, 120);
+  const double one_gap = mean_gap_of([&] { return one_choice(n); }, b, 30, 121);
+  EXPECT_NEAR(batch_gap, one_gap, 0.15 * one_gap + 0.3);
+}
+
+TEST(Equivalence, GAdvLoadInvertingIsBoundedByTwiceGAdvComp) {
+  // The paper: g-Adv-Load can be simulated by (2g)-Adv-Comp, so the
+  // inverting estimate adversary can never beat the worst (2g)-Adv-Comp
+  // adversary.  Check the gap ordering statistically with headroom.
+  const step_count m = 60000;
+  const double adv_load = mean_gap_of([] { return g_adv_load<inverting_estimates>(128, 4); }, m, 15, 122);
+  const double adv_comp_2g = mean_gap_of([] { return g_bounded(128, 8); }, m, 15, 123);
+  EXPECT_LE(adv_load, adv_comp_2g + 2.0);
+}
+
+TEST(Equivalence, DelayTauEqualsBatchAtSameScaleIsComparable) {
+  // b-Batch is an instance of tau-Delay with tau = b: the adversarial
+  // delay cannot do *better* than the batch instance it can simulate.
+  const bin_count n = 256;
+  const step_count m = 50000;
+  const double batch = mean_gap_of([&] { return b_batch(n, n); }, m, 15, 124);
+  const double delay = mean_gap_of([&] { return tau_delay<delay_adversarial>(n, n); }, m, 15, 125);
+  EXPECT_GE(delay + 1.5, batch);
+}
+
+}  // namespace

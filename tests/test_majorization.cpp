@@ -1,0 +1,115 @@
+// Tests for probability allocation vectors and majorization utilities.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/potential/majorization.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+
+TEST(AllocationVectors, TwoChoiceFormula) {
+  const auto p = two_choice_allocation_vector(4);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_NEAR(p[0], 1.0 / 16.0, 1e-12);
+  EXPECT_NEAR(p[1], 3.0 / 16.0, 1e-12);
+  EXPECT_NEAR(p[2], 5.0 / 16.0, 1e-12);
+  EXPECT_NEAR(p[3], 7.0 / 16.0, 1e-12);
+}
+
+TEST(AllocationVectors, SumToOne) {
+  for (const bin_count n : {1u, 2u, 7u, 100u}) {
+    const auto p = two_choice_allocation_vector(n);
+    const auto q = one_choice_allocation_vector(n);
+    const auto r = one_plus_beta_allocation_vector(n, 0.3);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+    EXPECT_NEAR(std::accumulate(q.begin(), q.end(), 0.0), 1.0, 1e-9);
+    EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(AllocationVectors, TwoChoiceIsNonDecreasing) {
+  const auto p = two_choice_allocation_vector(50);
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_GE(p[i], p[i - 1]);
+}
+
+TEST(Majorization, UniformMajorizesTwoChoice) {
+  // In the i-th-most-loaded ordering, One-Choice's prefix sums dominate:
+  // it puts *more* probability on the heavier bins (hence worse balance).
+  const auto one = one_choice_allocation_vector(16);
+  const auto two = two_choice_allocation_vector(16);
+  EXPECT_TRUE(majorizes(one, two));
+  EXPECT_FALSE(majorizes(two, one));
+}
+
+TEST(Majorization, OnePlusBetaBetweenExtremes) {
+  const auto one = one_choice_allocation_vector(16);
+  const auto two = two_choice_allocation_vector(16);
+  const auto mid = one_plus_beta_allocation_vector(16, 0.5);
+  EXPECT_TRUE(majorizes(one, mid));
+  EXPECT_TRUE(majorizes(mid, two));
+}
+
+TEST(Majorization, ReflexiveAndToleratesFloatNoise) {
+  const auto p = two_choice_allocation_vector(8);
+  EXPECT_TRUE(majorizes(p, p));
+}
+
+TEST(Majorization, RejectsMismatchedLengths) {
+  EXPECT_THROW((void)majorizes({0.5, 0.5}, {1.0}), nb::contract_error);
+}
+
+TEST(LoadMajorization, DetectsDominance) {
+  // (4,0,0) majorizes (2,1,1); both hold 4 balls.
+  EXPECT_TRUE(load_vector_majorizes({4, 0, 0}, {2, 1, 1}));
+  EXPECT_FALSE(load_vector_majorizes({2, 1, 1}, {4, 0, 0}));
+}
+
+TEST(LoadMajorization, OrderInsensitive) {
+  EXPECT_TRUE(load_vector_majorizes({0, 0, 4}, {1, 2, 1}));
+}
+
+TEST(LoadMajorization, EqualVectorsMajorizeEachOther) {
+  EXPECT_TRUE(load_vector_majorizes({2, 2, 2}, {2, 2, 2}));
+}
+
+TEST(LoadMajorization, RejectsDifferentBallCounts) {
+  EXPECT_THROW((void)load_vector_majorizes({3, 0}, {1, 1}), nb::contract_error);
+}
+
+TEST(LoadMajorization, IncomparableVectorsBothFalse) {
+  // (3,3,0,0) vs (4,1,1,0): prefix sums 3,6 vs 4,5 -- neither dominates.
+  EXPECT_FALSE(load_vector_majorizes({3, 3, 0, 0}, {4, 1, 1, 0}));
+  EXPECT_FALSE(load_vector_majorizes({4, 1, 1, 0}, {3, 3, 0, 0}));
+}
+
+TEST(LoadMajorization, OneChoiceTypicallyMajorizesTwoChoice) {
+  // Lemma A.13's consequence, checked on mean prefix sums across runs: the
+  // averaged sorted One-Choice load vector dominates Two-Choice's.
+  const bin_count n = 64;
+  const step_count m = 6400;
+  std::vector<double> prefix_one(n, 0.0);
+  std::vector<double> prefix_two(n, 0.0);
+  const int kRuns = 20;
+  for (int r = 0; r < kRuns; ++r) {
+    auto loads1 = nb::testing::run_and_snapshot(one_choice(n), m, 100 + r);
+    auto loads2 = nb::testing::run_and_snapshot(two_choice(n), m, 200 + r);
+    std::sort(loads1.begin(), loads1.end(), std::greater<>());
+    std::sort(loads2.begin(), loads2.end(), std::greater<>());
+    double acc1 = 0.0;
+    double acc2 = 0.0;
+    for (bin_count i = 0; i < n; ++i) {
+      acc1 += loads1[i];
+      acc2 += loads2[i];
+      prefix_one[i] += acc1 / kRuns;
+      prefix_two[i] += acc2 / kRuns;
+    }
+  }
+  for (bin_count i = 0; i < n; ++i) {
+    EXPECT_GE(prefix_one[i] + 1.0, prefix_two[i]) << "prefix " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for the potential-function module: agreement with brute-force
+// evaluation, the paper's structural identities, and empirical drop
+// behaviour of the hyperbolic cosine potential under Two-Choice.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+
+std::vector<double> example_y() { return {2.0, 0.5, -0.5, -2.0}; }
+
+TEST(GammaPotential, MatchesBruteForce) {
+  const auto y = example_y();
+  const double gamma = 0.3;
+  double expected = 0.0;
+  for (double v : y) expected += std::cosh(gamma * v) * 2.0;  // e^x + e^-x = 2 cosh
+  EXPECT_NEAR(gamma_potential(y, gamma), expected, 1e-12);
+}
+
+TEST(GammaPotential, MinimizedByBalancedVector) {
+  const std::vector<double> balanced(8, 0.0);
+  EXPECT_DOUBLE_EQ(gamma_potential(balanced, 0.5), 16.0);  // 2n
+  EXPECT_GT(gamma_potential({1.0, -1.0, 0, 0, 0, 0, 0, 0}, 0.5), 16.0);
+}
+
+TEST(GammaPotential, RejectsNonPositiveGamma) {
+  EXPECT_THROW((void)gamma_potential(example_y(), 0.0), nb::contract_error);
+}
+
+TEST(LambdaPotential, OffsetAbsorbsSmallDeviations) {
+  // With |y_i| <= offset, Lambda == 2n exactly.
+  const std::vector<double> y = {1.5, -1.0, 0.5, -1.5};
+  EXPECT_DOUBLE_EQ(lambda_potential(y, 0.5, 2.0), 8.0);
+  // Exceeding the offset contributes exponentially.
+  const std::vector<double> y2 = {3.0, -1.0, 0.5, -1.5};
+  EXPECT_NEAR(lambda_potential(y2, 0.5, 2.0), 7.0 + std::exp(0.5 * 1.0), 1e-12);
+}
+
+TEST(LambdaPotential, BothTailsCount) {
+  const std::vector<double> y = {0.0, -5.0};
+  EXPECT_NEAR(lambda_potential(y, 1.0, 2.0), 3.0 + std::exp(3.0), 1e-12);
+}
+
+TEST(AbsolutePotential, SimpleSum) {
+  EXPECT_DOUBLE_EQ(absolute_potential(example_y()), 5.0);
+  EXPECT_DOUBLE_EQ(absolute_potential({}), 0.0);
+}
+
+TEST(QuadraticPotential, SimpleSum) {
+  EXPECT_DOUBLE_EQ(quadratic_potential(example_y()), 4.0 + 0.25 + 0.25 + 4.0);
+}
+
+TEST(QuadraticPotential, BoundedByAbsTimesMax) {
+  const auto y = example_y();
+  double max_abs = 0.0;
+  for (double v : y) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_LE(quadratic_potential(y), absolute_potential(y) * max_abs + 1e-12);
+}
+
+TEST(SuperExpPotential, OnlyOverloadedSideContributes) {
+  const std::vector<double> y = {5.0, 1.0, -10.0};
+  const double phi = 2.0;
+  const double z = 3.0;
+  EXPECT_NEAR(super_exp_potential(y, phi, z), std::exp(2.0 * 2.0) + 1.0 + 1.0, 1e-12);
+}
+
+TEST(SuperExpPotential, AtLeastN) {
+  EXPECT_GE(super_exp_potential(example_y(), 4.0, 1.0), 4.0);
+}
+
+TEST(SuperExpPotential, GapBoundFromPolyPotential) {
+  // If Phi <= poly(n) then Gap <= z + log(Phi)/phi (Section 8.1).  Check
+  // the contrapositive arithmetic on a crafted vector.
+  const double phi = 4.0;
+  const double z = 2.0;
+  const std::vector<double> y = {6.0, 0.0, 0.0, 0.0};
+  const double potential = super_exp_potential(y, phi, z);
+  const double implied_gap_bound = z + std::log(potential) / phi;
+  EXPECT_GE(implied_gap_bound, 6.0);  // must cover the actual gap
+}
+
+TEST(PaperConstants, GammaForG) {
+  // gamma = -log(1 - 1/384)/g; for g=1 that is ~ 0.0026076...
+  EXPECT_NEAR(paper_constants::gamma_for_g(1.0), 0.0026076, 1e-6);
+  EXPECT_NEAR(paper_constants::gamma_for_g(10.0), 0.00026076, 1e-7);
+  EXPECT_THROW((void)paper_constants::gamma_for_g(0.5), nb::contract_error);
+}
+
+TEST(GoodStep, ThresholdAtDNG) {
+  // n = 4, g = 1, D = 365: Delta <= 1460 is good.
+  std::vector<double> y = {100.0, -100.0, 0.0, 0.0};  // Delta = 200
+  EXPECT_TRUE(is_good_step(y, 1.0));
+  y = {1000.0, -1000.0, 0.0, 0.0};  // Delta = 2000 > 1460
+  EXPECT_FALSE(is_good_step(y, 1.0));
+}
+
+TEST(GoodStep, AlmostAllStepsGoodUnderTwoChoice) {
+  // Under noise-free Two-Choice the absolute potential stays O(n), far
+  // below D*n*g: every observed step should be good.
+  two_choice p(64);
+  rng_t rng(1);
+  int good = 0;
+  const int kSamples = 200;
+  for (int s = 0; s < kSamples; ++s) {
+    for (int t = 0; t < 64; ++t) p.step(rng);
+    if (is_good_step(p.state().normalized(), 1.0)) ++good;
+  }
+  EXPECT_EQ(good, kSamples);
+}
+
+TEST(GammaDrop, DecreasesInExpectationWhenLarge) {
+  // Theorem 4.3(i) empirically: under g-Adv-Comp with the greedy
+  // adversary, E[dGamma] <= -gamma/(96 n) Gamma + c.  Start from a
+  // poisoned (large-Gamma) configuration and verify Gamma shrinks.
+  const bin_count n = 64;
+  const load_t g = 4;
+  const double gamma = paper_constants::gamma_for_g(g);
+  g_adv_comp<phase_switch> p(n, g, phase_switch{20000});
+  rng_t rng(2);
+  for (int t = 0; t < 20000; ++t) p.step(rng);  // poison phase
+  const double poisoned = gamma_potential(p.state().normalized(), gamma);
+  for (int t = 0; t < 20000; ++t) p.step(rng);  // correct phase
+  const double recovered = gamma_potential(p.state().normalized(), gamma);
+  EXPECT_LT(recovered, poisoned);
+}
+
+TEST(GammaDrop, StationaryValueIsLinearInN) {
+  // Theorem 4.3(ii): E[Gamma] <= c n g; in particular Gamma/n stays O(1)
+  // at stationarity for fixed g.
+  const load_t g = 2;
+  const double gamma = paper_constants::gamma_for_g(g);
+  for (const bin_count n : {64u, 256u}) {
+    g_bounded p(n, g);
+    rng_t rng(3);
+    for (step_count t = 0; t < 400 * static_cast<step_count>(n); ++t) p.step(rng);
+    const double ratio = gamma_potential(p.state().normalized(), gamma) / n;
+    EXPECT_GT(ratio, 1.9);  // >= 2 by AM-GM up to float slack
+    EXPECT_LT(ratio, 10.0);
+  }
+}
+
+}  // namespace

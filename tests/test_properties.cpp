@@ -1,0 +1,218 @@
+// Property-based (parameterized) suites: invariants every allocation
+// process must satisfy, swept over the full registry and a grid of noise
+// parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/process_registry.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+
+// ---------------------------------------------------------------------------
+// Universal process invariants over every registry entry.
+
+struct spec_case {
+  const char* kind;
+  double param;
+};
+
+class ProcessInvariants : public ::testing::TestWithParam<spec_case> {
+ protected:
+  static constexpr bin_count kN = 48;
+  static constexpr step_count kM = 3000;
+
+  any_process make() const {
+    process_spec spec;
+    spec.kind = GetParam().kind;
+    spec.n = kN;
+    spec.param = GetParam().param;
+    return make_process(spec);
+  }
+};
+
+TEST_P(ProcessInvariants, ConservesBalls) {
+  auto p = make();
+  rng_t rng(1);
+  for (step_count t = 0; t < kM; ++t) p.step(rng);
+  std::int64_t total = 0;
+  for (const auto x : p.state().loads()) total += x;
+  EXPECT_EQ(total, kM);
+  EXPECT_EQ(p.state().balls(), kM);
+}
+
+TEST_P(ProcessInvariants, GapAlwaysNonNegativeAndBounded) {
+  auto p = make();
+  rng_t rng(2);
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    for (step_count t = 0; t < kM / 10; ++t) p.step(rng);
+    EXPECT_GE(p.state().gap(), 0.0);
+    EXPECT_LE(p.state().gap(), static_cast<double>(p.state().balls()));
+    EXPECT_GE(p.state().underload_gap(), 0.0);
+  }
+}
+
+TEST_P(ProcessInvariants, DeterministicForSeed) {
+  auto a = make();
+  auto b = make();
+  rng_t ra(3);
+  rng_t rb(3);
+  for (step_count t = 0; t < kM; ++t) {
+    a.step(ra);
+    b.step(rb);
+  }
+  EXPECT_EQ(a.state().loads(), b.state().loads());
+}
+
+TEST_P(ProcessInvariants, ResetRestoresInitialBehaviour) {
+  auto p = make();
+  rng_t rng(4);
+  for (step_count t = 0; t < 500; ++t) p.step(rng);
+  const auto first = p.state().loads();
+  p.reset();
+  EXPECT_EQ(p.state().balls(), 0);
+  EXPECT_EQ(p.state().max_load(), 0);
+  rng_t rng2(4);
+  for (step_count t = 0; t < 500; ++t) p.step(rng2);
+  EXPECT_EQ(p.state().loads(), first);
+}
+
+TEST_P(ProcessInvariants, MaxLoadMonotone) {
+  auto p = make();
+  rng_t rng(5);
+  load_t last = 0;
+  for (int chunk = 0; chunk < 20; ++chunk) {
+    for (step_count t = 0; t < 100; ++t) p.step(rng);
+    EXPECT_GE(p.state().max_load(), last);
+    last = p.state().max_load();
+  }
+}
+
+TEST_P(ProcessInvariants, CloneViaAnyProcessIsIndependent) {
+  auto p = make();
+  rng_t rng(6);
+  for (step_count t = 0; t < 100; ++t) p.step(rng);
+  any_process q = p;  // deep clone
+  rng_t rng2(7);
+  q.step(rng2);
+  EXPECT_EQ(p.state().balls() + 1, q.state().balls());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ProcessInvariants,
+    ::testing::Values(spec_case{"one-choice", 0}, spec_case{"two-choice", 0},
+                      spec_case{"d-choice", 3}, spec_case{"one-plus-beta", 0.7},
+                      spec_case{"g-bounded", 2}, spec_case{"g-bounded", 8},
+                      spec_case{"g-myopic", 2}, spec_case{"g-myopic", 8},
+                      spec_case{"g-adv-boost", 4}, spec_case{"g-adv-index", 4},
+                      spec_case{"g-adv-correct", 4}, spec_case{"g-adv-load", 3},
+                      spec_case{"g-adv-load-uniform", 3}, spec_case{"sigma-noisy-load", 2},
+                      spec_case{"sigma-noisy-gauss", 2}, spec_case{"b-batch", 16},
+                      spec_case{"b-batch", 97}, spec_case{"tau-delay", 16},
+                      spec_case{"tau-delay-oldest", 16}, spec_case{"tau-delay-random", 16},
+                      spec_case{"mean-thinning", 0}, spec_case{"noisy-mean-thinning", 4},
+                      spec_case{"noisy-mean-thinning-myopic", 4},
+                      spec_case{"noisy-one-plus-beta", 4}),
+    [](const ::testing::TestParamInfo<spec_case>& info) {
+      std::string name = info.param.kind;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_p" + std::to_string(static_cast<int>(info.param.param * 10));
+    });
+
+// ---------------------------------------------------------------------------
+// Theory-envelope sweeps: the measured gap of each noisy process stays
+// within a generous constant of its Table 2.3 bound at moderate scale.
+
+struct envelope_case {
+  const char* kind;
+  double param;
+  double bound;  // generous numeric gap bound for n = 256, m = 200n
+};
+
+class GapEnvelope : public ::testing::TestWithParam<envelope_case> {};
+
+TEST_P(GapEnvelope, MeanGapWithinEnvelope) {
+  const auto& c = GetParam();
+  const bin_count n = 256;
+  const step_count m = 200 * static_cast<step_count>(n);
+  const double gap = nb::testing::mean_gap_of(
+      [&] {
+        process_spec spec;
+        spec.kind = c.kind;
+        spec.n = n;
+        spec.param = c.param;
+        return make_process(spec);
+      },
+      m, 5, 1234);
+  EXPECT_LE(gap, c.bound) << c.kind << " param=" << c.param;
+  EXPECT_GE(gap, 0.5) << "suspiciously perfect balance for " << c.kind;
+}
+
+// Bounds: 4x the Table 2.3 expressions evaluated at n=256 (log n ~ 5.55,
+// log log n ~ 1.71), rounded up generously.
+INSTANTIATE_TEST_SUITE_P(
+    Table23, GapEnvelope,
+    ::testing::Values(
+        envelope_case{"two-choice", 0, 8.0},            // log2 log n ~ 2.5
+        envelope_case{"g-bounded", 2, 25.0},            // O(g + log n)
+        envelope_case{"g-bounded", 8, 45.0},
+        envelope_case{"g-bounded", 16, 70.0},
+        envelope_case{"g-myopic", 2, 20.0},
+        envelope_case{"g-myopic", 8, 40.0},
+        envelope_case{"g-adv-boost", 8, 45.0},
+        envelope_case{"g-adv-index", 8, 45.0},
+        envelope_case{"sigma-noisy-load", 2, 25.0},     // O(sigma sqrt(log n) log(n sigma))
+        envelope_case{"sigma-noisy-load", 8, 60.0},
+        envelope_case{"b-batch", 256, 15.0},            // Theta(log n / log log n)
+        envelope_case{"b-batch", 2048, 40.0},           // approaching Theta(b/n)
+        envelope_case{"tau-delay", 256, 18.0},
+        envelope_case{"g-adv-load", 4, 40.0}),
+    [](const ::testing::TestParamInfo<envelope_case>& info) {
+      std::string name = info.param.kind;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_p" + std::to_string(static_cast<int>(info.param.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Two-sidedness: the normalized load vector always sums to ~0, and the
+// number of overloaded bins is in [1, n-1] for any non-trivially unbalanced
+// state (swept over processes).
+
+class NormalizationSweep : public ::testing::TestWithParam<spec_case> {};
+
+TEST_P(NormalizationSweep, NormalizedLoadsSumToZero) {
+  process_spec spec;
+  spec.kind = GetParam().kind;
+  spec.n = 64;
+  spec.param = GetParam().param;
+  auto p = make_process(spec);
+  rng_t rng(8);
+  for (int t = 0; t < 4000; ++t) p.step(rng);
+  const auto y = p.state().normalized();
+  double sum = 0.0;
+  for (const double v : y) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+  const auto sorted = p.state().sorted_normalized_desc();
+  EXPECT_DOUBLE_EQ(sorted.front(), p.state().gap());
+}
+
+INSTANTIATE_TEST_SUITE_P(Processes, NormalizationSweep,
+                         ::testing::Values(spec_case{"two-choice", 0}, spec_case{"g-bounded", 4},
+                                           spec_case{"sigma-noisy-load", 3},
+                                           spec_case{"b-batch", 64}, spec_case{"tau-delay", 64}),
+                         [](const ::testing::TestParamInfo<spec_case>& info) {
+                           std::string name = info.param.kind;
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace

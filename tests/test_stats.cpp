@@ -1,0 +1,261 @@
+// Unit tests for the statistics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using nb::fit_linear;
+using nb::int_histogram;
+using nb::pearson;
+using nb::quantile_sorted;
+using nb::running_stats;
+using nb::summarize;
+
+// ---------------------------------------------------------------------------
+// running_stats
+
+TEST(RunningStats, EmptyIsZero) {
+  running_stats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  running_stats rs;
+  rs.add(3.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5, -1.25};
+  running_stats rs;
+  double sum = 0.0;
+  for (double x : xs) {
+    rs.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  const double var = ss / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.25);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  running_stats rs;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) rs.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(rs.mean(), offset, 1e-3);
+  EXPECT_NEAR(rs.variance(), 1.001, 0.01);  // alternating +/-1 around offset
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  running_stats all;
+  running_stats left;
+  running_stats right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    all.add(v);
+    (i < 20 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  running_stats a;
+  running_stats b;
+  b.add(2.0);
+  b.add(4.0);
+  a.merge(b);  // empty <- non-empty
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  running_stats empty;
+  a.merge(empty);  // non-empty <- empty
+  EXPECT_EQ(a.count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// quantiles / summarize
+
+TEST(Quantile, ExactOrderStatistics) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenValues) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.75), 7.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW((void)quantile_sorted({}, 0.5), nb::contract_error);
+  EXPECT_THROW((void)quantile_sorted({1.0}, 1.5), nb::contract_error);
+  EXPECT_THROW((void)quantile_sorted({1.0}, -0.1), nb::contract_error);
+}
+
+TEST(Summarize, FullSummary) {
+  const auto s = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptySampleIsAllZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// int_histogram
+
+TEST(Histogram, CountsAndFractions) {
+  int_histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(4);
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.count(3), 2);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.count(99), 0);
+  EXPECT_NEAR(h.fraction(3), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(h.min_value(), 3);
+  EXPECT_EQ(h.max_value(), 4);
+}
+
+TEST(Histogram, WeightedAdd) {
+  int_histogram h;
+  h.add(1, 10);
+  h.add(2, 30);
+  EXPECT_EQ(h.total(), 40);
+  EXPECT_NEAR(h.mean(), 1.75, 1e-12);
+  EXPECT_THROW(h.add(1, 0), nb::contract_error);
+}
+
+TEST(Histogram, QuantileAndMode) {
+  int_histogram h;
+  h.add(2, 46);
+  h.add(3, 54);  // the paper's Two-Choice n=10^4 distribution
+  EXPECT_EQ(h.mode(), 3);
+  EXPECT_EQ(h.quantile(0.25), 2);
+  EXPECT_EQ(h.quantile(0.5), 3);
+  EXPECT_EQ(h.quantile(1.0), 3);
+  EXPECT_NEAR(h.mean(), 2.54, 1e-12);
+}
+
+TEST(Histogram, PaperStyleRendering) {
+  int_histogram h;
+  h.add(2, 46);
+  h.add(3, 54);
+  EXPECT_EQ(h.to_paper_style(), "2:46%  3:54%");
+}
+
+TEST(Histogram, MergeAccumulates) {
+  int_histogram a;
+  int_histogram b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(5, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 6);
+  EXPECT_EQ(a.count(1), 5);
+  EXPECT_EQ(a.count(5), 1);
+}
+
+TEST(Histogram, EmptyHistogramGuards) {
+  int_histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW((void)h.min_value(), nb::contract_error);
+  EXPECT_THROW((void)h.mean(), nb::contract_error);
+  EXPECT_THROW((void)h.quantile(0.5), nb::contract_error);
+}
+
+TEST(Histogram, EntriesSorted) {
+  int_histogram h;
+  h.add(7);
+  h.add(-2);
+  h.add(3);
+  const auto entries = h.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, -2);
+  EXPECT_EQ(entries[1].first, 3);
+  EXPECT_EQ(entries[2].first, 7);
+}
+
+// ---------------------------------------------------------------------------
+// regression
+
+TEST(Regression, ExactLineRecovered) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {3, 5, 7, 9, 11};  // y = 2x + 1
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineHasHighButImperfectR2) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(Regression, ConstantYGivesZeroSlope) {
+  const auto fit = fit_linear({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW((void)fit_linear({1}, {2}), nb::contract_error);
+  EXPECT_THROW((void)fit_linear({1, 2}, {1}), nb::contract_error);
+  EXPECT_THROW((void)fit_linear({2, 2}, {1, 3}), nb::contract_error);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedIsNearZero) {
+  // Symmetric pattern with exactly zero covariance against 1..4.
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {1, -1, -1, 1}), 0.0, 1e-12);
+  EXPECT_EQ(pearson({1, 2, 3}, {5, 5, 5}), 0.0);  // zero-variance convention
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Tests for the closed-form theory bounds (Table 2.3 / Table 11.1 shapes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/theory/bounds.hpp"
+
+namespace {
+
+namespace th = nb::theory;
+
+TEST(TwoChoiceGap, KnownValues) {
+  // log2 log n: n = e^8 -> 3.
+  EXPECT_NEAR(th::two_choice_gap(std::exp(8.0)), 3.0, 1e-9);
+  EXPECT_NEAR(th::two_choice_gap(1e4), std::log2(std::log(1e4)), 1e-9);
+}
+
+TEST(TwoChoiceGap, MonotoneInN) {
+  EXPECT_LT(th::two_choice_gap(1e3), th::two_choice_gap(1e6));
+  EXPECT_THROW((void)th::two_choice_gap(1.0), nb::contract_error);
+}
+
+TEST(OneChoiceLight, MEqualsNGivesLogOverLogLog) {
+  const double n = 1e6;
+  const double v = th::one_choice_maxload_light(n, n);
+  const double expected = std::log(n) / std::log(4.0 * std::log(n));
+  EXPECT_NEAR(v, expected, 1e-9);
+}
+
+TEST(OneChoiceLight, DecreasesAsMShrinks) {
+  const double n = 1e6;
+  EXPECT_GT(th::one_choice_maxload_light(n, n), th::one_choice_maxload_light(n, n / 100.0));
+}
+
+TEST(OneChoiceHeavy, SqrtShape) {
+  EXPECT_NEAR(th::one_choice_gap_heavy(1e4, 1e6), std::sqrt(100.0 * std::log(1e4)), 1e-9);
+}
+
+TEST(OneChoiceGap, ContinuousAcrossRegimes) {
+  const double n = 1e4;
+  // Light regime value positive and finite; heavy regime grows with m.
+  EXPECT_GT(th::one_choice_gap(n, n), 0.0);
+  EXPECT_GT(th::one_choice_gap(n, 100.0 * n * std::log(n)),
+            th::one_choice_gap(n, n * std::log(n)));
+}
+
+TEST(AdvCompBounds, WarmupDominatesLinearForSmallG) {
+  const double n = 1e5;
+  for (double g = 1.0; g <= 32.0; g *= 2.0) {
+    EXPECT_GE(th::adv_comp_warmup_bound(n, g), th::adv_comp_linear_bound(n, g) * 0.1);
+  }
+}
+
+TEST(AdvCompBounds, SublinearBeatsLinearForSmallG) {
+  // For g << log n the refined bound g/log g * log log n is far below
+  // g + log n.
+  const double n = 1e18;  // log n ~ 41.4, log log n ~ 3.7
+  const double g = 4.0;
+  EXPECT_LT(th::adv_comp_sublinear_bound(n, g), th::adv_comp_linear_bound(n, g));
+}
+
+TEST(AdvCompBounds, TightGapPhaseTransition) {
+  const double n = 1e6;
+  const double logn = std::log(n);
+  // Below log n: dominated by the sublinear term ordering; above: linear.
+  const double small_g = th::adv_comp_tight_gap(n, 2.0);
+  const double large_g = th::adv_comp_tight_gap(n, 4.0 * logn);
+  EXPECT_LT(small_g, large_g);
+  // For g >= log n the curve is ~linear: ratio of consecutive doublings
+  // approaches 2.
+  const double r = th::adv_comp_tight_gap(n, 8.0 * logn) / th::adv_comp_tight_gap(n, 4.0 * logn);
+  EXPECT_NEAR(r, 2.0, 0.35);
+}
+
+TEST(AdvCompBounds, TightGapMonotoneInG) {
+  const double n = 1e6;
+  double prev = 0.0;
+  for (double g = 2.0; g <= 1024.0; g *= 2.0) {
+    const double v = th::adv_comp_tight_gap(n, g);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(BatchGap, BEqualsNMatchesLogOverLogLog) {
+  const double n = 1e6;
+  const double expected = std::log(n) / std::log(4.0 * std::log(n));
+  EXPECT_NEAR(th::batch_gap(n, n), expected, 1e-9);
+}
+
+TEST(BatchGap, HeavyRegimeIsBOverN) {
+  const double n = 1e4;
+  const double b = 4.0 * n * std::log(n);
+  EXPECT_NEAR(th::batch_gap(n, b), b / n, 1e-9);
+}
+
+TEST(BatchGap, MonotoneInB) {
+  const double n = 1e5;
+  double prev = 0.0;
+  for (double b = 2.0; b <= 64.0 * n; b *= 4.0) {
+    const double v = th::batch_gap(n, b);
+    EXPECT_GE(v, prev - 1e-9) << "b=" << b;
+    prev = v;
+  }
+}
+
+TEST(SigmaBounds, UpperAboveLower) {
+  const double n = 1e5;
+  for (double sigma = 1.0; sigma <= 256.0; sigma *= 4.0) {
+    EXPECT_GT(th::sigma_noisy_load_upper(n, sigma), th::sigma_noisy_load_lower(n, sigma));
+  }
+}
+
+TEST(SigmaBounds, LowerBoundRegimes) {
+  const double n = std::exp(16.0);  // log n = 16
+  // Small sigma: sigma^{4/5} < sigma^{2/5} sqrt(16) = 4 sigma^{2/5}
+  // iff sigma^{2/5} < 4 iff sigma < 32.
+  EXPECT_NEAR(th::sigma_noisy_load_lower(n, 8.0), std::pow(8.0, 0.8), 1e-9);
+  EXPECT_NEAR(th::sigma_noisy_load_lower(n, 1024.0), std::pow(1024.0, 0.4) * 4.0, 1e-9);
+}
+
+TEST(MyopicLowerBound, BallCountFormula) {
+  EXPECT_DOUBLE_EQ(th::myopic_lower_bound_m(100.0, 8.0), 400.0);
+}
+
+TEST(LayeredInduction, KnownLevels) {
+  const double n = std::exp(16.0);  // log n = 16
+  // g = 4 = 16^{1/2} -> k = 2; g = 2 ~ 16^{1/4} -> k = 4.
+  EXPECT_EQ(th::layered_induction_levels(n, 4.0), 2);
+  EXPECT_EQ(th::layered_induction_levels(n, 2.0), 4);
+}
+
+TEST(LayeredInduction, MonotoneDecreasingInG) {
+  const double n = 1e9;
+  int prev = 1000;
+  for (double g = 1.5; g <= 32.0; g *= 2.0) {
+    const int k = th::layered_induction_levels(n, g);
+    EXPECT_LE(k, prev);
+    prev = k;
+  }
+  EXPECT_THROW((void)th::layered_induction_levels(n, 1.0), nb::contract_error);
+}
+
+TEST(Preconditions, RejectDegenerateArguments) {
+  EXPECT_THROW((void)th::one_choice_maxload_light(0.5, 10.0), nb::contract_error);
+  EXPECT_THROW((void)th::adv_comp_warmup_bound(100.0, 0.5), nb::contract_error);
+  EXPECT_THROW((void)th::adv_comp_sublinear_bound(100.0, 1.0), nb::contract_error);
+  EXPECT_THROW((void)th::batch_gap(100.0, 0.5), nb::contract_error);
+  EXPECT_THROW((void)th::sigma_noisy_load_upper(100.0, 0.0), nb::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the future-work extension: noisy Mean-Thinning and noisy
+// (1+beta) (Section 13 of the paper suggests studying these).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+using nb::testing::mean_gap_of;
+using nb::testing::run_and_snapshot;
+using nb::testing::total_balls;
+
+// ---------------------------------------------------------------------------
+// Strategy-level semantics.
+
+TEST(ThinningStrategies, GreedyKeepsOverloadedDivertsUnderloaded) {
+  thinning_greedy s;
+  rng_t rng(1);
+  EXPECT_TRUE(s.keep_here(2.5, rng));    // overloaded: keep (damaging)
+  EXPECT_TRUE(s.keep_here(0.0, rng));    // boundary counts as overloaded
+  EXPECT_FALSE(s.keep_here(-1.5, rng));  // underloaded: divert (damaging)
+}
+
+TEST(ThinningStrategies, CorrectIsComplementOfGreedy) {
+  thinning_correct s;
+  rng_t rng(2);
+  EXPECT_FALSE(s.keep_here(2.5, rng));
+  EXPECT_FALSE(s.keep_here(0.0, rng));
+  EXPECT_TRUE(s.keep_here(-1.5, rng));
+}
+
+TEST(ThinningStrategies, RandomIsFair) {
+  thinning_random s;
+  rng_t rng(3);
+  int keeps = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (s.keep_here(1.0, rng)) ++keeps;
+  }
+  EXPECT_NEAR(keeps / 4000.0, 0.5, 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// Process semantics.
+
+TEST(MeanThinning, RejectsNegativeG) {
+  EXPECT_THROW(noisy_mean_thinning<thinning_greedy>(8, -1), contract_error);
+}
+
+TEST(MeanThinning, ConservesBalls) {
+  EXPECT_EQ(total_balls(run_and_snapshot(mean_thinning(64, 0), 5000, 4)), 5000);
+  EXPECT_EQ(total_balls(run_and_snapshot(noisy_mean_thinning<thinning_greedy>(64, 3), 5000, 5)),
+            5000);
+  EXPECT_EQ(total_balls(run_and_snapshot(noisy_mean_thinning<thinning_random>(64, 3), 5000, 6)),
+            5000);
+}
+
+TEST(MeanThinning, NoiseFreeBeatsOneChoiceSubstantially) {
+  const step_count m = 100000;
+  const double thin = mean_gap_of([] { return mean_thinning(256, 0); }, m, 10, 7);
+  const double one = mean_gap_of([] { return one_choice(256); }, m, 10, 8);
+  EXPECT_LT(thin * 2.5, one);
+}
+
+TEST(MeanThinning, NoiseFreeWorseThanTwoChoice) {
+  // Mean-Thinning gets less information than Two-Choice (one threshold bit
+  // per ball vs a full comparison): Theta(log log n) vs log2 log n, with a
+  // larger constant in practice.
+  const step_count m = 100000;
+  const double thin = mean_gap_of([] { return mean_thinning(256, 0); }, m, 15, 9);
+  const double two = mean_gap_of([] { return two_choice(256); }, m, 15, 10);
+  EXPECT_GE(thin + 0.5, two);
+}
+
+TEST(MeanThinning, GapGrowsWithThresholdNoise) {
+  const step_count m = 100000;
+  const double g0 = mean_gap_of([] { return noisy_mean_thinning<thinning_greedy>(256, 0); }, m, 10, 11);
+  const double g4 = mean_gap_of([] { return noisy_mean_thinning<thinning_greedy>(256, 4); }, m, 10, 12);
+  const double g16 =
+      mean_gap_of([] { return noisy_mean_thinning<thinning_greedy>(256, 16); }, m, 10, 13);
+  EXPECT_LT(g0, g4);
+  EXPECT_LT(g4, g16);
+}
+
+TEST(MeanThinning, GreedyAdversaryDominatesRandom) {
+  const step_count m = 100000;
+  const double greedy =
+      mean_gap_of([] { return noisy_mean_thinning<thinning_greedy>(256, 8); }, m, 15, 14);
+  const double random =
+      mean_gap_of([] { return noisy_mean_thinning<thinning_random>(256, 8); }, m, 15, 15);
+  EXPECT_GE(greedy + 0.5, random);
+}
+
+TEST(MeanThinning, NoisyGapStaysLinearInG) {
+  // Extension analogue of Theorem 5.12: the corrupted threshold can cost
+  // at most O(g + ...) -- check a generous linear envelope.
+  const bin_count n = 256;
+  const step_count m = 150000;
+  for (const load_t g : {2, 8, 32}) {
+    const double gap =
+        mean_gap_of([&] { return noisy_mean_thinning<thinning_greedy>(n, g); }, m, 5, 16 + g);
+    EXPECT_LE(gap, 6.0 * (static_cast<double>(g) + std::log(n))) << "g=" << g;
+  }
+}
+
+TEST(NoisyOnePlusBeta, ValidatesParameters) {
+  EXPECT_THROW(noisy_one_plus_beta<greedy_reverser>(8, 1.5, 2), contract_error);
+  EXPECT_THROW(noisy_one_plus_beta<greedy_reverser>(8, 0.5, -1), contract_error);
+}
+
+TEST(NoisyOnePlusBeta, ConservesBalls) {
+  EXPECT_EQ(
+      total_balls(run_and_snapshot(noisy_one_plus_beta<greedy_reverser>(64, 0.7, 3), 5000, 20)),
+      5000);
+}
+
+TEST(NoisyOnePlusBeta, BetaOneEqualsGBoundedTrace) {
+  // With beta = 1 every step is a (noisy) Two-Choice step: identical to
+  // g-Bounded given the same stream (bernoulli(1) consumes no entropy).
+  EXPECT_TRUE(nb::testing::traces_identical(noisy_one_plus_beta<greedy_reverser>(64, 1.0, 5),
+                                            g_bounded(64, 5), 4000, 21));
+}
+
+TEST(NoisyOnePlusBeta, BetaZeroIsOneChoiceTrace) {
+  EXPECT_TRUE(nb::testing::traces_identical(noisy_one_plus_beta<greedy_reverser>(64, 0.0, 5),
+                                            one_choice(64), 4000, 22));
+}
+
+TEST(NoisyOnePlusBeta, NoiseHurtsLessAtSmallBeta) {
+  // With fewer Two-Choice steps there are fewer comparisons to corrupt:
+  // the *additional* gap caused by the adversary shrinks with beta.
+  const step_count m = 150000;
+  const bin_count n = 256;
+  const double hi_beta_clean =
+      mean_gap_of([&] { return one_plus_beta(n, 0.9); }, m, 15, 23);
+  const double hi_beta_noisy =
+      mean_gap_of([&] { return noisy_one_plus_beta<greedy_reverser>(n, 0.9, 8); }, m, 15, 24);
+  const double lo_beta_clean =
+      mean_gap_of([&] { return one_plus_beta(n, 0.2); }, m, 15, 25);
+  const double lo_beta_noisy =
+      mean_gap_of([&] { return noisy_one_plus_beta<greedy_reverser>(n, 0.2, 8); }, m, 15, 26);
+  const double hi_damage = hi_beta_noisy - hi_beta_clean;
+  const double lo_damage = lo_beta_noisy - lo_beta_clean;
+  EXPECT_GE(hi_damage + 1.0, lo_damage);
+  EXPECT_GT(hi_damage, 0.5);  // the adversary does real damage at high beta
+}
+
+TEST(NoisyProcesses, NamesAreDescriptive) {
+  EXPECT_NE(noisy_mean_thinning<thinning_greedy>(8, 2).name().find("greedy"), std::string::npos);
+  EXPECT_NE(noisy_one_plus_beta<random_decision>(8, 0.5, 2).name().find("(1+beta)"),
+            std::string::npos);
+}
+
+TEST(NoisyProcesses, ResetReproducesRun) {
+  noisy_mean_thinning<thinning_greedy> p(32, 4);
+  rng_t rng(27);
+  for (int t = 0; t < 2000; ++t) p.step(rng);
+  const auto first = p.state().loads();
+  p.reset();
+  rng_t rng2(27);
+  for (int t = 0; t < 2000; ++t) p.step(rng2);
+  EXPECT_EQ(p.state().loads(), first);
+}
+
+}  // namespace
