@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <map>

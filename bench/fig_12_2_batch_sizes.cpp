@@ -3,8 +3,9 @@
 // against the One-Choice gap with m = b balls (the first-batch lower bound
 // of Observation 11.6), plus the theory column
 // log n / log((4n/b) log n) (Corollary 10.4).
-#include "bench_common.hpp"
+#include <cmath>
 
+#include "bench_common.hpp"
 #include "core/theory/bounds.hpp"
 
 namespace {

@@ -1,80 +1,165 @@
-// Microbenchmarks (google-benchmark): cost per allocation step of every
-// process, the type-erasure overhead, and the RNG primitives.  Not a paper
-// experiment -- this is the evidence that paper-scale runs (10^8 balls)
-// are routine on a laptop.
-#include <benchmark/benchmark.h>
+// Bulk-allocation throughput: balls/sec of the per-ball path (one
+// step()/virtual call per ball -- the pre-refactor driver) against the
+// bulk path (step_many with fused inner loops), plus the cost of
+// observation checkpoints with and without the level-compressed load
+// index.  Not a paper experiment -- this is the evidence that paper-scale
+// runs (10^8 balls) are routine on a laptop.
+//
+// The headline number: two-choice, n = 10^4, m = 10^7, type-erased
+// (exactly how the registry-driven sweep binaries execute), per-ball vs
+// bulk.  Both paths are verified to produce bit-identical load vectors
+// before any timing is reported.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "noisebalance.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
 using namespace nb;
 
-constexpr bin_count kN = 1 << 16;
+constexpr int kReps = 3;  // best-of to suppress scheduling noise
 
-template <typename P>
-void run_steps(benchmark::State& state, P process) {
-  rng_t rng(42);
-  for (auto _ : state) {
-    process.step(rng);
-    benchmark::DoNotOptimize(process.state().max_load());
+struct measurement {
+  double balls_per_sec = 0.0;
+  double gap = 0.0;
+  std::vector<load_t> loads;
+};
+
+/// Best-of-kReps timing of `body(process, rng)` over m balls; every rep
+/// re-creates the process and generator so reps are identical workloads.
+template <typename MakeProcess, typename Body>
+measurement time_run(const MakeProcess& make, step_count m, std::uint64_t seed, const Body& body) {
+  measurement best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto process = make();
+    rng_t rng(seed);
+    const bench::stopwatch clock;
+    body(process, rng, m);
+    const double elapsed = clock.seconds();
+    const double rate = static_cast<double>(m) / elapsed;
+    if (rate > best.balls_per_sec) best.balls_per_sec = rate;
+    best.gap = process.state().gap();
+    if (rep == kReps - 1) best.loads = process.state().loads();
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  return best;
 }
 
-void BM_OneChoice(benchmark::State& state) { run_steps(state, one_choice(kN)); }
-void BM_TwoChoice(benchmark::State& state) { run_steps(state, two_choice(kN)); }
-void BM_DChoice4(benchmark::State& state) { run_steps(state, d_choice(kN, 4)); }
-void BM_OnePlusBeta(benchmark::State& state) { run_steps(state, one_plus_beta(kN, 0.5)); }
-void BM_GBounded(benchmark::State& state) { run_steps(state, g_bounded(kN, 8)); }
-void BM_GMyopic(benchmark::State& state) { run_steps(state, g_myopic_comp(kN, 8)); }
-void BM_GAdvLoad(benchmark::State& state) {
-  run_steps(state, g_adv_load<inverting_estimates>(kN, 8));
-}
-void BM_SigmaNoisyRho(benchmark::State& state) {
-  run_steps(state, sigma_noisy_load(kN, rho_gaussian(8.0)));
-}
-void BM_SigmaNoisyGauss(benchmark::State& state) {
-  run_steps(state, sigma_noisy_load_gaussian(kN, 8.0));
-}
-void BM_BBatch(benchmark::State& state) { run_steps(state, b_batch(kN, kN)); }
-void BM_TauDelay(benchmark::State& state) {
-  run_steps(state, tau_delay<delay_adversarial>(kN, kN));
-}
-void BM_TypeErasedTwoChoice(benchmark::State& state) {
-  run_steps(state, any_process(two_choice(kN)));
+template <typename MakeProcess>
+void report(const char* label, const MakeProcess& make, step_count m, std::uint64_t seed) {
+  const auto per_ball = time_run(make, m, seed, [](auto& p, rng_t& rng, step_count balls) {
+    for (step_count t = 0; t < balls; ++t) p.step(rng);
+  });
+  const auto bulk = time_run(make, m, seed, [](auto& p, rng_t& rng, step_count balls) {
+    step_many(p, rng, balls);
+  });
+  if (per_ball.loads != bulk.loads) {
+    std::printf("PARITY FAILURE for %s: per-ball and bulk load vectors differ\n", label);
+    std::exit(1);
+  }
+  std::printf("%-34s %14.3e %14.3e %9.2fx   (gap %.1f)\n", label, per_ball.balls_per_sec,
+              bulk.balls_per_sec, bulk.balls_per_sec / per_ball.balls_per_sec, bulk.gap);
 }
 
-void BM_RngNext(benchmark::State& state) {
-  rng_t rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+/// The end-to-end observed run: gap, underload gap and the median
+/// normalized load at every checkpoint (one checkpoint per `interval`
+/// balls; the default, interval = n, is one observation per unit of
+/// normalized time -- the cadence of the paper's gap-dynamics traces).
+///
+/// Baseline = the pre-refactor execution strategy, reconstructed inline:
+/// one step() per ball, and each checkpoint pays normalized() + an
+/// O(n log n) descending sort (exactly what sorted_normalized_desc did
+/// before the level index existed).  Bulk = step_many between checkpoints
+/// and the sort-free level-index queries.  Both record the same values.
+double report_observed_run(bin_count n, step_count m, step_count interval, std::uint64_t seed) {
+  const auto make = [n] { return two_choice(n); };
+  double check_per_ball = 0.0;
+  double check_bulk = 0.0;
+  const auto per_ball = time_run(make, m, seed, [&](auto& p, rng_t& rng, step_count balls) {
+    double sink = 0.0;
+    for (step_count t = 1; t <= balls; ++t) {
+      p.step(rng);
+      if (t % interval == 0 || t == balls) {
+        const auto& s = p.state();
+        const double avg = s.average_load();
+        std::vector<double> y(s.loads().begin(), s.loads().end());
+        std::sort(y.begin(), y.end(), std::greater<>());
+        sink += (y.front() - avg) + (avg - y.back()) + (y[y.size() / 2] - avg);
+      }
+    }
+    check_per_ball = sink;
+  });
+  const auto bulk = time_run(make, m, seed, [&](auto& p, rng_t& rng, step_count balls) {
+    double sink = 0.0;
+    for (step_count done = 0; done < balls; done += interval) {
+      step_many(p, rng, std::min(interval, balls - done));
+      const auto& s = p.state();
+      const auto y = s.sorted_normalized_desc();
+      sink += s.gap() + s.underload_gap() + y[y.size() / 2];
+    }
+    check_bulk = sink;
+  });
+  if (check_per_ball != check_bulk) {
+    std::printf("PARITY FAILURE for observed run: %.6f != %.6f\n", check_per_ball, check_bulk);
+    std::exit(1);
+  }
+  std::printf("%-34s %14.3e %14.3e %9.2fx   (gap %.1f)\n", "two-choice observed run",
+              per_ball.balls_per_sec, bulk.balls_per_sec,
+              bulk.balls_per_sec / per_ball.balls_per_sec, bulk.gap);
+  return bulk.balls_per_sec / per_ball.balls_per_sec;
 }
-void BM_RngBounded(benchmark::State& state) {
-  rng_t rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(bounded(rng, 10007));
-}
-void BM_RngGaussian(benchmark::State& state) {
-  rng_t rng(1);
-  gaussian_sampler gs;
-  for (auto _ : state) benchmark::DoNotOptimize(gs.next(rng));
-}
-
-BENCHMARK(BM_OneChoice);
-BENCHMARK(BM_TwoChoice);
-BENCHMARK(BM_DChoice4);
-BENCHMARK(BM_OnePlusBeta);
-BENCHMARK(BM_GBounded);
-BENCHMARK(BM_GMyopic);
-BENCHMARK(BM_GAdvLoad);
-BENCHMARK(BM_SigmaNoisyRho);
-BENCHMARK(BM_SigmaNoisyGauss);
-BENCHMARK(BM_BBatch);
-BENCHMARK(BM_TauDelay);
-BENCHMARK(BM_TypeErasedTwoChoice);
-BENCHMARK(BM_RngNext);
-BENCHMARK(BM_RngBounded);
-BENCHMARK(BM_RngGaussian);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  cli_parser cli(
+      "Throughput of the per-ball vs bulk (step_many) allocation paths.\n"
+      "Columns: balls/sec per-ball, balls/sec bulk, speedup.");
+  cli.add_int("n", 10000, "number of bins");
+  cli.add_int("m", 10000000, "number of balls");
+  cli.add_int("interval", 0, "observation interval for the observed-run row (0 = n)");
+  cli.add_int("seed", 42, "RNG seed (same stream for both paths)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  NB_REQUIRE(cli.get_int("n") >= 1 && cli.get_int("n") <= 0xFFFFFFFFLL,
+             "--n must be in [1, 2^32)");
+  NB_REQUIRE(cli.get_int("m") >= 1 && cli.get_int("m") <= 2000000000LL,
+             "--m must be in [1, 2*10^9] (32-bit per-bin loads)");
+  const auto n = static_cast<bin_count>(cli.get_int("n"));
+  const auto m = static_cast<step_count>(cli.get_int("m"));
+  const auto interval =
+      cli.get_int("interval") > 0 ? static_cast<step_count>(cli.get_int("interval"))
+                                  : static_cast<step_count>(n);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("n = %u, m = %lld, best of %d reps; per-ball = step() per ball,\n", n,
+              static_cast<long long>(m), kReps);
+  std::printf("bulk = one step_many call (bit-identical results, checked per row)\n\n");
+  std::printf("%-34s %14s %14s %10s\n", "process", "per-ball b/s", "bulk b/s", "speedup");
+
+  report("one-choice", [n] { return one_choice(n); }, m, seed);
+  report("two-choice", [n] { return two_choice(n); }, m, seed);
+  report("two-choice (type-erased driver)", [n] { return any_process(two_choice(n)); }, m, seed);
+  report("d-choice (d=4)", [n] { return d_choice(n, 4); }, m, seed);
+  report("(1+beta) beta=0.5", [n] { return one_plus_beta(n, 0.5); }, m, seed);
+  report("g-bounded g=8", [n] { return g_bounded(n, 8); }, m, seed);
+  report("sigma-noisy-load s=8", [n] { return sigma_noisy_load(n, rho_gaussian(8.0)); }, m, seed);
+  report("b-batch b=n", [n] { return b_batch(n, n); }, m, seed);
+  report("b-batch b=n (type-erased driver)", [n] { return any_process(b_batch(n, n)); }, m, seed);
+  report("tau-delay tau=n", [n] { return tau_delay<delay_adversarial>(n, n); }, m, seed);
+  const double observed_speedup = report_observed_run(n, m, interval, seed);
+
+  std::printf(
+      "\nheadline: the observed-run row is the before/after of this PR's\n"
+      "bulk-step refactor -- per-ball stepping with the sort-based\n"
+      "per-checkpoint observations the old code paid (O(n log n) each)\n"
+      "versus step_many between checkpoints plus the level-compressed load\n"
+      "index (sort-free).  Observed-run speedup: %.2fx at one checkpoint\n"
+      "per %lld balls.  Pure-allocation rows above isolate the fused-loop\n"
+      "gain alone (identical RNG draw order, bit-identical loads).\n",
+      observed_speedup, static_cast<long long>(interval));
+  return 0;
+}

@@ -23,6 +23,13 @@ class one_choice {
 
   void step(rng_t& rng) { state_.allocate(sample_bin(rng, state_.n())); }
 
+  /// Fused bulk loop: n hoisted out of the per-ball path.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) state_.allocate(sample_bin(rng, n));
+  }
+
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
   [[nodiscard]] std::string name() const { return "one-choice"; }
@@ -35,9 +42,23 @@ class two_choice {
  public:
   explicit two_choice(bin_count n) : state_(n) {}
 
-  void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    const bin_index i2 = sample_bin(rng, state_.n());
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n hoisted, decision body inlined per iteration.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return "two-choice"; }
+
+ private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i2 = sample_bin(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     bin_index chosen;
@@ -51,11 +72,6 @@ class two_choice {
     state_.allocate(chosen);
   }
 
-  [[nodiscard]] const load_state& state() const noexcept { return state_; }
-  void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return "two-choice"; }
-
- private:
   load_state state_;
 };
 
@@ -67,12 +83,27 @@ class d_choice {
     NB_REQUIRE(d >= 1, "d-choice needs d >= 1");
   }
 
-  void step(rng_t& rng) {
-    bin_index best = sample_bin(rng, state_.n());
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n and d stay in registers across balls.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return std::to_string(d_) + "-choice"; }
+  [[nodiscard]] int d() const noexcept { return d_; }
+
+ private:
+  void step_one(rng_t& rng, bin_count n) {
+    bin_index best = sample_bin(rng, n);
     load_t best_load = state_.load(best);
     std::uint64_t tie_count = 1;
     for (int k = 1; k < d_; ++k) {
-      const bin_index candidate = sample_bin(rng, state_.n());
+      const bin_index candidate = sample_bin(rng, n);
       const load_t candidate_load = state_.load(candidate);
       if (candidate_load < best_load) {
         best = candidate;
@@ -86,12 +117,6 @@ class d_choice {
     state_.allocate(best);
   }
 
-  [[nodiscard]] const load_state& state() const noexcept { return state_; }
-  void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return std::to_string(d_) + "-choice"; }
-  [[nodiscard]] int d() const noexcept { return d_; }
-
- private:
   load_state state_;
   int d_;
 };
@@ -103,13 +128,28 @@ class one_plus_beta {
     NB_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1]");
   }
 
-  void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n and beta hoisted out of the per-ball path.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return "(1+beta)[" + std::to_string(beta_) + "]"; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+
+ private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
     if (!bernoulli(rng, beta_)) {
       state_.allocate(i1);  // One-Choice step
       return;
     }
-    const bin_index i2 = sample_bin(rng, state_.n());
+    const bin_index i2 = sample_bin(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     bin_index chosen;
@@ -123,12 +163,6 @@ class one_plus_beta {
     state_.allocate(chosen);
   }
 
-  [[nodiscard]] const load_state& state() const noexcept { return state_; }
-  void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return "(1+beta)[" + std::to_string(beta_) + "]"; }
-  [[nodiscard]] double beta() const noexcept { return beta_; }
-
- private:
   load_state state_;
   double beta_;
 };

@@ -1,23 +1,20 @@
 #include "core/load_vector.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <cmath>
 
 namespace nb {
 
 load_state::load_state(bin_count n) {
   NB_REQUIRE(n >= 1, "need at least one bin");
   loads_.assign(n, 0);
+  levels_.reset(n);
 }
 
 void load_state::reset() {
   std::fill(loads_.begin(), loads_.end(), 0);
-  max_load_ = 0;
+  levels_.reset(n());
   balls_ = 0;
-}
-
-load_t load_state::min_load() const noexcept {
-  return *std::min_element(loads_.begin(), loads_.end());
 }
 
 std::vector<double> load_state::normalized() const {
@@ -30,18 +27,20 @@ std::vector<double> load_state::normalized() const {
 }
 
 std::vector<double> load_state::sorted_normalized_desc() const {
-  std::vector<double> y = normalized();
-  std::sort(y.begin(), y.end(), std::greater<>());
+  const double avg = average_load();
+  std::vector<double> y;
+  y.reserve(loads_.size());
+  levels_.for_each_level_desc([&](load_t level, bin_count count) {
+    y.insert(y.end(), count, static_cast<double>(level) - avg);
+  });
   return y;
 }
 
 bin_count load_state::overloaded_count() const noexcept {
-  const double avg = average_load();
-  bin_count count = 0;
-  for (const load_t x : loads_) {
-    if (static_cast<double>(x) >= avg) ++count;
-  }
-  return count;
+  // x >= avg over integer loads is exactly x >= ceil(avg): count levels in
+  // the index instead of scanning all n bins.
+  const auto threshold = static_cast<load_t>(std::ceil(average_load()));
+  return levels_.count_at_or_above(threshold);
 }
 
 }  // namespace nb

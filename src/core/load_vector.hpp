@@ -4,9 +4,13 @@
 // x^t = (x^t_1 .. x^t_n); the normalized load is y^t_i = x^t_i - t/n sorted
 // non-increasingly, and Gap(t) = max_i x^t_i - t/n = y^t_1.
 //
-// The hot loop only ever calls allocate(); max load is maintained
-// incrementally (it is non-decreasing under insertions), everything else is
-// computed on demand at observation points.
+// The hot loop only ever calls allocate().  A level-compressed companion
+// index (`level_index`) counts how many bins sit at each load level and is
+// maintained incrementally, so min/max load are O(1) and the sorted
+// normalized vector / overloaded-bin count are O(span) resp. O(n) with no
+// sorting, where span = max - min load (O(log n) for every process the
+// paper studies).  Observation points therefore never pay an O(n log n)
+// sort.
 #pragma once
 
 #include <vector>
@@ -15,6 +19,114 @@
 #include "common/types.hpp"
 
 namespace nb {
+
+/// Level-compressed summary of a load vector: for each load level L in
+/// [min_level, max_level], how many bins currently hold exactly L balls.
+///
+/// Invariants (checked by tests against from-scratch recomputation):
+///   * sum of counts == n,
+///   * count_at(min_level) > 0 and count_at(max_level) > 0,
+///   * levels only ever move up, one ball at a time (on_allocate).
+///
+/// Storage is a dense window [base_, base_ + counts_.size()) of levels;
+/// empty levels below the minimum are trimmed amortized-O(1), so memory is
+/// O(max - min) rather than O(max).
+class level_index {
+ public:
+  level_index() = default;
+
+  /// All n bins at level 0.
+  explicit level_index(bin_count n) { reset(n); }
+
+  void reset(bin_count n) {
+    counts_.assign(1, n);
+    counts_.reserve(64);
+    base_ = 0;
+    min_ = 0;
+    max_ = 0;
+    n_ = n;
+  }
+
+  /// A bin moves from level `old_load` to `old_load + 1`.  Hot path.
+  void on_allocate(load_t old_load) noexcept {
+    const auto idx = static_cast<std::size_t>(old_load - base_);
+    NB_ASSERT(idx < counts_.size() && counts_[idx] > 0);
+    --counts_[idx];
+    if (idx + 1 == counts_.size()) counts_.push_back(0);
+    ++counts_[idx + 1];
+    const load_t updated = old_load + 1;
+    if (updated > max_) max_ = updated;
+    if (old_load == min_ && counts_[idx] == 0) {
+      ++min_;
+      trim_front();
+    }
+  }
+
+  /// From-scratch recomputation, used to reconcile after a bulk window in
+  /// which per-allocation maintenance was deferred.  O(n + span); yields a
+  /// state query-identical to incremental maintenance of the same loads.
+  void rebuild(const std::vector<load_t>& loads) {
+    load_t mn = loads.front();
+    load_t mx = loads.front();
+    for (const load_t x : loads) {
+      if (x < mn) mn = x;
+      if (x > mx) mx = x;
+    }
+    base_ = mn;
+    min_ = mn;
+    max_ = mx;
+    n_ = static_cast<bin_count>(loads.size());
+    counts_.assign(static_cast<std::size_t>(mx - mn) + 1, 0);
+    for (const load_t x : loads) ++counts_[static_cast<std::size_t>(x - mn)];
+  }
+
+  [[nodiscard]] load_t min_level() const noexcept { return min_; }
+  [[nodiscard]] load_t max_level() const noexcept { return max_; }
+  [[nodiscard]] bin_count bins() const noexcept { return n_; }
+
+  /// Number of distinct levels in [min, max] (the "span" + 1).
+  [[nodiscard]] load_t level_count() const noexcept { return max_ - min_ + 1; }
+
+  /// Bins with exactly `level` balls.  O(1).
+  [[nodiscard]] bin_count count_at(load_t level) const noexcept {
+    if (level < min_ || level > max_) return 0;
+    return counts_[static_cast<std::size_t>(level - base_)];
+  }
+
+  /// Bins with at least `level` balls.  O(span).
+  [[nodiscard]] bin_count count_at_or_above(load_t level) const noexcept {
+    if (level <= min_) return n_;
+    bin_count total = 0;
+    for (load_t l = level; l <= max_; ++l) total += count_at(l);
+    return total;
+  }
+
+  /// Calls f(level, count) for every non-empty level, highest level first.
+  template <typename F>
+  void for_each_level_desc(F&& f) const {
+    for (load_t l = max_; l >= min_; --l) {
+      const bin_count c = count_at(l);
+      if (c > 0) f(l, c);
+    }
+  }
+
+ private:
+  void trim_front() {
+    // Drop levels strictly below the minimum once they dominate the window;
+    // the O(size) erase is amortized O(1) per minimum advance.
+    const auto dead = static_cast<std::size_t>(min_ - base_);
+    if (dead >= 64 && dead * 2 >= counts_.size()) {
+      counts_.erase(counts_.begin(), counts_.begin() + static_cast<std::ptrdiff_t>(dead));
+      base_ = min_;
+    }
+  }
+
+  std::vector<bin_count> counts_;  ///< counts_[k] = bins at level base_ + k
+  load_t base_ = 0;
+  load_t min_ = 0;
+  load_t max_ = 0;
+  bin_count n_ = 0;
+};
 
 class load_state {
  public:
@@ -29,17 +141,49 @@ class load_state {
   [[nodiscard]] load_t load(bin_index i) const noexcept { return loads_[i]; }
   [[nodiscard]] const std::vector<load_t>& loads() const noexcept { return loads_; }
 
-  /// Adds one ball to bin i.  Hot path: no bounds check beyond debug assert.
+  /// Adds one ball to bin i.  Hot path: no bounds check beyond debug
+  /// assert.  Inside a bulk window the level index is not touched (one
+  /// well-predicted branch); outside it every allocation leaves the index
+  /// query-consistent.
   void allocate(bin_index i) noexcept {
     NB_ASSERT(i < loads_.size());
-    const load_t updated = ++loads_[i];
-    if (updated > max_load_) max_load_ = updated;
+    const load_t old_load = loads_[i]++;
+    if (!bulk_) levels_.on_allocate(old_load);
     ++balls_;
   }
 
-  [[nodiscard]] load_t max_load() const noexcept { return max_load_; }
-  /// O(n) scan (max is tracked incrementally, min cannot be).
-  [[nodiscard]] load_t min_load() const noexcept;
+  /// RAII bulk window: while open, allocate() skips the per-ball level
+  /// maintenance; on close the index is rebuilt once from the raw loads
+  /// (O(n + span), amortized over the chunk).  Engages only when the
+  /// planned chunk is large enough for the rebuild to amortize; otherwise
+  /// it is a no-op and allocations stay incrementally indexed.  Level-
+  /// dependent queries (min/max load, gap, levels()) are stale while a
+  /// window is open, so step_many implementations must not read them
+  /// mid-chunk -- every strategy only consumes load()/balls()/
+  /// average_load(), which stay exact.
+  class bulk_window {
+   public:
+    bulk_window(load_state& state, step_count planned_count) noexcept
+        : state_(planned_count * 4 >= static_cast<step_count>(state.n()) ? &state : nullptr) {
+      if (state_ != nullptr) state_->begin_bulk();
+    }
+    ~bulk_window() {
+      if (state_ != nullptr) state_->end_bulk();
+    }
+    bulk_window(const bulk_window&) = delete;
+    bulk_window& operator=(const bulk_window&) = delete;
+
+   private:
+    load_state* state_;
+  };
+
+  /// O(1): tracked by the level index.
+  [[nodiscard]] load_t max_load() const noexcept { return levels_.max_level(); }
+  /// O(1): tracked by the level index (previously an O(n) scan).
+  [[nodiscard]] load_t min_load() const noexcept { return levels_.min_level(); }
+
+  /// The level-compressed load distribution (maintained incrementally).
+  [[nodiscard]] const level_index& levels() const noexcept { return levels_; }
 
   [[nodiscard]] double average_load() const noexcept {
     return static_cast<double>(balls_) / static_cast<double>(n());
@@ -47,7 +191,7 @@ class load_state {
 
   /// Gap(t) = max_i x^t_i - t/n.  Integer whenever n divides t.
   [[nodiscard]] double gap() const noexcept {
-    return static_cast<double>(max_load_) - average_load();
+    return static_cast<double>(max_load()) - average_load();
   }
 
   /// "Underload gap": t/n - min_i x^t_i (used by the two-sided potentials).
@@ -59,15 +203,27 @@ class load_state {
   [[nodiscard]] std::vector<double> normalized() const;
 
   /// y_1 >= y_2 >= ... >= y_n, the paper's sorted normalized load vector.
+  /// Emitted from the level index in O(n + span) -- no sort.
   [[nodiscard]] std::vector<double> sorted_normalized_desc() const;
 
-  /// Number of overloaded bins |B+| = |{i : y_i >= 0}|.
+  /// Number of overloaded bins |B+| = |{i : y_i >= 0}|.  O(span) via the
+  /// level index (previously an O(n) scan).
   [[nodiscard]] bin_count overloaded_count() const noexcept;
 
  private:
+  void begin_bulk() noexcept {
+    NB_ASSERT(!bulk_);
+    bulk_ = true;
+  }
+  void end_bulk() {
+    bulk_ = false;
+    levels_.rebuild(loads_);
+  }
+
   std::vector<load_t> loads_;
-  load_t max_load_ = 0;
+  level_index levels_;
   step_count balls_ = 0;
+  bool bulk_ = false;
 };
 
 }  // namespace nb

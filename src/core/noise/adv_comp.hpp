@@ -27,9 +27,27 @@ class g_adv_comp {
     NB_REQUIRE(g >= 0, "adversary power g must be non-negative");
   }
 
-  void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    const bin_index i2 = sample_bin(rng, state_.n());
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n and g hoisted out of the per-ball path.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const {
+    return std::string(Strategy::label) + "[g=" + std::to_string(g_) + "]";
+  }
+  [[nodiscard]] load_t g() const noexcept { return g_; }
+  [[nodiscard]] const Strategy& strategy() const noexcept { return strategy_; }
+
+ private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i2 = sample_bin(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     const load_t diff = x1 >= x2 ? x1 - x2 : x2 - x1;
@@ -43,15 +61,6 @@ class g_adv_comp {
     state_.allocate(chosen);
   }
 
-  [[nodiscard]] const load_state& state() const noexcept { return state_; }
-  void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const {
-    return std::string(Strategy::label) + "[g=" + std::to_string(g_) + "]";
-  }
-  [[nodiscard]] load_t g() const noexcept { return g_; }
-  [[nodiscard]] const Strategy& strategy() const noexcept { return strategy_; }
-
- private:
   load_state state_;
   load_t g_;
   Strategy strategy_;

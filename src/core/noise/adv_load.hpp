@@ -58,9 +58,26 @@ class g_adv_load {
     NB_REQUIRE(g >= 0, "estimate perturbation g must be non-negative");
   }
 
-  void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    const bin_index i2 = sample_bin(rng, state_.n());
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n and g hoisted out of the per-ball path.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const {
+    return std::string(EstimateStrategy::label) + "[g=" + std::to_string(g_) + "]";
+  }
+  [[nodiscard]] load_t g() const noexcept { return g_; }
+
+ private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i2 = sample_bin(rng, n);
     const double e1 = strategy_.estimate(i1, state_, g_, rng);
     const double e2 = strategy_.estimate(i2, state_, g_, rng);
     bin_index chosen;
@@ -74,14 +91,6 @@ class g_adv_load {
     state_.allocate(chosen);
   }
 
-  [[nodiscard]] const load_state& state() const noexcept { return state_; }
-  void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const {
-    return std::string(EstimateStrategy::label) + "[g=" + std::to_string(g_) + "]";
-  }
-  [[nodiscard]] load_t g() const noexcept { return g_; }
-
- private:
   load_state state_;
   load_t g_;
   EstimateStrategy strategy_;

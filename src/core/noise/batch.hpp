@@ -27,21 +27,23 @@ class b_batch {
   }
 
   void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    const bin_index i2 = sample_bin(rng, state_.n());
-    const load_t s1 = stale_[i1];
-    const load_t s2 = stale_[i2];
-    bin_index chosen;
-    if (s1 < s2) {
-      chosen = i1;
-    } else if (s2 < s1) {
-      chosen = i2;
-    } else {
-      chosen = coin_flip(rng) ? i1 : i2;  // the paper specifies random ties
-    }
-    state_.allocate(chosen);
-    touched_.push_back(chosen);
+    step_one(rng, state_.n());
     if (state_.balls() % b_ == 0) refresh_snapshot();
+  }
+
+  /// Fused bulk loop: the batch-boundary test moves out of the per-ball
+  /// path -- each inner chunk runs to the next boundary with no modulo,
+  /// then the snapshot refresh is paid once per batch.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    while (count > 0) {
+      const step_count to_boundary = b_ - (state_.balls() % b_);
+      const step_count chunk = count < to_boundary ? count : to_boundary;
+      for (step_count t = 0; t < chunk; ++t) step_one(rng, n);
+      if (chunk == to_boundary) refresh_snapshot();
+      count -= chunk;
+    }
   }
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
@@ -59,6 +61,23 @@ class b_batch {
   [[nodiscard]] load_t reported_load(bin_index i) const { return stale_[i]; }
 
  private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i2 = sample_bin(rng, n);
+    const load_t s1 = stale_[i1];
+    const load_t s2 = stale_[i2];
+    bin_index chosen;
+    if (s1 < s2) {
+      chosen = i1;
+    } else if (s2 < s1) {
+      chosen = i2;
+    } else {
+      chosen = coin_flip(rng) ? i1 : i2;  // the paper specifies random ties
+    }
+    state_.allocate(chosen);
+    touched_.push_back(chosen);
+  }
+
   void refresh_snapshot() {
     for (const bin_index i : touched_) stale_[i] = state_.load(i);
     touched_.clear();

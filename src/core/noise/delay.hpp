@@ -83,16 +83,37 @@ class tau_delay {
   }
 
   void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    const bin_index i2 = sample_bin(rng, state_.n());
-    const load_t hi1 = state_.load(i1);
-    const load_t hi2 = state_.load(i2);
-    const load_t lo1 = hi1 - in_window_[i1];
-    const load_t lo2 = hi2 - in_window_[i2];
-    const bin_index chosen = strategy_.decide(i1, lo1, hi1, i2, lo2, hi2, rng);
-    NB_ASSERT(chosen == i1 || chosen == i2);
+    const bin_index chosen = decide_one(rng, state_.n());
     state_.allocate(chosen);
     push_allocation(chosen);
+  }
+
+  /// Fused bulk loop.  After the first tau-1 allocations the ring buffer
+  /// is full, so the steady-state inner loop evicts unconditionally and
+  /// wraps the ring cursor with a compare instead of a modulo -- the
+  /// fill/full branch is amortized over the whole chunk.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    if (window_.empty()) {  // tau == 1: no hidden allocations to track
+      for (step_count t = 0; t < count; ++t) state_.allocate(decide_one(rng, n));
+      return;
+    }
+    // Fill phase: at most tau-1 balls, per-step bookkeeping.
+    while (count > 0 && window_size_ < window_.size()) {
+      step(rng);
+      --count;
+    }
+    // Steady state: the ring is full for the rest of the chunk.
+    const std::size_t wsize = window_.size();
+    for (step_count t = 0; t < count; ++t) {
+      const bin_index chosen = decide_one(rng, n);
+      state_.allocate(chosen);
+      in_window_[window_[window_pos_]] -= 1;
+      window_[window_pos_] = chosen;
+      in_window_[chosen] += 1;
+      if (++window_pos_ == wsize) window_pos_ = 0;
+    }
   }
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
@@ -113,6 +134,18 @@ class tau_delay {
   [[nodiscard]] load_t stale_load(bin_index i) const { return state_.load(i) - in_window_[i]; }
 
  private:
+  bin_index decide_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i2 = sample_bin(rng, n);
+    const load_t hi1 = state_.load(i1);
+    const load_t hi2 = state_.load(i2);
+    const load_t lo1 = hi1 - in_window_[i1];
+    const load_t lo2 = hi2 - in_window_[i2];
+    const bin_index chosen = strategy_.decide(i1, lo1, hi1, i2, lo2, hi2, rng);
+    NB_ASSERT(chosen == i1 || chosen == i2);
+    return chosen;
+  }
+
   void push_allocation(bin_index chosen) {
     if (window_.empty()) return;  // tau == 1: no hidden allocations
     if (window_size_ == window_.size()) {

@@ -85,9 +85,24 @@ class rho_noisy_comp {
  public:
   rho_noisy_comp(bin_count n, Rho rho) : state_(n), rho_(std::move(rho)) {}
 
-  void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    const bin_index i2 = sample_bin(rng, state_.n());
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n and rho hoisted out of the per-ball path.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
+  }
+
+  [[nodiscard]] const load_state& state() const noexcept { return state_; }
+  void reset() { state_.reset(); }
+  [[nodiscard]] std::string name() const { return rho_.label(); }
+  [[nodiscard]] const Rho& rho() const noexcept { return rho_; }
+
+ private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i2 = sample_bin(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     bin_index chosen;
@@ -102,12 +117,6 @@ class rho_noisy_comp {
     state_.allocate(chosen);
   }
 
-  [[nodiscard]] const load_state& state() const noexcept { return state_; }
-  void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return rho_.label(); }
-  [[nodiscard]] const Rho& rho() const noexcept { return rho_; }
-
- private:
   load_state state_;
   Rho rho_;
 };
@@ -123,20 +132,13 @@ class sigma_noisy_load_gaussian {
     NB_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
   }
 
-  void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    const bin_index i2 = sample_bin(rng, state_.n());
-    const double e1 = static_cast<double>(state_.load(i1)) + sigma_ * gauss_.next(rng);
-    const double e2 = static_cast<double>(state_.load(i2)) + sigma_ * gauss_.next(rng);
-    bin_index chosen;
-    if (e1 < e2) {
-      chosen = i1;
-    } else if (e2 < e1) {
-      chosen = i2;
-    } else {
-      chosen = coin_flip(rng) ? i1 : i2;  // probability-zero path for sigma>0
-    }
-    state_.allocate(chosen);
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n and sigma hoisted out of the per-ball path.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
   }
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
@@ -150,6 +152,22 @@ class sigma_noisy_load_gaussian {
   [[nodiscard]] double sigma() const noexcept { return sigma_; }
 
  private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i2 = sample_bin(rng, n);
+    const double e1 = static_cast<double>(state_.load(i1)) + sigma_ * gauss_.next(rng);
+    const double e2 = static_cast<double>(state_.load(i2)) + sigma_ * gauss_.next(rng);
+    bin_index chosen;
+    if (e1 < e2) {
+      chosen = i1;
+    } else if (e2 < e1) {
+      chosen = i2;
+    } else {
+      chosen = coin_flip(rng) ? i1 : i2;  // probability-zero path for sigma>0
+    }
+    state_.allocate(chosen);
+  }
+
   load_state state_;
   double sigma_;
   gaussian_sampler gauss_;

@@ -61,20 +61,14 @@ class noisy_mean_thinning {
     NB_REQUIRE(g >= 0, "threshold noise g must be non-negative");
   }
 
-  void step(rng_t& rng) {
-    const bin_index i = sample_bin(rng, state_.n());
-    const double delta = static_cast<double>(state_.load(i)) - state_.average_load();
-    bool keep;
-    if (std::fabs(delta) <= static_cast<double>(g_)) {
-      keep = strategy_.keep_here(delta, rng);
-    } else {
-      keep = delta < 0.0;  // correct: keep only on underloaded bins
-    }
-    if (keep) {
-      state_.allocate(i);
-    } else {
-      state_.allocate(sample_bin(rng, state_.n()));
-    }
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n and the g-band half-width hoisted out of the
+  /// per-ball path (the running average still changes every ball).
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
   }
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
@@ -85,6 +79,22 @@ class noisy_mean_thinning {
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
  private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i = sample_bin(rng, n);
+    const double delta = static_cast<double>(state_.load(i)) - state_.average_load();
+    bool keep;
+    if (std::fabs(delta) <= static_cast<double>(g_)) {
+      keep = strategy_.keep_here(delta, rng);
+    } else {
+      keep = delta < 0.0;  // correct: keep only on underloaded bins
+    }
+    if (keep) {
+      state_.allocate(i);
+    } else {
+      state_.allocate(sample_bin(rng, n));
+    }
+  }
+
   load_state state_;
   load_t g_;
   Strategy strategy_;
@@ -100,23 +110,13 @@ class noisy_one_plus_beta {
     NB_REQUIRE(g >= 0, "adversary power g must be non-negative");
   }
 
-  void step(rng_t& rng) {
-    const bin_index i1 = sample_bin(rng, state_.n());
-    if (!bernoulli(rng, beta_)) {
-      state_.allocate(i1);  // One-Choice step: nothing to corrupt
-      return;
-    }
-    const bin_index i2 = sample_bin(rng, state_.n());
-    const load_t x1 = state_.load(i1);
-    const load_t x2 = state_.load(i2);
-    const load_t diff = x1 >= x2 ? x1 - x2 : x2 - x1;
-    bin_index chosen;
-    if (diff <= g_) {
-      chosen = strategy_.decide(i1, i2, state_, rng);
-    } else {
-      chosen = (x1 < x2) ? i1 : i2;
-    }
-    state_.allocate(chosen);
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
+
+  /// Fused bulk loop: n, beta and g hoisted out of the per-ball path.
+  void step_many(rng_t& rng, step_count count) {
+    const bin_count n = state_.n();
+    const load_state::bulk_window window(state_, count);
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
   }
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
@@ -129,6 +129,25 @@ class noisy_one_plus_beta {
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
  private:
+  void step_one(rng_t& rng, bin_count n) {
+    const bin_index i1 = sample_bin(rng, n);
+    if (!bernoulli(rng, beta_)) {
+      state_.allocate(i1);  // One-Choice step: nothing to corrupt
+      return;
+    }
+    const bin_index i2 = sample_bin(rng, n);
+    const load_t x1 = state_.load(i1);
+    const load_t x2 = state_.load(i2);
+    const load_t diff = x1 >= x2 ? x1 - x2 : x2 - x1;
+    bin_index chosen;
+    if (diff <= g_) {
+      chosen = strategy_.decide(i1, i2, state_, rng);
+    } else {
+      chosen = (x1 < x2) ? i1 : i2;
+    }
+    state_.allocate(chosen);
+  }
+
   load_state state_;
   double beta_;
   load_t g_;

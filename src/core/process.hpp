@@ -4,7 +4,17 @@
 // given a source of randomness.  Concrete processes are plain value types
 // (copyable, no virtual calls) so the simulation drivers can be templates
 // with fully inlined hot loops; `any_process` adds type erasure for
-// registry-style code where one indirect call per ball is acceptable.
+// registry-style code.
+//
+// Bulk stepping: the free function `step_many(p, rng, count)` allocates
+// `count` balls.  Processes that define a member `step_many(rng, count)`
+// get a fused batch loop (amortized snapshot/window maintenance, hoisted
+// invariants, and -- through any_process -- one indirect call per chunk
+// instead of one per ball); everything else falls back to a plain loop
+// over step().  Contract: a member step_many must consume randomness in
+// exactly the same order as `count` calls of step(), so per-ball and bulk
+// execution are bit-identical for a fixed seed (enforced by the
+// step/step_many parity tests).
 #pragma once
 
 #include <concepts>
@@ -21,14 +31,44 @@ namespace nb {
 /// an explicit instance of this; nothing keeps hidden RNG state.
 using rng_t = xoshiro256pp;
 
-/// Concept every allocation process satisfies.
+/// A type that can allocate one ball per step.
 template <typename P>
-concept allocation_process = requires(P p, const P cp, rng_t& g) {
+concept single_steppable = requires(P p, rng_t& g) {
   { p.step(g) } -> std::same_as<void>;
-  { cp.state() } -> std::convertible_to<const load_state&>;
-  { p.reset() } -> std::same_as<void>;
-  { cp.name() } -> std::convertible_to<std::string>;
 };
+
+/// A type with a native fused bulk loop.
+template <typename P>
+concept bulk_steppable = requires(P p, rng_t& g, step_count c) {
+  { p.step_many(g, c) } -> std::same_as<void>;
+};
+
+/// Allocates `count` balls: dispatches to the process's fused member
+/// `step_many` when it has one, otherwise loops over step().  This is the
+/// entry point every driver (simulate, record_trace, the bench harness)
+/// uses; both paths draw randomness in the same order, so results are
+/// bit-identical either way.
+template <single_steppable P>
+inline void step_many(P& process, rng_t& rng, step_count count) {
+  NB_ASSERT(count >= 0);
+  if constexpr (bulk_steppable<P>) {
+    process.step_many(rng, count);
+  } else {
+    for (step_count t = 0; t < count; ++t) process.step(rng);
+  }
+}
+
+/// Concept every allocation process satisfies.  Bulk stepping is part of
+/// the contract, but via the free-function dispatcher above, so processes
+/// without a native member step_many keep working through the fallback.
+template <typename P>
+concept allocation_process = single_steppable<P> &&
+    requires(P p, const P cp, rng_t& g, step_count c) {
+      { step_many(p, g, c) } -> std::same_as<void>;
+      { cp.state() } -> std::convertible_to<const load_state&>;
+      { p.reset() } -> std::same_as<void>;
+      { cp.name() } -> std::convertible_to<std::string>;
+    };
 
 /// Samples one bin uniformly at random (One-Choice primitive).
 inline bin_index sample_bin(rng_t& rng, bin_count n) {
@@ -52,6 +92,9 @@ class any_process {
   any_process& operator=(any_process&&) noexcept = default;
 
   void step(rng_t& rng) { impl_->step(rng); }
+  /// One indirect call for the whole chunk; the wrapped process's fused
+  /// loop (or the fallback loop) runs fully inlined behind it.
+  void step_many(rng_t& rng, step_count count) { impl_->step_many(rng, count); }
   [[nodiscard]] const load_state& state() const { return impl_->state(); }
   void reset() { impl_->reset(); }
   [[nodiscard]] std::string name() const { return impl_->name(); }
@@ -60,6 +103,7 @@ class any_process {
   struct base {
     virtual ~base() = default;
     virtual void step(rng_t&) = 0;
+    virtual void step_many(rng_t&, step_count) = 0;
     [[nodiscard]] virtual const load_state& state() const = 0;
     virtual void reset() = 0;
     [[nodiscard]] virtual std::string name() const = 0;
@@ -70,6 +114,9 @@ class any_process {
   struct model final : base {
     explicit model(P p) : process(std::move(p)) {}
     void step(rng_t& rng) override { process.step(rng); }
+    void step_many(rng_t& rng, step_count count) override {
+      nb::step_many(process, rng, count);
+    }
     [[nodiscard]] const load_state& state() const override { return process.state(); }
     void reset() override { process.reset(); }
     [[nodiscard]] std::string name() const override { return process.name(); }

@@ -7,6 +7,7 @@
 
 #include "core/potential/potentials.hpp"
 #include "core/process.hpp"
+#include "sim/sweep.hpp"
 
 namespace nb {
 
@@ -41,7 +42,9 @@ struct trace {
 
 /// Runs `process` for m balls, sampling per `opt`.  The state is sampled
 /// after every `opt.sample_interval` allocations (and once at the end when
-/// m is not a multiple).
+/// m is not a multiple).  Balls move through step_many in whole
+/// inter-checkpoint chunks, so the per-ball path carries no sampling
+/// check; results are bit-identical to the per-ball loop.
 template <allocation_process P>
 trace record_trace(P& process, step_count m, rng_t& rng, const trace_options& opt) {
   NB_REQUIRE(opt.sample_interval >= 1, "sample interval must be positive");
@@ -61,8 +64,12 @@ trace record_trace(P& process, step_count m, rng_t& rng, const trace_options& op
     out.points.push_back(p);
   };
 
-  for (step_count t = 0; t < m; ++t) {
-    process.step(rng);
+  step_count remaining = m;
+  while (remaining > 0) {
+    const step_count chunk =
+        checkpoint_chunk(process.state().balls(), remaining, opt.sample_interval);
+    step_many(process, rng, chunk);
+    remaining -= chunk;
     if (process.state().balls() % opt.sample_interval == 0) sample();
   }
   if (m % opt.sample_interval != 0) sample();

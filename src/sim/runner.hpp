@@ -3,11 +3,13 @@
 //
 // Determinism: run r of an experiment with master seed s always uses RNG
 // seed derive_seed(s, r), so results are bit-identical for any thread
-// count.  The templated entry points keep the per-ball loop fully inlined;
-// the any_process overloads trade ~1 indirect call per ball for dynamic
-// process choice.
+// count.  All drivers move balls through step_many (the bulk allocation
+// path), so even the any_process overloads pay one indirect call per chunk
+// rather than one per ball, with the process's fused loop inlined behind
+// it.
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <string>
 #include <vector>
@@ -48,13 +50,14 @@ struct repeat_result {
   [[nodiscard]] double mean_gap() const;
 };
 
-/// Runs `process` (from its current state) for `m` additional balls.
+/// Runs `process` (from its current state) for `m` additional balls via
+/// the bulk path (one step_many call; bit-identical to the per-ball loop).
 template <allocation_process P>
 run_result simulate(P& process, step_count m, rng_t& rng) {
   NB_REQUIRE(m >= 0, "ball count must be non-negative");
   NB_REQUIRE(process.state().balls() + m <= step_count{2000000000},
              "run would overflow 32-bit per-bin loads");
-  for (step_count t = 0; t < m; ++t) process.step(rng);
+  step_many(process, rng, m);
   run_result r;
   const load_state& s = process.state();
   r.gap = s.gap();

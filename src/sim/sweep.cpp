@@ -19,6 +19,13 @@ std::vector<std::int64_t> geometric_range(std::int64_t base, std::int64_t hi, st
   return out;
 }
 
+step_count checkpoint_chunk(step_count balls_so_far, step_count remaining, step_count interval) {
+  NB_REQUIRE(balls_so_far >= 0 && remaining >= 0, "ball counts must be non-negative");
+  NB_REQUIRE(interval >= 1, "checkpoint interval must be positive");
+  const step_count to_next = interval - balls_so_far % interval;
+  return to_next < remaining ? to_next : remaining;
+}
+
 std::vector<std::int64_t> one_five_decades(std::int64_t lo, std::int64_t hi) {
   NB_REQUIRE(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
   std::vector<std::int64_t> out;

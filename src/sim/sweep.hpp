@@ -19,4 +19,13 @@ namespace nb {
 /// The paper's Fig. 12.2 batch-size axis: {5, 10, 50, 100, 500, ..., hi}.
 [[nodiscard]] std::vector<std::int64_t> one_five_decades(std::int64_t lo, std::int64_t hi);
 
+/// Bulk-execution planning for an observed run: the number of balls to
+/// move in one step_many call so that the next multiple of `interval`
+/// (the next observation checkpoint) lands exactly on the chunk boundary,
+/// capped by the `remaining` balls of the run.  Drivers loop this with
+/// O(1) memory: step_many(chunk), observe, repeat until remaining is 0.
+/// Returns 0 iff remaining is 0.
+[[nodiscard]] step_count checkpoint_chunk(step_count balls_so_far, step_count remaining,
+                                          step_count interval);
+
 }  // namespace nb

@@ -1,6 +1,8 @@
 // Tests for the g-Adv-Comp setting and its adversary strategies.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "test_support.hpp"
 
 namespace {

@@ -2,6 +2,7 @@
 // the three reporting strategies.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <deque>
 
 #include "test_support.hpp"

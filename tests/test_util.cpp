@@ -147,8 +147,8 @@ TEST(Cli, HelpReturnsFalseAndListsFlags) {
 TEST(Cli, TypeMismatchOnGetThrows) {
   nb::cli_parser cli("test");
   cli.add_int("n", 1, "bins");
-  EXPECT_THROW(cli.get_double("n"), nb::contract_error);
-  EXPECT_THROW(cli.get_int("nope"), nb::contract_error);
+  EXPECT_THROW(static_cast<void>(cli.get_double("n")), nb::contract_error);
+  EXPECT_THROW(static_cast<void>(cli.get_int("nope")), nb::contract_error);
 }
 
 // ---------------------------------------------------------------------------
