@@ -29,6 +29,7 @@ struct bench_config {
   std::int64_t m_multiplier = 1000; // m = multiplier * n (the paper's ratio)
   std::uint64_t seed = 1;
   std::size_t threads = 0;          // 0 = hardware concurrency
+  std::size_t threads_per_run = 0;  // 0 = serial runs; > 0 = intra-run shard engine
   std::string csv;                  // optional CSV output path ("" = none)
 
   [[nodiscard]] bool paper_mode() const { return mode == "paper"; }
@@ -53,6 +54,9 @@ inline void add_standard_flags(cli_parser& cli) {
   cli.add_int("m-mult", 1000, "balls per bin: m = m-mult * n (paper uses 1000)");
   cli.add_int("seed", 1, "master seed; every run derives its own stream");
   cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  cli.add_int("threads-per-run", 0,
+              "intra-run shard-engine workers (0 = serial runs; stale-snapshot "
+              "windows, e.g. b-batch batches, then run shard-parallel)");
   cli.add_string("csv", "", "also write results to this CSV file");
 }
 
@@ -68,7 +72,10 @@ inline std::optional<bench_config> parse_standard(cli_parser& cli, int argc,
   cfg.m_multiplier = cli.get_int("m-mult");
   NB_REQUIRE(cfg.m_multiplier >= 1, "--m-mult must be >= 1");
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  NB_REQUIRE(cli.get_int("threads") >= 0, "--threads must be >= 0");
+  NB_REQUIRE(cli.get_int("threads-per-run") >= 0, "--threads-per-run must be >= 0");
   cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  cfg.threads_per_run = static_cast<std::size_t>(cli.get_int("threads-per-run"));
   cfg.csv = cli.get_string("csv");
   return cfg;
 }
@@ -82,9 +89,13 @@ struct cell {
 
 /// Runs every (cell, repetition) job through one shared work queue.
 /// Deterministic: job seeds depend only on (master seed, cell index, run
-/// index), never on scheduling.
+/// index), never on scheduling.  threads_per_run > 0 additionally routes
+/// each job through the intra-run shard engine (windowed processes --
+/// b-Batch cells -- then run shard-parallel inside the run; results stay
+/// independent of both thread knobs).
 inline std::vector<repeat_result> run_cells(const std::vector<cell>& cells, std::size_t runs,
-                                            std::uint64_t master_seed, std::size_t threads) {
+                                            std::uint64_t master_seed, std::size_t threads,
+                                            std::size_t threads_per_run = 0) {
   NB_REQUIRE(runs >= 1, "need at least one run per cell");
   std::vector<repeat_result> results(cells.size());
   for (auto& r : results) r.runs.resize(runs);
@@ -94,7 +105,14 @@ inline std::vector<repeat_result> run_cells(const std::vector<cell>& cells, std:
     any_process process = cells[c].factory();
     const std::uint64_t seed = derive_seed(derive_seed(master_seed, c), r);
     rng_t rng(seed);
-    results[c].runs[r] = simulate(process, cells[c].m, rng);
+    if (threads_per_run > 0) {
+      // Pool + scratch are built per job: intra-run parallelism targets
+      // few huge runs, where a run dwarfs the engine's ~ms startup.
+      shard_engine engine(shard_options{.threads = threads_per_run});
+      results[c].runs[r] = simulate_parallel(process, cells[c].m, rng, engine);
+    } else {
+      results[c].runs[r] = simulate(process, cells[c].m, rng);
+    }
     results[c].runs[r].seed = seed;
   });
   for (auto& res : results) {

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -112,6 +113,113 @@ double report_observed_run(bin_count n, step_count m, step_count interval, std::
   return bulk.balls_per_sec / per_ball.balls_per_sec;
 }
 
+// ---------------------------------------------------------------------------
+// Scale benchmark: the intra-run shard-parallel engine vs the serial bulk
+// path on one huge b-Batch observed run (paper regime: n = 10^6 bins,
+// m = 10^8 balls, b = n, one observation per batch).  Every batch's balls
+// decide against the frozen batch-start snapshot, so the engine splits them
+// across shards with block-sampled RNG and a compact 8-bit snapshot; the
+// serial leg is PR 1's fused step_many loop.  Emits BENCH_throughput.json.
+
+struct scale_measurement {
+  double balls_per_sec = 0.0;
+  double gap = 0.0;
+  double sink = 0.0;  // checkpoint observations folded into one number
+  std::vector<load_t> loads;
+};
+
+template <typename Move>
+scale_measurement scale_observed_run(bin_count n, step_count m, step_count interval,
+                                     std::uint64_t seed, Move&& move) {
+  b_batch process(n, static_cast<step_count>(n));
+  rng_t rng(seed);
+  scale_measurement out;
+  const bench::stopwatch clock;
+  for (step_count done = 0; done < m;) {
+    const step_count chunk = checkpoint_chunk(done, m - done, interval);
+    move(process, rng, chunk);
+    done += chunk;
+    const auto& s = process.state();
+    const auto y = s.sorted_normalized_desc();
+    out.sink += s.gap() + s.underload_gap() + y[y.size() / 2];
+  }
+  const double elapsed = clock.seconds();
+  out.balls_per_sec = static_cast<double>(m) / elapsed;
+  out.gap = process.state().gap();
+  out.loads = process.state().loads();
+  return out;
+}
+
+void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::size_t shards,
+                         std::uint64_t seed, bool verify, const std::string& json_path) {
+  const auto interval = static_cast<step_count>(n);
+  std::printf("\nscale benchmark: b-batch b=n observed run, n = %u, m = %lld\n", n,
+              static_cast<long long>(m));
+
+  const auto serial = scale_observed_run(
+      n, m, interval, seed,
+      [](b_batch& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); });
+  std::printf("  serial bulk           %14.3e balls/s   (gap %.1f)\n", serial.balls_per_sec,
+              serial.gap);
+
+  shard_engine engine(shard_options{.threads = threads, .shards = shards});
+  const auto parallel = scale_observed_run(
+      n, m, interval, seed,
+      [&engine](b_batch& p, rng_t& rng, step_count chunk) {
+        step_many_parallel(p, rng, chunk, engine);
+      });
+  std::printf("  shard-parallel (t=%zu) %13.3e balls/s   (gap %.1f)\n", engine.threads(),
+              parallel.balls_per_sec, parallel.gap);
+  const double speedup = parallel.balls_per_sec / serial.balls_per_sec;
+  std::printf("  speedup               %14.2fx on %u hardware cores\n", speedup,
+              std::thread::hardware_concurrency());
+
+  bool identical = true;
+  if (verify) {
+    // Determinism contract: same seed + same shard count under ONE worker
+    // thread must reproduce the multi-threaded run bit for bit, including
+    // every checkpoint observation.
+    shard_engine engine1(shard_options{.threads = 1, .shards = shards});
+    const auto replay = scale_observed_run(
+        n, m, interval, seed,
+        [&engine1](b_batch& p, rng_t& rng, step_count chunk) {
+          step_many_parallel(p, rng, chunk, engine1);
+        });
+    identical = replay.loads == parallel.loads && replay.sink == parallel.sink;
+    if (!identical) {
+      std::printf("DETERMINISM FAILURE: 1-thread replay diverged from %zu-thread run\n",
+                  engine.threads());
+      std::exit(1);
+    }
+    std::printf("  determinism           1-thread replay bit-identical (loads + observations)\n");
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    NB_REQUIRE(f != nullptr, "cannot open --json output path");
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"throughput_scale\",\n"
+                 "  \"process\": \"b-batch\",\n"
+                 "  \"n\": %u,\n  \"m\": %lld,\n  \"b\": %u,\n  \"interval\": %lld,\n"
+                 "  \"seed\": %llu,\n  \"threads\": %zu,\n  \"shards\": %zu,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"serial_balls_per_sec\": %.6e,\n"
+                 "  \"parallel_balls_per_sec\": %.6e,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"serial_gap\": %.2f,\n  \"parallel_gap\": %.2f,\n"
+                 "  \"identical_across_thread_counts\": %s\n"
+                 "}\n",
+                 n, static_cast<long long>(m), n, static_cast<long long>(interval),
+                 static_cast<unsigned long long>(seed), engine.threads(), shards,
+                 std::thread::hardware_concurrency(), serial.balls_per_sec,
+                 parallel.balls_per_sec, speedup, serial.gap, parallel.gap,
+                 verify ? "true" : "null");
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,12 +230,19 @@ int main(int argc, char** argv) {
   cli.add_int("m", 10000000, "number of balls");
   cli.add_int("interval", 0, "observation interval for the observed-run row (0 = n)");
   cli.add_int("seed", 42, "RNG seed (same stream for both paths)");
+  cli.add_bool("scale", false, "also run the shard-parallel scale benchmark (b-batch b=n)");
+  cli.add_int("scale-n", 1000000, "bins for the scale benchmark (paper scale: 10^6)");
+  cli.add_int("scale-m", 100000000, "balls for the scale benchmark (paper scale: 10^8)");
+  cli.add_int("scale-threads", 0, "intra-run worker threads for the scale benchmark (0 = cores)");
+  cli.add_int("shards", 16, "fixed shard count for the parallel engine (sampling contract)");
+  cli.add_bool("scale-verify", true, "replay the parallel leg on 1 thread and require bit parity");
+  cli.add_string("json", "BENCH_throughput.json", "scale-result JSON path (\"\" = skip)");
   if (!cli.parse(argc, argv)) return 0;
 
   NB_REQUIRE(cli.get_int("n") >= 1 && cli.get_int("n") <= 0xFFFFFFFFLL,
              "--n must be in [1, 2^32)");
-  NB_REQUIRE(cli.get_int("m") >= 1 && cli.get_int("m") <= 2000000000LL,
-             "--m must be in [1, 2*10^9] (32-bit per-bin loads)");
+  NB_REQUIRE(cli.get_int("m") >= 1 && cli.get_int("m") <= max_run_balls,
+             "--m must be in [1, max_run_balls] (per-bin loads are 32-bit)");
   const auto n = static_cast<bin_count>(cli.get_int("n"));
   const auto m = static_cast<step_count>(cli.get_int("m"));
   const auto interval =
@@ -161,5 +276,19 @@ int main(int argc, char** argv) {
       "per %lld balls.  Pure-allocation rows above isolate the fused-loop\n"
       "gain alone (identical RNG draw order, bit-identical loads).\n",
       observed_speedup, static_cast<long long>(interval));
+
+  if (cli.get_bool("scale")) {
+    NB_REQUIRE(cli.get_int("scale-n") >= 1 && cli.get_int("scale-n") <= 0xFFFFFFFFLL,
+               "--scale-n must be in [1, 2^32)");
+    NB_REQUIRE(cli.get_int("scale-m") >= 1 && cli.get_int("scale-m") <= max_run_balls,
+               "--scale-m must be in [1, max_run_balls]");
+    NB_REQUIRE(cli.get_int("shards") >= 1, "--shards must be positive");
+    NB_REQUIRE(cli.get_int("scale-threads") >= 0, "--scale-threads must be >= 0");
+    run_scale_benchmark(static_cast<bin_count>(cli.get_int("scale-n")),
+                        static_cast<step_count>(cli.get_int("scale-m")),
+                        static_cast<std::size_t>(cli.get_int("scale-threads")),
+                        static_cast<std::size_t>(cli.get_int("shards")), seed,
+                        cli.get_bool("scale-verify"), cli.get_string("json"));
+  }
   return 0;
 }

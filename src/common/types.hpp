@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 namespace nb {
 
@@ -22,5 +23,14 @@ using step_count = std::int64_t;
 
 /// Count of bins.
 using bin_count = std::uint32_t;
+
+/// Ceiling on the number of balls in one run, derived from the load
+/// representation: per-bin loads are load_t (32-bit signed), and even the
+/// degenerate run that lands every ball in a single bin must not overflow
+/// one.  Kept a round 2*10^9 (just under the 2147483647 type limit) so CLI
+/// bounds and error messages stay human-readable.
+inline constexpr step_count max_run_balls = 2'000'000'000;
+static_assert(max_run_balls <= static_cast<step_count>(std::numeric_limits<load_t>::max()),
+              "a run at the ceiling must fit the per-bin load type");
 
 }  // namespace nb

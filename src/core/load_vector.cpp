@@ -17,6 +17,61 @@ void load_state::reset() {
   balls_ = 0;
 }
 
+bool compact_snapshot::assign(const std::vector<load_t>& loads) {
+  NB_ASSERT(!loads.empty());
+  load_t mn = loads.front();
+  load_t mx = loads.front();
+  for (const load_t x : loads) {
+    if (x < mn) mn = x;
+    if (x > mx) mx = x;
+  }
+  base_ = mn;
+  ok_ = (mx - mn) <= 255;
+  if (!ok_) return false;
+  off_.resize(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    off_[i] = static_cast<std::uint8_t>(loads[i] - mn);
+  }
+  return true;
+}
+
+void shard_deltas::reset(std::size_t shards, bin_count n) {
+  NB_REQUIRE(shards >= 1 && n >= 1, "shard_deltas needs at least one shard and one bin");
+  shards_ = shards;
+  n_ = n;
+  counts_.assign(shards * static_cast<std::size_t>(n), 0);
+}
+
+void shard_deltas::sum_rows(std::vector<std::uint32_t>& out, bin_index lo, bin_index hi) const {
+  NB_ASSERT(lo <= hi && hi <= n_ && out.size() == n_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    const std::uint16_t* r = row(s);
+    if (s == 0) {
+      for (bin_index i = lo; i < hi; ++i) out[i] = r[i];
+    } else {
+      for (bin_index i = lo; i < hi; ++i) out[i] += r[i];
+    }
+  }
+}
+
+void shard_deltas::sum_rows(std::vector<std::uint32_t>& out) const {
+  out.resize(n_);
+  sum_rows(out, 0, n_);
+}
+
+void load_state::apply_increments(const std::vector<std::uint32_t>& add) {
+  NB_ASSERT(!bulk_);
+  NB_REQUIRE(add.size() == loads_.size(), "increment vector must have one entry per bin");
+  step_count total = 0;
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    loads_[i] += static_cast<load_t>(add[i]);
+    total += add[i];
+  }
+  balls_ += total;
+  NB_ASSERT(balls_ <= max_run_balls);
+  levels_.rebuild(loads_);
+}
+
 std::vector<double> load_state::normalized() const {
   const double avg = average_load();
   std::vector<double> y(loads_.size());

@@ -13,6 +13,7 @@
 // sort.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
@@ -128,6 +129,75 @@ class level_index {
   bin_count n_ = 0;
 };
 
+/// Compact 8-bit view of a frozen load vector: off(i) = loads[i] - base
+/// with base = min load.  Valid whenever the span max - min fits in 255,
+/// which is the paper regime by a huge margin -- Gap(m) + underload gap is
+/// O(log n) w.h.p. for every process studied.  Load *comparisons* against
+/// the snapshot only need the offsets (common base), and n = 10^6 bins
+/// shrink from 4 MB to 1 MB, so an entire b-Batch window snapshot stays
+/// L2-resident while shards hammer it with random reads.
+class compact_snapshot {
+ public:
+  /// Rebuilds from `loads`.  O(n).  Returns false (and marks the snapshot
+  /// unusable) when the span exceeds 255; callers must then fall back to
+  /// the full-width loads.
+  bool assign(const std::vector<load_t>& loads);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] load_t base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return off_.size(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return off_.data(); }
+  [[nodiscard]] std::uint8_t off(bin_index i) const noexcept { return off_[i]; }
+
+ private:
+  std::vector<std::uint8_t> off_;
+  load_t base_ = 0;
+  bool ok_ = false;
+};
+
+/// Per-shard bin-increment accumulators for one parallel window.  Shard s
+/// writes only row s (rows are disjoint, so no synchronization), and
+/// sum_rows() folds the rows in fixed shard-index order -- the merged
+/// increments depend only on the shard count, never on which thread ran
+/// which shard or in what order shards finished.
+///
+/// Rows are 16-bit to halve the clear + merge memory traffic (the dominant
+/// per-shard overhead at n = 10^6); a row counter is safe as long as one
+/// shard feeds at most max_row_count balls into one bin, which the engine
+/// guarantees by capping parallel windows at shards * max_row_count balls.
+class shard_deltas {
+ public:
+  /// Worst-case balls one shard may route to a single bin in one window.
+  static constexpr step_count max_row_count = 65535;
+
+  /// Sets the geometry and zeroes every row.  Reuses storage when the
+  /// geometry is unchanged.
+  void reset(std::size_t shards, bin_count n);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] bin_count bins() const noexcept { return n_; }
+  [[nodiscard]] std::uint16_t* row(std::size_t s) noexcept {
+    NB_ASSERT(s < shards_);
+    return counts_.data() + s * n_;
+  }
+  [[nodiscard]] const std::uint16_t* row(std::size_t s) const noexcept {
+    NB_ASSERT(s < shards_);
+    return counts_.data() + s * n_;
+  }
+
+  /// out[i] = sum over shards (in shard order) of row(s)[i], for the bin
+  /// range [lo, hi).  Disjoint ranges may be summed concurrently.
+  void sum_rows(std::vector<std::uint32_t>& out, bin_index lo, bin_index hi) const;
+
+  /// Whole-vector convenience overload (resizes `out` to n).
+  void sum_rows(std::vector<std::uint32_t>& out) const;
+
+ private:
+  std::vector<std::uint16_t> counts_;  ///< shards_ rows of n_ counters
+  std::size_t shards_ = 0;
+  bin_count n_ = 0;
+};
+
 class load_state {
  public:
   /// Creates n empty bins.  n must be at least 1.
@@ -176,6 +246,13 @@ class load_state {
    private:
     load_state* state_;
   };
+
+  /// Applies a merged parallel-window delta: loads_[i] += add[i] for every
+  /// bin and balls_ += sum(add), then rebuilds the level index once
+  /// (O(n + span)).  The resulting state is query-identical to having
+  /// allocated the same balls one at a time.  `add` must have size n; must
+  /// not be called inside a bulk window.
+  void apply_increments(const std::vector<std::uint32_t>& add);
 
   /// O(1): tracked by the level index.
   [[nodiscard]] load_t max_load() const noexcept { return levels_.max_level(); }

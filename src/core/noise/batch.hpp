@@ -60,6 +60,54 @@ class b_batch {
   /// The load of bin i as reported during the current batch (for tests).
   [[nodiscard]] load_t reported_load(bin_index i) const { return stale_[i]; }
 
+  // --- window-parallel contract (see process.hpp) ------------------------
+  // b-Batch is the fully synchronized batched model: every ball until the
+  // next batch boundary decides against the snapshot taken at the batch
+  // start, so those balls are embarrassingly parallel.
+
+  /// Balls until the next snapshot refresh; always in [1, b].
+  [[nodiscard]] step_count snapshot_window() const noexcept {
+    return b_ - state_.balls() % b_;
+  }
+
+  /// The frozen loads the current batch's decisions read.
+  [[nodiscard]] const std::vector<load_t>& window_snapshot() const noexcept { return stale_; }
+
+  /// One b-Batch decision over the compact snapshot: less loaded of the
+  /// two sampled bins, ties by a fair coin -- the same rule as step_one,
+  /// reading 8-bit offsets (order-preserving: common base, no saturation
+  /// by compact_snapshot's contract) instead of 32-bit loads.
+  static bin_index snapshot_decide(const std::uint8_t* snap, bin_index i1, bin_index i2,
+                                   rng_t& rng) {
+    const std::uint8_t s1 = snap[i1];
+    const std::uint8_t s2 = snap[i2];
+    if (s1 < s2) return i1;
+    if (s2 < s1) return i2;
+    return coin_flip(rng) ? i1 : i2;
+  }
+
+  /// Applies a merged window delta (inc[i] balls into bin i, all decided
+  /// against the current snapshot) and refreshes exactly like the serial
+  /// path: at a batch boundary the touched bins are re-read from the true
+  /// loads; mid-batch (a partial window) they are only recorded as touched
+  /// so a later boundary refresh covers them.
+  void commit_window(const std::vector<std::uint32_t>& inc, step_count balls) {
+    NB_ASSERT(balls >= 1 && balls <= snapshot_window());
+    state_.apply_increments(inc);
+    const bin_count n = state_.n();
+    if (state_.balls() % b_ == 0) {
+      for (const bin_index i : touched_) stale_[i] = state_.load(i);
+      touched_.clear();
+      for (bin_index i = 0; i < n; ++i) {
+        if (inc[i] != 0) stale_[i] = state_.load(i);
+      }
+    } else {
+      for (bin_index i = 0; i < n; ++i) {
+        if (inc[i] != 0) touched_.push_back(i);
+      }
+    }
+  }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i1 = sample_bin(rng, n);
@@ -90,5 +138,6 @@ class b_batch {
 };
 
 static_assert(allocation_process<b_batch>);
+static_assert(window_parallel<b_batch>);
 
 }  // namespace nb

@@ -130,6 +130,15 @@ class tau_delay {
   }
   [[nodiscard]] step_count tau() const noexcept { return tau_; }
 
+  /// Window-parallel probe (see process.hpp): always 0.  tau-Delay's
+  /// estimate window [x^{t-tau}, x^{t-1}] *slides* -- ball t+1's estimates
+  /// can depend on ball t's target through in_window_ -- so no stretch of
+  /// a run decides against frozen state and the shard engine must take the
+  /// serial fused loop.  The fully synchronized instance whose windows ARE
+  /// frozen is b-Batch (tau = b), which models the full window_parallel
+  /// contract.
+  [[nodiscard]] static constexpr step_count snapshot_window() noexcept { return 0; }
+
   /// Oldest legal estimate of bin i, i.e. x^{t-tau}_i (exposed for tests).
   [[nodiscard]] load_t stale_load(bin_index i) const { return state_.load(i) - in_window_[i]; }
 
@@ -171,5 +180,7 @@ class tau_delay {
 static_assert(allocation_process<tau_delay<delay_oldest>>);
 static_assert(allocation_process<tau_delay<delay_adversarial>>);
 static_assert(allocation_process<tau_delay<delay_random>>);
+static_assert(window_probed<tau_delay<delay_oldest>>);
+static_assert(!window_parallel<tau_delay<delay_oldest>>);
 
 }  // namespace nb

@@ -17,13 +17,17 @@
 // step/step_many parity tests).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <concepts>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/load_vector.hpp"
 #include "rng/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nb {
 
@@ -75,6 +79,196 @@ inline bin_index sample_bin(rng_t& rng, bin_count n) {
   return static_cast<bin_index>(bounded(rng, n));
 }
 
+// ---------------------------------------------------------------------------
+// Intra-run shard parallelism.
+//
+// In the paper's batched/delayed settings every allocation decision inside
+// one stale-snapshot window depends only on state frozen at the window
+// start, so the window's balls are embarrassingly parallel.  A process that
+// can expose such windows implements the window_parallel contract below;
+// shard_engine then splits each window into a *fixed* number of shards,
+// gives every shard its own derived RNG substream
+// (shard_stream_seed(window_token, s)), lets shards accumulate per-bin
+// increment counts in disjoint rows, and merges the rows in fixed shard
+// order.  Consequence: for one (seed, shard count) the result is
+// bit-identical for ANY thread count -- threads only execute shards, they
+// never influence sampling or merge order.  Relative to the serial bulk
+// path the parallel path draws different (but identically distributed)
+// randomness, so serial-vs-parallel agreement is distributional, not
+// bitwise; tests enforce both contracts.
+//
+// The chunk pattern handed to step_many_parallel is also part of the
+// sampling contract: a call boundary inside a window splits it into two
+// smaller windows (two tokens).  Cuts on window boundaries -- the natural
+// checkpoint cadence, e.g. every b balls for b-Batch -- leave the window
+// sequence and therefore the results unchanged.
+
+/// A process that can at least *report* whether its upcoming decisions are
+/// frozen against a stale snapshot.  tau-Delay models only this probe (its
+/// sliding window advances every step, so the answer is always 0 balls);
+/// b-Batch models the full window_parallel contract.
+template <typename P>
+concept window_probed = requires(const P p) {
+  { p.snapshot_window() } -> std::convertible_to<step_count>;
+};
+
+/// Full intra-run window-parallel contract (two-sample processes):
+///   * snapshot_window(): how many upcoming balls decide against frozen
+///     state (0 = none; the engine falls back to the serial fused loop),
+///   * window_snapshot(): the frozen loads those decisions read,
+///   * snapshot_decide(snap, i1, i2, rng): the decision rule over the
+///     compact 8-bit snapshot -- must be a pure function of (snap[i1],
+///     snap[i2], rng draws),
+///   * commit_window(inc, balls): apply the merged per-bin increments and
+///     refresh whatever the process keeps stale (inc[i] balls into bin i,
+///     sum(inc) == balls == the window length the engine ran).
+template <typename P>
+concept window_parallel = allocation_process<P> && window_probed<P> &&
+    requires(P p, const P cp, rng_t& g, const std::uint8_t* snap, bin_index i,
+             const std::vector<std::uint32_t>& inc, step_count k) {
+      { cp.window_snapshot() } -> std::convertible_to<const std::vector<load_t>&>;
+      { P::snapshot_decide(snap, i, i, g) } -> std::convertible_to<bin_index>;
+      { p.commit_window(inc, k) } -> std::same_as<void>;
+    };
+
+/// Configuration for intra-run shard parallelism.  `shards` is part of the
+/// sampling contract (changing it changes which substreams exist and hence
+/// the drawn randomness); `threads` is execution only and never affects
+/// results.
+struct shard_options {
+  /// Pool workers; 0 = one per hardware core.
+  std::size_t threads = 0;
+  /// Fixed shard count per window.  Keep it >= the largest thread count
+  /// you will run with; the default covers typical desktops/CI runners.
+  std::size_t shards = 16;
+  /// Windows shorter than this run serially (shard + merge overhead would
+  /// dominate); the engine also requires window >= n/4 so the O(n) merge
+  /// amortizes.
+  step_count min_window = 4096;
+};
+
+/// The intra-run shard-parallel batch engine.  Owns the worker pool and
+/// the per-window scratch (compact snapshot, shard delta rows), so one
+/// engine instance amortizes both across all windows of a run -- create it
+/// once per run (or reuse across runs of the same configuration).
+class shard_engine {
+ public:
+  explicit shard_engine(shard_options opt = {}) : opt_(opt), pool_(opt.threads) {
+    NB_REQUIRE(opt.shards >= 1, "need at least one shard");
+    NB_REQUIRE(opt.min_window >= 1, "min_window must be positive");
+  }
+
+  [[nodiscard]] const shard_options& options() const noexcept { return opt_; }
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+
+  /// Allocates `count` balls through `process`.  Window-parallel processes
+  /// run each sufficiently large stale-snapshot window across the pool;
+  /// everything else (and every undersized or saturated window) takes the
+  /// serial fused loop, drawing from `rng` exactly like nb::step_many.
+  template <single_steppable P>
+  void step_many(P& process, rng_t& rng, step_count count) {
+    NB_ASSERT(count >= 0);
+    if constexpr (!window_parallel<P>) {
+      nb::step_many(process, rng, count);
+    } else {
+      while (count > 0) {
+        const step_count window = process.snapshot_window();
+        if (window <= 0) {  // no frozen window: serial for the whole rest
+          nb::step_many(process, rng, count);
+          return;
+        }
+        // Cap parallel windows so even a shard that routed every one of
+        // its balls into a single bin cannot overflow a 16-bit delta row;
+        // the cap splits oversized windows deterministically (it depends
+        // only on the shard count, never on threads).
+        const step_count cap =
+            static_cast<step_count>(opt_.shards) * shard_deltas::max_row_count;
+        step_count k = window < count ? window : count;
+        if (k > cap) k = cap;
+        const auto n = static_cast<step_count>(process.state().n());
+        if (k < opt_.min_window || k * 4 < n || !snapshot_.assign(process.window_snapshot())) {
+          // Undersized window, O(n) merge would not amortize, or snapshot
+          // span > 255 (compact representation saturated): serial window.
+          nb::step_many(process, rng, k);
+        } else {
+          run_window(process, rng, k);
+        }
+        count -= k;
+      }
+    }
+  }
+
+ private:
+  /// One parallel window of `k` balls, all decided against snapshot_.
+  template <window_parallel P>
+  void run_window(P& process, rng_t& rng, step_count k) {
+    const bin_count n = process.state().n();
+    const std::size_t shards = opt_.shards;
+    // Geometry changes are rare (once per run); per window each shard task
+    // zeroes its own row, keeping the shards*n*4-byte clear off the serial
+    // path (at n = 10^6 and 16 shards that clear is 64 MB per window).
+    if (deltas_.shards() != shards || deltas_.bins() != n) deltas_.reset(shards, n);
+    // One draw from the master stream per window; every shard substream
+    // derives from this token, so shard results cannot depend on threads.
+    const std::uint64_t window_token = rng.next();
+    const std::uint8_t* snap = snapshot_.data();
+    for (std::size_t s = 0; s < shards; ++s) {
+      const step_count shard_balls =
+          k / static_cast<step_count>(shards) +
+          (static_cast<step_count>(s) < k % static_cast<step_count>(shards) ? 1 : 0);
+      std::uint16_t* row = deltas_.row(s);
+      if (shard_balls == 0) {
+        // Ball-less shard (k < shards): its row still feeds the merge, so
+        // clear the counts left over from the previous window.
+        std::fill_n(row, n, std::uint16_t{0});
+        continue;
+      }
+      pool_.submit([n, snap, row, shard_balls, seed = shard_stream_seed(window_token, s)] {
+        std::fill_n(row, n, std::uint16_t{0});
+        run_shard<P>(n, snap, row, shard_balls, seed);
+      });
+    }
+    pool_.wait_idle();
+    // Merge: fixed shard order per bin, bin ranges summed concurrently
+    // (disjoint, so still deterministic).
+    merged_.resize(n);
+    const auto chunk = static_cast<bin_count>((n + shards - 1) / shards);
+    for (bin_index lo = 0; lo < n; lo += chunk) {
+      const bin_index hi = lo + chunk < n ? lo + chunk : n;
+      pool_.submit([this, lo, hi] { deltas_.sum_rows(merged_, lo, hi); });
+    }
+    pool_.wait_idle();
+    process.commit_window(merged_, k);
+  }
+
+  /// Shard body: block-sample bin pairs, decide each against the compact
+  /// snapshot, count increments into this shard's private row.
+  template <window_parallel P>
+  static void run_shard(bin_count n, const std::uint8_t* snap, std::uint16_t* row,
+                        step_count shard_balls, std::uint64_t seed) {
+    static constexpr std::size_t kBlock = 2048;  // 16 KiB of indices: L1-resident
+    alignas(64) std::array<bin_index, 2 * kBlock> idx;
+    rng_t srng(seed);
+    while (shard_balls > 0) {
+      const std::size_t chunk =
+          shard_balls < static_cast<step_count>(kBlock) ? static_cast<std::size_t>(shard_balls)
+                                                        : kBlock;
+      bounded_block(srng, n, idx.data(), 2 * chunk);
+      for (std::size_t t = 0; t < chunk; ++t) {
+        const bin_index chosen = P::snapshot_decide(snap, idx[2 * t], idx[2 * t + 1], srng);
+        ++row[chosen];
+      }
+      shard_balls -= static_cast<step_count>(chunk);
+    }
+  }
+
+  shard_options opt_;
+  thread_pool pool_;
+  compact_snapshot snapshot_;
+  shard_deltas deltas_;
+  std::vector<std::uint32_t> merged_;
+};
+
 /// Type-erased handle so heterogeneous processes can share registries,
 /// factories and driver code.  Copy = deep clone.
 class any_process {
@@ -95,6 +289,12 @@ class any_process {
   /// One indirect call for the whole chunk; the wrapped process's fused
   /// loop (or the fallback loop) runs fully inlined behind it.
   void step_many(rng_t& rng, step_count count) { impl_->step_many(rng, count); }
+  /// One indirect call per chunk into the shard engine: window-parallel
+  /// wrapped types run shard-parallel, everything else takes the serial
+  /// fused loop -- same dispatch as the template path, behind type erasure.
+  void step_many_parallel(rng_t& rng, step_count count, shard_engine& engine) {
+    impl_->step_many_parallel(rng, count, engine);
+  }
   [[nodiscard]] const load_state& state() const { return impl_->state(); }
   void reset() { impl_->reset(); }
   [[nodiscard]] std::string name() const { return impl_->name(); }
@@ -104,6 +304,7 @@ class any_process {
     virtual ~base() = default;
     virtual void step(rng_t&) = 0;
     virtual void step_many(rng_t&, step_count) = 0;
+    virtual void step_many_parallel(rng_t&, step_count, shard_engine&) = 0;
     [[nodiscard]] virtual const load_state& state() const = 0;
     virtual void reset() = 0;
     [[nodiscard]] virtual std::string name() const = 0;
@@ -116,6 +317,9 @@ class any_process {
     void step(rng_t& rng) override { process.step(rng); }
     void step_many(rng_t& rng, step_count count) override {
       nb::step_many(process, rng, count);
+    }
+    void step_many_parallel(rng_t& rng, step_count count, shard_engine& engine) override {
+      engine.step_many(process, rng, count);
     }
     [[nodiscard]] const load_state& state() const override { return process.state(); }
     void reset() override { process.reset(); }
@@ -130,5 +334,21 @@ class any_process {
 };
 
 static_assert(allocation_process<any_process>);
+
+/// Parallel counterpart of step_many(): allocates `count` balls through
+/// `engine`, shard-parallel wherever the process exposes stale-snapshot
+/// windows and serially everywhere else.  Drivers pick this entry point
+/// when the caller asked for intra-run threads (threads_per_run > 0).
+template <single_steppable P>
+inline void step_many_parallel(P& process, rng_t& rng, step_count count, shard_engine& engine) {
+  engine.step_many(process, rng, count);
+}
+
+/// Type-erased overload: one virtual call per chunk, engine dispatch on
+/// the wrapped concrete type behind it.
+inline void step_many_parallel(any_process& process, rng_t& rng, step_count count,
+                               shard_engine& engine) {
+  process.step_many_parallel(rng, count, engine);
+}
 
 }  // namespace nb

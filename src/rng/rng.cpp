@@ -9,8 +9,11 @@ namespace {
   xoshiro256pp a(1);
   xoshiro256ss b(2);
   gaussian_sampler gs;
+  std::uint32_t block[4];
+  bounded_block(a, 10, block, 4);
   return bounded(a, 10) ^ bounded(b, 10) ^ static_cast<std::uint64_t>(canonical(a) * 8) ^
-         static_cast<std::uint64_t>(gs.next(b));
+         static_cast<std::uint64_t>(gs.next(b)) ^ block[0] ^
+         shard_stream_seed(block[1], block[2]);
 }
 }  // namespace
 }  // namespace nb

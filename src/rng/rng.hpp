@@ -61,6 +61,16 @@ constexpr std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t str
   return sm.next();
 }
 
+/// Substream seed for shard `shard` of one intra-run parallel window.  The
+/// caller draws a single `window_token` from the run's master generator
+/// (one next() per window), then every shard gets an independent stream
+/// that depends only on (token, shard index) -- never on which thread
+/// executes the shard -- so shard-parallel results are bit-identical for
+/// any thread count.
+constexpr std::uint64_t shard_stream_seed(std::uint64_t window_token, std::uint64_t shard) noexcept {
+  return derive_seed(window_token, shard);
+}
+
 namespace detail {
 constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
@@ -165,6 +175,28 @@ inline std::uint64_t bounded(G& rng, std::uint64_t bound) {
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Block counterpart of bounded(): fills dst[0..count) with i.i.d. unbiased
+/// uniforms in [0, bound), hoisting Lemire's rejection threshold -- an
+/// integer division -- out of the loop so the amortized per-sample cost is
+/// one 128-bit multiply.  Accepts and rejects exactly like bounded(), so it
+/// consumes generator output in the same order as `count` successive
+/// bounded() calls (enforced by tests).  bound-1 must fit the output type.
+template <uniform_random_u64 G, std::unsigned_integral Out>
+inline void bounded_block(G& rng, std::uint64_t bound, Out* dst, std::size_t count) {
+  NB_ASSERT(bound > 0);
+  NB_ASSERT(bound - 1 <= std::numeric_limits<Out>::max());
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t x = rng.next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    while (static_cast<std::uint64_t>(m) < threshold) {
+      x = rng.next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    }
+    dst[i] = static_cast<Out>(m >> 64);
+  }
 }
 
 /// Uniform double in [0, 1) with 53 random bits.

@@ -37,6 +37,14 @@ struct repeat_options {
   std::uint64_t master_seed = 1;
   /// 0 = one thread per hardware core.
   std::size_t threads = 0;
+  /// > 0 routes every run through the intra-run shard engine with this
+  /// many workers per run (see process.hpp): stale-snapshot windows (e.g.
+  /// b-Batch batches) run shard-parallel inside each run.  Results depend
+  /// on `shards`, never on this thread count.  Intended for few, huge runs
+  /// -- combined with `threads` > 1 the products of the two multiplies.
+  std::size_t threads_per_run = 0;
+  /// Fixed shard count for the intra-run engine (sampling contract).
+  std::size_t shards = 16;
 };
 
 /// Aggregate over repetitions of one configuration.
@@ -50,14 +58,9 @@ struct repeat_result {
   [[nodiscard]] double mean_gap() const;
 };
 
-/// Runs `process` (from its current state) for `m` additional balls via
-/// the bulk path (one step_many call; bit-identical to the per-ball loop).
-template <allocation_process P>
-run_result simulate(P& process, step_count m, rng_t& rng) {
-  NB_REQUIRE(m >= 0, "ball count must be non-negative");
-  NB_REQUIRE(process.state().balls() + m <= step_count{2000000000},
-             "run would overflow 32-bit per-bin loads");
-  step_many(process, rng, m);
+namespace detail {
+template <typename P>
+run_result collect_run_result(const P& process) {
   run_result r;
   const load_state& s = process.state();
   r.gap = s.gap();
@@ -66,6 +69,35 @@ run_result simulate(P& process, step_count m, rng_t& rng) {
   r.min_load = s.min_load();
   r.balls = s.balls();
   return r;
+}
+
+template <typename P>
+void check_run_ceiling(const P& process, step_count m) {
+  NB_REQUIRE(m >= 0, "ball count must be non-negative");
+  NB_REQUIRE(process.state().balls() + m <= max_run_balls,
+             "run would overflow the per-bin load representation (max_run_balls)");
+}
+}  // namespace detail
+
+/// Runs `process` (from its current state) for `m` additional balls via
+/// the bulk path (one step_many call; bit-identical to the per-ball loop).
+template <allocation_process P>
+run_result simulate(P& process, step_count m, rng_t& rng) {
+  detail::check_run_ceiling(process, m);
+  step_many(process, rng, m);
+  return detail::collect_run_result(process);
+}
+
+/// Intra-run parallel variant: moves the m balls through `engine`, so
+/// stale-snapshot windows run shard-parallel (serial fused loop for
+/// everything else).  Same observables as simulate(); results are
+/// bit-identical for any engine thread count but differ bitwise (not
+/// distributionally) from the serial path's stream usage.
+template <allocation_process P>
+run_result simulate_parallel(P& process, step_count m, rng_t& rng, shard_engine& engine) {
+  detail::check_run_ceiling(process, m);
+  step_many_parallel(process, rng, m, engine);
+  return detail::collect_run_result(process);
 }
 
 /// Runs `factory()` for m balls, `opt.runs` times with derived seeds, in
@@ -78,7 +110,12 @@ repeat_result run_repeated_with(Factory&& factory, step_count m, const repeat_op
   parallel_for(opt.runs, opt.threads, [&](std::size_t r) {
     auto process = factory();
     rng_t rng(derive_seed(opt.master_seed, r));
-    results[r] = simulate(process, m, rng);
+    if (opt.threads_per_run > 0) {
+      shard_engine engine(shard_options{.threads = opt.threads_per_run, .shards = opt.shards});
+      results[r] = simulate_parallel(process, m, rng, engine);
+    } else {
+      results[r] = simulate(process, m, rng);
+    }
     results[r].seed = derive_seed(opt.master_seed, r);
   });
   repeat_result agg;

@@ -15,7 +15,13 @@ std::vector<std::int64_t> arithmetic_range(std::int64_t lo, std::int64_t hi, std
 std::vector<std::int64_t> geometric_range(std::int64_t base, std::int64_t hi, std::int64_t factor) {
   NB_REQUIRE(base >= 1 && factor >= 2, "need base >= 1 and factor >= 2");
   std::vector<std::int64_t> out;
-  for (std::int64_t v = base; v <= hi; v *= factor) out.push_back(v);
+  for (std::int64_t v = base; v <= hi;) {
+    out.push_back(v);
+    // v * factor may wrap std::int64_t before the loop condition sees it
+    // (signed overflow is UB); the division guard terminates first.
+    if (v > hi / factor) break;
+    v *= factor;
+  }
   return out;
 }
 

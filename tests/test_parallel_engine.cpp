@@ -1,0 +1,331 @@
+// The intra-run shard-parallel batch engine and its building blocks:
+// block-RNG sampling, the compact 8-bit snapshot, per-shard delta rows
+// with the fixed-order merge, and the two determinism contracts --
+//   (1) one (seed, shard count) is bit-identical for ANY thread count,
+//   (2) the parallel path agrees with the serial bulk path on every
+//       distributional invariant (it draws different randomness, so the
+//       agreement is statistical, never bitwise).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_support.hpp"
+
+namespace {
+
+using namespace nb;
+
+// ---------------------------------------------------------------------------
+// Block RNG sampling.
+
+TEST(BoundedBlock, MatchesSerialBoundedDrawForDraw) {
+  // Identical accept/reject rule: from the same generator state the block
+  // fill must produce the same samples AND leave the generator in the same
+  // position as successive bounded() calls.
+  for (const std::uint64_t bound : {2ULL, 3ULL, 7ULL, 1000ULL, (1ULL << 32) - 5}) {
+    rng_t serial(99);
+    rng_t block(99);
+    std::array<std::uint64_t, 257> got{};
+    bounded_block(block, bound, got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], bounded(serial, bound)) << "bound " << bound << " sample " << i;
+    }
+    EXPECT_EQ(serial.next(), block.next()) << "entropy consumption diverged at bound " << bound;
+  }
+}
+
+TEST(BoundedBlock, RespectsBoundAndCoversSupport) {
+  rng_t rng(7);
+  std::array<std::uint32_t, 4096> buf{};
+  bounded_block(rng, 10, buf.data(), buf.size());
+  std::array<int, 10> hits{};
+  for (const std::uint32_t v : buf) {
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  for (int h : hits) EXPECT_GT(h, 0);  // ~410 expected per value
+}
+
+TEST(ShardStreamSeed, IndependentPerShardAndWindow) {
+  // Distinct (token, shard) pairs must give distinct seeds, and the scheme
+  // must match the documented derive_seed layering.
+  EXPECT_EQ(shard_stream_seed(42, 3), derive_seed(42, 3));
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t token : {1ULL, 2ULL}) {
+    for (std::uint64_t s = 0; s < 8; ++s) seeds.push_back(shard_stream_seed(token, s));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+// ---------------------------------------------------------------------------
+// Compact snapshot.
+
+TEST(CompactSnapshot, OffsetFromBaseRoundTrip) {
+  const std::vector<load_t> loads = {7, 3, 3, 12, 258, 100};
+  compact_snapshot snap;
+  ASSERT_TRUE(snap.assign(loads));
+  EXPECT_TRUE(snap.ok());
+  EXPECT_EQ(snap.base(), 3);
+  EXPECT_EQ(snap.size(), loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_EQ(static_cast<load_t>(snap.off(static_cast<bin_index>(i))) + snap.base(), loads[i]);
+  }
+}
+
+TEST(CompactSnapshot, SaturatedSpanIsRejected) {
+  compact_snapshot snap;
+  EXPECT_TRUE(snap.assign({0, 255}));   // span exactly 255: still exact
+  EXPECT_FALSE(snap.assign({0, 256}));  // span 256: would clamp, must refuse
+  EXPECT_FALSE(snap.ok());
+  EXPECT_TRUE(snap.assign({1000, 1000, 1255}));  // large base is fine
+  EXPECT_EQ(snap.base(), 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Shard deltas and the merged increment application.
+
+TEST(ShardDeltas, FixedOrderMergeSumsRows) {
+  shard_deltas d;
+  d.reset(3, 5);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (bin_index i = 0; i < 5; ++i) d.row(s)[i] = static_cast<std::uint16_t>(10 * s + i);
+  }
+  std::vector<std::uint32_t> merged;
+  d.sum_rows(merged);
+  ASSERT_EQ(merged.size(), 5u);
+  for (bin_index i = 0; i < 5; ++i) EXPECT_EQ(merged[i], 3 * i + 30);
+  // Range-wise sums (the engine's concurrent merge) agree with the whole.
+  std::vector<std::uint32_t> ranged(5, 777);
+  d.sum_rows(ranged, 0, 2);
+  d.sum_rows(ranged, 2, 5);
+  EXPECT_EQ(ranged, merged);
+  // Merged counts widen past 16 bits even though rows are 16-bit.
+  shard_deltas wide;
+  wide.reset(4, 1);
+  for (std::size_t s = 0; s < 4; ++s) wide.row(s)[0] = 65535;
+  std::vector<std::uint32_t> wide_sum;
+  wide.sum_rows(wide_sum);
+  EXPECT_EQ(wide_sum[0], 4u * 65535u);
+  // reset zeroes the rows again.
+  d.reset(3, 5);
+  d.sum_rows(merged);
+  for (const std::uint32_t v : merged) EXPECT_EQ(v, 0u);
+}
+
+TEST(LoadState, ApplyIncrementsMatchesAllocateLoop) {
+  load_state bulk(6);
+  load_state serial(6);
+  const std::vector<std::uint32_t> inc = {3, 0, 1, 7, 0, 2};
+  bulk.apply_increments(inc);
+  for (bin_index i = 0; i < 6; ++i) {
+    for (std::uint32_t k = 0; k < inc[i]; ++k) serial.allocate(i);
+  }
+  EXPECT_EQ(bulk.loads(), serial.loads());
+  EXPECT_EQ(bulk.balls(), serial.balls());
+  EXPECT_EQ(bulk.max_load(), serial.max_load());
+  EXPECT_EQ(bulk.min_load(), serial.min_load());
+  EXPECT_EQ(bulk.overloaded_count(), serial.overloaded_count());
+  EXPECT_EQ(bulk.sorted_normalized_desc(), serial.sorted_normalized_desc());
+  EXPECT_THROW(bulk.apply_increments({1, 2}), contract_error);  // wrong size
+}
+
+// ---------------------------------------------------------------------------
+// The engine: determinism contract (1) -- thread count never matters.
+
+std::vector<load_t> parallel_run_loads(std::size_t threads, std::size_t shards, bin_count n,
+                                       step_count b, step_count m, std::uint64_t seed,
+                                       step_count min_window = 1) {
+  b_batch process(n, b);
+  rng_t rng(seed);
+  shard_engine engine(shard_options{.threads = threads, .shards = shards, .min_window = min_window});
+  step_many_parallel(process, rng, m, engine);
+  return process.state().loads();
+}
+
+TEST(ShardEngine, BitIdenticalAcrossThreadCounts) {
+  const bin_count n = 256;
+  const step_count m = 16 * 256;
+  const auto t1 = parallel_run_loads(1, 8, n, n, m, 4242);
+  const auto t2 = parallel_run_loads(2, 8, n, n, m, 4242);
+  const auto t8 = parallel_run_loads(8, 8, n, n, m, 4242);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+  EXPECT_EQ(nb::testing::total_balls(t1), m);
+  // Different seeds still give different runs (the engine is not inert).
+  EXPECT_NE(t1, parallel_run_loads(4, 8, n, n, m, 4243));
+}
+
+TEST(ShardEngine, BoundaryAlignedChunkingInvariance) {
+  // Call-size cuts that land on window (batch) boundaries do not change
+  // the window sequence, so the same windows draw the same tokens in the
+  // same master-stream order: one whole-run call and boundary-aligned
+  // chunked calls are bit-identical.  (Cuts INSIDE a window split it into
+  // smaller windows and legitimately change the drawn randomness -- the
+  // chunk pattern is part of the parallel sampling contract, which is why
+  // the drivers checkpoint at multiples of the batch size.)
+  const bin_count n = 128;
+  b_batch whole(n, n);
+  b_batch pieces(n, n);
+  rng_t rng_a(5);
+  rng_t rng_b(5);
+  shard_engine engine(shard_options{.threads = 2, .shards = 4, .min_window = 1});
+  step_many_parallel(whole, rng_a, 1280, engine);
+  for (const step_count batches : {1, 3, 2, 4}) {
+    step_many_parallel(pieces, rng_b, batches * static_cast<step_count>(n), engine);
+  }
+  EXPECT_EQ(whole.state().loads(), pieces.state().loads());
+  EXPECT_EQ(rng_a.next(), rng_b.next());  // same number of window tokens
+}
+
+TEST(ShardEngine, SnapshotRefreshMatchesTrueLoadsAtBoundary) {
+  const bin_count n = 64;
+  b_batch process(n, n);
+  rng_t rng(11);
+  shard_engine engine(shard_options{.threads = 2, .shards = 4, .min_window = 1});
+  step_many_parallel(process, rng, 5 * n, engine);  // ends exactly on a boundary
+  for (bin_index i = 0; i < n; ++i) {
+    EXPECT_EQ(process.reported_load(i), process.state().load(i)) << "stale bin " << i;
+  }
+  // Mid-batch, the snapshot must still show the batch-start loads: run half
+  // a batch more and check the snapshot did NOT move.
+  const auto frozen = process.state().loads();
+  step_many_parallel(process, rng, n / 2, engine);
+  for (bin_index i = 0; i < n; ++i) {
+    EXPECT_EQ(process.reported_load(i), frozen[i]) << "snapshot moved mid-batch, bin " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The engine: serial fallbacks are bit-identical to the serial bulk path.
+
+TEST(ShardEngine, UndersizedWindowsFallBackToSerialExactly) {
+  // min_window larger than every batch: the engine must walk the run with
+  // the serial fused loop on the master stream -- bit-identical to
+  // step_many, including the generator position afterwards.
+  b_batch parallel(32, 32);
+  b_batch serial(32, 32);
+  rng_t rng_a(21);
+  rng_t rng_b(21);
+  shard_engine engine(shard_options{.threads = 4, .shards = 4, .min_window = 1 << 20});
+  step_many_parallel(parallel, rng_a, 3210, engine);
+  step_many(serial, rng_b, 3210);
+  EXPECT_EQ(parallel.state().loads(), serial.state().loads());
+  EXPECT_EQ(rng_a.next(), rng_b.next());
+}
+
+TEST(ShardEngine, WindowlessProcessesFallBackToSerialExactly) {
+  // tau-Delay models only the probe (snapshot_window() == 0): sliding
+  // windows never freeze.  two_choice has no window API at all.  Both must
+  // take the serial path through the engine, bit for bit.
+  tau_delay<delay_adversarial> delay_par(32, 9);
+  tau_delay<delay_adversarial> delay_ser(32, 9);
+  rng_t rng_a(31);
+  rng_t rng_b(31);
+  shard_engine engine(shard_options{.threads = 4, .shards = 4, .min_window = 1});
+  step_many_parallel(delay_par, rng_a, 2000, engine);
+  step_many(delay_ser, rng_b, 2000);
+  EXPECT_EQ(delay_par.state().loads(), delay_ser.state().loads());
+  EXPECT_EQ(rng_a.next(), rng_b.next());
+
+  two_choice tc_par(32);
+  two_choice tc_ser(32);
+  rng_t rng_c(32);
+  rng_t rng_d(32);
+  step_many_parallel(tc_par, rng_c, 2000, engine);
+  step_many(tc_ser, rng_d, 2000);
+  EXPECT_EQ(tc_par.state().loads(), tc_ser.state().loads());
+}
+
+TEST(ShardEngine, TypeErasedRouteMatchesTemplateRoute) {
+  // any_process must dispatch into the same engine code path as the
+  // concrete type: identical seeds, options and chunking => identical runs.
+  const bin_count n = 128;
+  const step_count m = 10 * n;
+  b_batch direct(n, n);
+  any_process erased{b_batch(n, n)};
+  rng_t rng_a(77);
+  rng_t rng_b(77);
+  shard_engine engine(shard_options{.threads = 2, .shards = 4, .min_window = 1});
+  step_many_parallel(direct, rng_a, m, engine);
+  step_many_parallel(erased, rng_b, m, engine);
+  EXPECT_EQ(direct.state().loads(), erased.state().loads());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract (2): distributional parity with the serial path.
+
+TEST(ShardEngine, GapDistributionMatchesSerialBulkPath) {
+  // Same configuration, independent seeds: mean gap over repetitions of
+  // the parallel path must agree with the serial path well within the
+  // run-to-run spread (b = n, so both are one-choice-like per batch with
+  // two-choice correction across batches; gaps concentrate tightly).
+  const bin_count n = 100;
+  const step_count m = 100 * n;
+  const std::size_t runs = 24;
+  double serial_mean = 0.0;
+  double parallel_mean = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    b_batch serial(n, n);
+    rng_t rng_s(derive_seed(1000, r));
+    step_many(serial, rng_s, m);
+    serial_mean += serial.state().gap();
+
+    b_batch parallel(n, n);
+    rng_t rng_p(derive_seed(2000, r));
+    shard_engine engine(shard_options{.threads = 2, .shards = 4, .min_window = 1});
+    step_many_parallel(parallel, rng_p, m, engine);
+    parallel_mean += parallel.state().gap();
+    EXPECT_EQ(parallel.state().balls(), m);
+  }
+  serial_mean /= static_cast<double>(runs);
+  parallel_mean /= static_cast<double>(runs);
+  // Gaps at this configuration sit around 4-6 with spread well under 1;
+  // a 1.5 tolerance on the means catches real distributional drift while
+  // staying far from flaky.
+  EXPECT_NEAR(serial_mean, parallel_mean, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Driver integration.
+
+TEST(ShardEngine, SimulateParallelAndRepeatRouting) {
+  b_batch process(64, 64);
+  rng_t rng(3);
+  shard_engine engine(shard_options{.threads = 2, .shards = 4, .min_window = 1});
+  const auto result = simulate_parallel(process, 640, rng, engine);
+  EXPECT_EQ(result.balls, 640);
+  EXPECT_DOUBLE_EQ(result.gap, process.state().gap());
+
+  // threads_per_run > 0 routes run_repeated through the engine; results
+  // stay deterministic in the outer thread count AND the inner one.  The
+  // batch (8192) clears the driver's default min_window, so the runs
+  // genuinely take the parallel windows.
+  repeat_options opt;
+  opt.runs = 4;
+  opt.master_seed = 9;
+  opt.threads = 2;
+  opt.threads_per_run = 2;
+  opt.shards = 4;
+  const auto a = run_repeated([&] { return any_process(b_batch(64, 8192)); }, 6400, opt);
+  opt.threads = 1;
+  opt.threads_per_run = 1;
+  const auto b = run_repeated([&] { return any_process(b_batch(64, 8192)); }, 6400, opt);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t r = 0; r < a.runs.size(); ++r) {
+    EXPECT_EQ(a.runs[r].max_load, b.runs[r].max_load);
+    EXPECT_DOUBLE_EQ(a.runs[r].gap, b.runs[r].gap);
+  }
+  EXPECT_EQ(a.gap_histogram.entries(), b.gap_histogram.entries());
+}
+
+TEST(ShardEngine, RunCeilingUsesNamedConstant) {
+  two_choice p(4);
+  rng_t rng(1);
+  EXPECT_THROW(static_cast<void>(simulate(p, max_run_balls + 1, rng)), contract_error);
+  shard_engine engine(shard_options{.threads = 1});
+  EXPECT_THROW(static_cast<void>(simulate_parallel(p, max_run_balls + 1, rng, engine)),
+               contract_error);
+}
+
+}  // namespace

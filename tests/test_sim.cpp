@@ -195,6 +195,22 @@ TEST(Sweep, GeometricRange) {
   EXPECT_THROW(geometric_range(1, 10, 1), contract_error);
 }
 
+TEST(Sweep, GeometricRangeNearOverflowTerminates) {
+  // Regression: v *= factor used to wrap std::int64_t (UB) when hi sat
+  // near the type maximum; the division guard must stop one step early.
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  const auto v = geometric_range(1, kMax, 2);
+  ASSERT_EQ(v.size(), 63u);  // 2^0 .. 2^62; 2^63 would overflow
+  EXPECT_EQ(v.back(), std::int64_t{1} << 62);
+  const auto w = geometric_range(kMax - 1, kMax, 3);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.front(), kMax - 1);
+  // Values above hi but below overflow still stop exactly at hi.
+  const auto u = geometric_range(5, 100, 10);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.back(), 50);
+}
+
 TEST(Sweep, OneFiveDecades) {
   const auto v = one_five_decades(5, 500000);
   // 5, 10, 50, 100, 500, 1000, 5000, 10^4, 5x10^4, 10^5, 5x10^5
