@@ -7,6 +7,7 @@
 //     side-by-side comparison
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -30,9 +31,16 @@ struct bench_config {
   std::uint64_t seed = 1;
   std::size_t threads = 0;          // 0 = hardware concurrency
   std::size_t threads_per_run = 0;  // 0 = serial runs; > 0 = intra-run shard engine
+  std::string kernel = "off";       // off | scalar | sse2 | avx2 | auto | simd
+  std::size_t lanes = 8;            // kernel lanes (sampling contract)
   std::string csv;                  // optional CSV output path ("" = none)
 
   [[nodiscard]] bool paper_mode() const { return mode == "paper"; }
+
+  /// The kernel backend the --kernel flag selected, or nullopt for "off".
+  [[nodiscard]] std::optional<kernel_isa> kernel_backend() const {
+    return kernel_isa_from_name(kernel);
+  }
 
   [[nodiscard]] std::vector<bin_count> bin_counts() const {
     if (n_override > 0) return {static_cast<bin_count>(n_override)};
@@ -57,6 +65,11 @@ inline void add_standard_flags(cli_parser& cli) {
   cli.add_int("threads-per-run", 0,
               "intra-run shard-engine workers (0 = serial runs; stale-snapshot "
               "windows, e.g. b-batch batches, then run shard-parallel)");
+  cli.add_string("kernel", "off",
+                 "allocation-kernel backend for frozen windows: off | scalar | "
+                 "sse2 | avx2 | auto | simd (auto/simd = best this CPU supports; "
+                 "backends are bit-identical for a fixed lane count)");
+  cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
   cli.add_string("csv", "", "also write results to this CSV file");
 }
 
@@ -76,6 +89,13 @@ inline std::optional<bench_config> parse_standard(cli_parser& cli, int argc,
   NB_REQUIRE(cli.get_int("threads-per-run") >= 0, "--threads-per-run must be >= 0");
   cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
   cfg.threads_per_run = static_cast<std::size_t>(cli.get_int("threads-per-run"));
+  cfg.kernel = cli.get_string("kernel");
+  NB_REQUIRE(cfg.kernel == "off" || kernel_isa_from_name(cfg.kernel).has_value(),
+             "--kernel must be off, scalar, sse2, avx2, auto or simd");
+  NB_REQUIRE(cli.get_int("lanes") >= 1 &&
+                 cli.get_int("lanes") <= static_cast<std::int64_t>(kernel_max_lanes),
+             "--lanes must be in [1, kernel_max_lanes]");
+  cfg.lanes = static_cast<std::size_t>(cli.get_int("lanes"));
   cfg.csv = cli.get_string("csv");
   return cfg;
 }
@@ -92,10 +112,15 @@ struct cell {
 /// index), never on scheduling.  threads_per_run > 0 additionally routes
 /// each job through the intra-run shard engine (windowed processes --
 /// b-Batch cells -- then run shard-parallel inside the run; results stay
-/// independent of both thread knobs).
+/// independent of both thread knobs).  A `kernel` backend routes serial
+/// jobs through the lane-interleaved SIMD kernel_engine instead of the
+/// plain fused loop, and selects the shard engine's backend otherwise;
+/// results never depend on the backend, only on `lanes`.
 inline std::vector<repeat_result> run_cells(const std::vector<cell>& cells, std::size_t runs,
                                             std::uint64_t master_seed, std::size_t threads,
-                                            std::size_t threads_per_run = 0) {
+                                            std::size_t threads_per_run = 0,
+                                            std::optional<kernel_isa> kernel = std::nullopt,
+                                            std::size_t lanes = 8) {
   NB_REQUIRE(runs >= 1, "need at least one run per cell");
   std::vector<repeat_result> results(cells.size());
   for (auto& r : results) r.runs.resize(runs);
@@ -108,8 +133,13 @@ inline std::vector<repeat_result> run_cells(const std::vector<cell>& cells, std:
     if (threads_per_run > 0) {
       // Pool + scratch are built per job: intra-run parallelism targets
       // few huge runs, where a run dwarfs the engine's ~ms startup.
-      shard_engine engine(shard_options{.threads = threads_per_run});
+      shard_engine engine(shard_options{.threads = threads_per_run,
+                                        .lanes = lanes,
+                                        .isa = kernel.value_or(kernel_isa::auto_detect)});
       results[c].runs[r] = simulate_parallel(process, cells[c].m, rng, engine);
+    } else if (kernel.has_value()) {
+      kernel_engine engine(kernel_options{.lanes = lanes, .isa = *kernel});
+      results[c].runs[r] = simulate_kernel(process, cells[c].m, rng, engine);
     } else {
       results[c].runs[r] = simulate(process, cells[c].m, rng);
     }
@@ -134,6 +164,52 @@ class stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Wall-clock statistics over repeated timed reps of one workload.
+/// Reported numbers are medians; min/max bound the scheduling noise (a
+/// single cold shot -- the old harness -- reads as min == median == max
+/// with reps = 1 and warmup = 0, so JSON consumers can tell them apart).
+struct timing_stats {
+  int warmup = 0;
+  int reps = 0;
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double max_s = 0.0;
+
+  /// Throughput views of the same sample (work units / seconds).
+  [[nodiscard]] double rate_median(double work) const { return work / median_s; }
+  [[nodiscard]] double rate_min(double work) const { return work / max_s; }
+  [[nodiscard]] double rate_max(double work) const { return work / min_s; }
+};
+
+/// Times `body()` with `warmup` untimed shots (cache/branch-predictor/page
+/// warm-in) followed by `reps` timed shots; returns min/median/max.  The
+/// body must be a repeatable workload -- same seed, same work -- so the
+/// spread measures the machine, not the benchmark.
+template <typename Body>
+timing_stats time_median_of(int warmup, int reps, const Body& body) {
+  NB_REQUIRE(reps >= 1, "need at least one timed rep");
+  NB_REQUIRE(warmup >= 0, "warmup count must be non-negative");
+  for (int i = 0; i < warmup; ++i) body();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const stopwatch clock;
+    body();
+    samples.push_back(clock.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  timing_stats out;
+  out.warmup = warmup;
+  out.reps = reps;
+  out.min_s = samples.front();
+  out.max_s = samples.back();
+  // Median of an even sample: mean of the middle pair.
+  const std::size_t mid = samples.size() / 2;
+  out.median_s =
+      samples.size() % 2 != 0 ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Published results (Tables 12.3 and 12.4 of the paper), for side-by-side

@@ -39,7 +39,8 @@ int run(int argc, const char* const* argv) {
                      [n] { return any_process(one_choice(n)); }, b});
   }
   stopwatch total;
-  const auto results = run_cells(cells, cfg->runs(), cfg->seed, cfg->threads, cfg->threads_per_run);
+  const auto results = run_cells(cells, cfg->runs(), cfg->seed, cfg->threads,
+                                 cfg->threads_per_run, cfg->kernel_backend(), cfg->lanes);
 
   std::unique_ptr<csv_writer> csv;
   if (!cfg->csv.empty()) {

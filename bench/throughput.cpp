@@ -5,10 +5,12 @@
 // index.  Not a paper experiment -- this is the evidence that paper-scale
 // runs (10^8 balls) are routine on a laptop.
 //
-// The headline number: two-choice, n = 10^4, m = 10^7, type-erased
-// (exactly how the registry-driven sweep binaries execute), per-ball vs
-// bulk.  Both paths are verified to produce bit-identical load vectors
-// before any timing is reported.
+// The scale section (--scale) is the before/after of the allocation
+// kernel: one huge b-Batch observed run (paper regime n = 10^6, m = 10^8,
+// b = n) executed by the serial fused loop, the lane-interleaved kernel
+// (scalar and SIMD backends), and the shard-parallel engine, every leg
+// timed warm with median-of-k reps.  Emits BENCH_throughput.json as an
+// array of per-config entries {kernel, isa, threads, balls_per_sec, ...}.
 #include <algorithm>
 #include <cstdio>
 #include <functional>
@@ -21,36 +23,36 @@
 namespace {
 
 using namespace nb;
+using nb::bench::time_median_of;
+using nb::bench::timing_stats;
 
-constexpr int kReps = 3;  // best-of to suppress scheduling noise
+constexpr int kWarmup = 1;  // untimed warm-in shots per workload
+constexpr int kReps = 3;    // timed reps; medians suppress scheduling noise
 
 struct measurement {
-  double balls_per_sec = 0.0;
+  timing_stats timing;
   double gap = 0.0;
   std::vector<load_t> loads;
 };
 
-/// Best-of-kReps timing of `body(process, rng)` over m balls; every rep
-/// re-creates the process and generator so reps are identical workloads.
+/// Warm median-of-kReps timing of `body(process, rng, m)`; every shot
+/// re-creates the process and generator so shots are identical workloads.
 template <typename MakeProcess, typename Body>
 measurement time_run(const MakeProcess& make, step_count m, std::uint64_t seed, const Body& body) {
-  measurement best;
-  for (int rep = 0; rep < kReps; ++rep) {
+  measurement out;
+  out.timing = time_median_of(kWarmup, kReps, [&] {
     auto process = make();
     rng_t rng(seed);
-    const bench::stopwatch clock;
     body(process, rng, m);
-    const double elapsed = clock.seconds();
-    const double rate = static_cast<double>(m) / elapsed;
-    if (rate > best.balls_per_sec) best.balls_per_sec = rate;
-    best.gap = process.state().gap();
-    if (rep == kReps - 1) best.loads = process.state().loads();
-  }
-  return best;
+    out.gap = process.state().gap();
+    out.loads = process.state().loads();
+  });
+  return out;
 }
 
 template <typename MakeProcess>
 void report(const char* label, const MakeProcess& make, step_count m, std::uint64_t seed) {
+  const auto work = static_cast<double>(m);
   const auto per_ball = time_run(make, m, seed, [](auto& p, rng_t& rng, step_count balls) {
     for (step_count t = 0; t < balls; ++t) p.step(rng);
   });
@@ -61,8 +63,9 @@ void report(const char* label, const MakeProcess& make, step_count m, std::uint6
     std::printf("PARITY FAILURE for %s: per-ball and bulk load vectors differ\n", label);
     std::exit(1);
   }
-  std::printf("%-34s %14.3e %14.3e %9.2fx   (gap %.1f)\n", label, per_ball.balls_per_sec,
-              bulk.balls_per_sec, bulk.balls_per_sec / per_ball.balls_per_sec, bulk.gap);
+  std::printf("%-34s %14.3e %14.3e %9.2fx   (gap %.1f)\n", label,
+              per_ball.timing.rate_median(work), bulk.timing.rate_median(work),
+              bulk.timing.rate_median(work) / per_ball.timing.rate_median(work), bulk.gap);
 }
 
 /// The end-to-end observed run: gap, underload gap and the median
@@ -77,6 +80,7 @@ void report(const char* label, const MakeProcess& make, step_count m, std::uint6
 /// and the sort-free level-index queries.  Both record the same values.
 double report_observed_run(bin_count n, step_count m, step_count interval, std::uint64_t seed) {
   const auto make = [n] { return two_choice(n); };
+  const auto work = static_cast<double>(m);
   double check_per_ball = 0.0;
   double check_bulk = 0.0;
   const auto per_ball = time_run(make, m, seed, [&](auto& p, rng_t& rng, step_count balls) {
@@ -108,33 +112,36 @@ double report_observed_run(bin_count n, step_count m, step_count interval, std::
     std::exit(1);
   }
   std::printf("%-34s %14.3e %14.3e %9.2fx   (gap %.1f)\n", "two-choice observed run",
-              per_ball.balls_per_sec, bulk.balls_per_sec,
-              bulk.balls_per_sec / per_ball.balls_per_sec, bulk.gap);
-  return bulk.balls_per_sec / per_ball.balls_per_sec;
+              per_ball.timing.rate_median(work), bulk.timing.rate_median(work),
+              bulk.timing.rate_median(work) / per_ball.timing.rate_median(work), bulk.gap);
+  return bulk.timing.rate_median(work) / per_ball.timing.rate_median(work);
 }
 
 // ---------------------------------------------------------------------------
-// Scale benchmark: the intra-run shard-parallel engine vs the serial bulk
-// path on one huge b-Batch observed run (paper regime: n = 10^6 bins,
-// m = 10^8 balls, b = n, one observation per batch).  Every batch's balls
-// decide against the frozen batch-start snapshot, so the engine splits them
-// across shards with block-sampled RNG and a compact 8-bit snapshot; the
-// serial leg is PR 1's fused step_many loop.  Emits BENCH_throughput.json.
+// Scale benchmark: the allocation-kernel before/after on one huge b-Batch
+// observed run (paper regime: n = 10^6 bins, m = 10^8 balls, b = n, one
+// observation per batch).  Legs:
+//   * kernel off      -- PR 1's serial fused step_many loop,
+//   * kernel scalar   -- the lane-interleaved kernel, portable backend,
+//   * kernel <simd>   -- the same kernel on the best SIMD backend this CPU
+//                        supports (bit-identical to scalar by contract,
+//                        verified here run against run),
+//   * shard-parallel  -- the intra-run shard engine, kernel inside shards.
+// Every leg is timed warm (kWarmup) with median-of-kReps.
 
 struct scale_measurement {
-  double balls_per_sec = 0.0;
   double gap = 0.0;
   double sink = 0.0;  // checkpoint observations folded into one number
   std::vector<load_t> loads;
 };
 
+/// One observed run; `move` advances the process by a chunk.
 template <typename Move>
 scale_measurement scale_observed_run(bin_count n, step_count m, step_count interval,
-                                     std::uint64_t seed, Move&& move) {
+                                     std::uint64_t seed, const Move& move) {
   b_batch process(n, static_cast<step_count>(n));
   rng_t rng(seed);
   scale_measurement out;
-  const bench::stopwatch clock;
   for (step_count done = 0; done < m;) {
     const step_count chunk = checkpoint_chunk(done, m - done, interval);
     move(process, rng, chunk);
@@ -143,55 +150,130 @@ scale_measurement scale_observed_run(bin_count n, step_count m, step_count inter
     const auto y = s.sorted_normalized_desc();
     out.sink += s.gap() + s.underload_gap() + y[y.size() / 2];
   }
-  const double elapsed = clock.seconds();
-  out.balls_per_sec = static_cast<double>(m) / elapsed;
   out.gap = process.state().gap();
   out.loads = process.state().loads();
   return out;
 }
 
+/// One timed leg of the scale benchmark (a row of the JSON results array).
+struct scale_entry {
+  std::string kernel;  // off | scalar | sse2 | avx2 | shard
+  std::string isa;     // resolved backend ("none" for the fused loop)
+  std::size_t threads = 1;
+  timing_stats timing;
+  scale_measurement run;
+};
+
+template <typename Move>
+scale_entry time_scale_leg(std::string kernel, std::string isa, std::size_t threads, bin_count n,
+                           step_count m, step_count interval, std::uint64_t seed,
+                           const Move& move) {
+  scale_entry entry;
+  entry.kernel = std::move(kernel);
+  entry.isa = std::move(isa);
+  entry.threads = threads;
+  entry.timing =
+      time_median_of(kWarmup, kReps, [&] { entry.run = scale_observed_run(n, m, interval, seed, move); });
+  const auto work = static_cast<double>(m);
+  std::printf("  %-10s isa=%-7s t=%zu %12.3e balls/s   (min %.3e, max %.3e, gap %.1f)\n",
+              entry.kernel.c_str(), entry.isa.c_str(), entry.threads,
+              entry.timing.rate_median(work), entry.timing.rate_min(work),
+              entry.timing.rate_max(work), entry.run.gap);
+  return entry;
+}
+
 void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::size_t shards,
-                         std::uint64_t seed, bool verify, const std::string& json_path) {
+                         std::size_t lanes, const std::string& kernel_flag, std::uint64_t seed,
+                         bool verify, const std::string& json_path) {
   const auto interval = static_cast<step_count>(n);
-  std::printf("\nscale benchmark: b-batch b=n observed run, n = %u, m = %lld\n", n,
-              static_cast<long long>(m));
+  const auto work = static_cast<double>(m);
+  const kernel_isa best = detect_kernel_isa();
+  std::printf("\nscale benchmark: b-batch b=n observed run, n = %u, m = %lld, lanes = %zu\n", n,
+              static_cast<long long>(m), lanes);
+  std::printf("  warm median of %d reps (+%d warmup); CPU's best backend: %s\n", kReps, kWarmup,
+              kernel_isa_name(best));
 
-  const auto serial = scale_observed_run(
-      n, m, interval, seed,
-      [](b_batch& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); });
-  std::printf("  serial bulk           %14.3e balls/s   (gap %.1f)\n", serial.balls_per_sec,
-              serial.gap);
+  std::vector<scale_entry> results;
 
-  shard_engine engine(shard_options{.threads = threads, .shards = shards});
-  const auto parallel = scale_observed_run(
-      n, m, interval, seed,
+  // Leg 1: the serial fused loop -- the scalar one-ball-at-a-time
+  // baseline every kernel leg is measured against.
+  results.push_back(time_scale_leg(
+      "off", "none", 1, n, m, interval, seed,
+      [](b_batch& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); }));
+  const double fused_rate = results.front().timing.rate_median(work);
+
+  // Legs 2..: the serial kernel engine per requested backend.  --kernel
+  // scalar or simd narrows to that backend; auto compares both.
+  std::vector<kernel_isa> backends;
+  if (kernel_flag == "scalar") {
+    backends = {kernel_isa::scalar};
+  } else if (kernel_flag == "simd") {
+    backends = {best};
+  } else {  // auto: scalar vs best SIMD (one leg if this CPU has no SIMD)
+    backends = {kernel_isa::scalar};
+    if (best != kernel_isa::scalar) backends.push_back(best);
+  }
+  for (const kernel_isa isa : backends) {
+    kernel_engine engine(kernel_options{.lanes = lanes, .isa = isa});
+    results.push_back(time_scale_leg(
+        "kernel", kernel_isa_name(engine.isa()), 1, n, m, interval, seed,
+        [&engine](b_batch& p, rng_t& rng, step_count chunk) {
+          step_many_kernel(p, rng, chunk, engine);
+        }));
+  }
+
+  // Kernel contract spot-check at full scale: every kernel leg ran the
+  // same (seed, lanes) sampling, so loads AND observations must be
+  // bit-identical across backends.
+  for (std::size_t i = 2; i < results.size(); ++i) {
+    if (results[i].run.loads != results[1].run.loads ||
+        results[i].run.sink != results[1].run.sink) {
+      std::printf("ISA PARITY FAILURE: %s diverged from %s\n", results[i].isa.c_str(),
+                  results[1].isa.c_str());
+      std::exit(1);
+    }
+  }
+  // Only a run with >= 2 kernel legs actually exercised the cross-ISA
+  // comparison; a single-backend run must not claim it.
+  const bool isa_verified = results.size() > 2;
+  if (isa_verified) {
+    std::printf("  isa parity            %s == %s bit for bit (loads + observations)\n",
+                results[1].isa.c_str(), results[2].isa.c_str());
+  }
+  const double kernel_speedup = results.back().timing.rate_median(work) / fused_rate;
+  std::printf("  kernel vs fused       %14.2fx (%s, 1 thread)\n", kernel_speedup,
+              results.back().isa.c_str());
+
+  // Last leg: the shard-parallel engine with the kernel inside each shard.
+  shard_engine engine(
+      shard_options{.threads = threads, .shards = shards, .lanes = lanes});
+  results.push_back(time_scale_leg(
+      "shard", kernel_isa_name(engine.isa()), engine.threads(), n, m, interval, seed,
       [&engine](b_batch& p, rng_t& rng, step_count chunk) {
         step_many_parallel(p, rng, chunk, engine);
-      });
-  std::printf("  shard-parallel (t=%zu) %13.3e balls/s   (gap %.1f)\n", engine.threads(),
-              parallel.balls_per_sec, parallel.gap);
-  const double speedup = parallel.balls_per_sec / serial.balls_per_sec;
-  std::printf("  speedup               %14.2fx on %u hardware cores\n", speedup,
-              std::thread::hardware_concurrency());
+      }));
+  const scale_entry& shard = results.back();  // no further push_back: stays valid
+  std::printf("  shard vs fused        %14.2fx on %u hardware cores\n",
+              shard.timing.rate_median(work) / fused_rate, std::thread::hardware_concurrency());
 
   bool identical = true;
   if (verify) {
-    // Determinism contract: same seed + same shard count under ONE worker
-    // thread must reproduce the multi-threaded run bit for bit, including
-    // every checkpoint observation.
-    shard_engine engine1(shard_options{.threads = 1, .shards = shards});
+    // Determinism contract: same seed + same (shards, lanes) under ONE
+    // worker thread and the scalar backend must reproduce the
+    // multi-threaded SIMD run bit for bit, including every checkpoint.
+    shard_engine engine1(shard_options{
+        .threads = 1, .shards = shards, .lanes = lanes, .isa = kernel_isa::scalar});
     const auto replay = scale_observed_run(
-        n, m, interval, seed,
-        [&engine1](b_batch& p, rng_t& rng, step_count chunk) {
+        n, m, interval, seed, [&engine1](b_batch& p, rng_t& rng, step_count chunk) {
           step_many_parallel(p, rng, chunk, engine1);
         });
-    identical = replay.loads == parallel.loads && replay.sink == parallel.sink;
+    identical = replay.loads == shard.run.loads && replay.sink == shard.run.sink;
     if (!identical) {
-      std::printf("DETERMINISM FAILURE: 1-thread replay diverged from %zu-thread run\n",
-                  engine.threads());
+      std::printf("DETERMINISM FAILURE: 1-thread scalar replay diverged from %zu-thread %s run\n",
+                  shard.threads, shard.isa.c_str());
       std::exit(1);
     }
-    std::printf("  determinism           1-thread replay bit-identical (loads + observations)\n");
+    std::printf("  determinism           1-thread scalar replay bit-identical\n");
   }
 
   if (!json_path.empty()) {
@@ -202,19 +284,33 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
                  "  \"bench\": \"throughput_scale\",\n"
                  "  \"process\": \"b-batch\",\n"
                  "  \"n\": %u,\n  \"m\": %lld,\n  \"b\": %u,\n  \"interval\": %lld,\n"
-                 "  \"seed\": %llu,\n  \"threads\": %zu,\n  \"shards\": %zu,\n"
+                 "  \"seed\": %llu,\n  \"shards\": %zu,\n  \"lanes\": %zu,\n"
                  "  \"hardware_concurrency\": %u,\n"
-                 "  \"serial_balls_per_sec\": %.6e,\n"
-                 "  \"parallel_balls_per_sec\": %.6e,\n"
-                 "  \"speedup\": %.4f,\n"
-                 "  \"serial_gap\": %.2f,\n  \"parallel_gap\": %.2f,\n"
+                 "  \"timing\": {\"warmup\": %d, \"reps\": %d, \"statistic\": \"median\"},\n"
+                 "  \"results\": [\n",
+                 n, static_cast<long long>(m), n, static_cast<long long>(interval),
+                 static_cast<unsigned long long>(seed), shards, lanes,
+                 std::thread::hardware_concurrency(), kWarmup, kReps);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const scale_entry& e = results[i];
+      std::fprintf(f,
+                   "    {\"kernel\": \"%s\", \"isa\": \"%s\", \"threads\": %zu,\n"
+                   "     \"balls_per_sec\": %.6e, \"balls_per_sec_min\": %.6e,\n"
+                   "     \"balls_per_sec_max\": %.6e, \"seconds_median\": %.6f,\n"
+                   "     \"gap\": %.2f}%s\n",
+                   e.kernel.c_str(), e.isa.c_str(), e.threads, e.timing.rate_median(work),
+                   e.timing.rate_min(work), e.timing.rate_max(work), e.timing.median_s,
+                   e.run.gap, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"kernel_vs_fused_speedup\": %.4f,\n"
+                 "  \"shard_vs_fused_speedup\": %.4f,\n"
+                 "  \"identical_across_isa_backends\": %s,\n"
                  "  \"identical_across_thread_counts\": %s\n"
                  "}\n",
-                 n, static_cast<long long>(m), n, static_cast<long long>(interval),
-                 static_cast<unsigned long long>(seed), engine.threads(), shards,
-                 std::thread::hardware_concurrency(), serial.balls_per_sec,
-                 parallel.balls_per_sec, speedup, serial.gap, parallel.gap,
-                 verify ? "true" : "null");
+                 kernel_speedup, shard.timing.rate_median(work) / fused_rate,
+                 isa_verified ? "true" : "null", verify ? "true" : "null");
     std::fclose(f);
     std::printf("  wrote %s\n", json_path.c_str());
   }
@@ -230,12 +326,17 @@ int main(int argc, char** argv) {
   cli.add_int("m", 10000000, "number of balls");
   cli.add_int("interval", 0, "observation interval for the observed-run row (0 = n)");
   cli.add_int("seed", 42, "RNG seed (same stream for both paths)");
-  cli.add_bool("scale", false, "also run the shard-parallel scale benchmark (b-batch b=n)");
+  cli.add_bool("scale", false, "also run the allocation-kernel scale benchmark (b-batch b=n)");
   cli.add_int("scale-n", 1000000, "bins for the scale benchmark (paper scale: 10^6)");
   cli.add_int("scale-m", 100000000, "balls for the scale benchmark (paper scale: 10^8)");
-  cli.add_int("scale-threads", 0, "intra-run worker threads for the scale benchmark (0 = cores)");
+  cli.add_int("scale-threads", 0, "intra-run worker threads for the shard leg (0 = cores)");
   cli.add_int("shards", 16, "fixed shard count for the parallel engine (sampling contract)");
-  cli.add_bool("scale-verify", true, "replay the parallel leg on 1 thread and require bit parity");
+  cli.add_string("kernel", "auto",
+                 "scale-benchmark kernel legs: scalar | simd | auto (auto = compare "
+                 "scalar against the best SIMD backend this CPU supports)");
+  cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
+  cli.add_bool("scale-verify", true,
+               "replay the shard leg on 1 thread with the scalar backend and require bit parity");
   cli.add_string("json", "BENCH_throughput.json", "scale-result JSON path (\"\" = skip)");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -250,7 +351,7 @@ int main(int argc, char** argv) {
                                   : static_cast<step_count>(n);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  std::printf("n = %u, m = %lld, best of %d reps; per-ball = step() per ball,\n", n,
+  std::printf("n = %u, m = %lld, warm median of %d reps; per-ball = step() per ball,\n", n,
               static_cast<long long>(m), kReps);
   std::printf("bulk = one step_many call (bit-identical results, checked per row)\n\n");
   std::printf("%-34s %14s %14s %10s\n", "process", "per-ball b/s", "bulk b/s", "speedup");
@@ -268,13 +369,13 @@ int main(int argc, char** argv) {
   const double observed_speedup = report_observed_run(n, m, interval, seed);
 
   std::printf(
-      "\nheadline: the observed-run row is the before/after of this PR's\n"
+      "\nheadline: the observed-run row is the before/after of PR 1's\n"
       "bulk-step refactor -- per-ball stepping with the sort-based\n"
       "per-checkpoint observations the old code paid (O(n log n) each)\n"
       "versus step_many between checkpoints plus the level-compressed load\n"
       "index (sort-free).  Observed-run speedup: %.2fx at one checkpoint\n"
-      "per %lld balls.  Pure-allocation rows above isolate the fused-loop\n"
-      "gain alone (identical RNG draw order, bit-identical loads).\n",
+      "per %lld balls.  The scale section (--scale) is the allocation\n"
+      "kernel's before/after at paper scale.\n",
       observed_speedup, static_cast<long long>(interval));
 
   if (cli.get_bool("scale")) {
@@ -284,10 +385,17 @@ int main(int argc, char** argv) {
                "--scale-m must be in [1, max_run_balls]");
     NB_REQUIRE(cli.get_int("shards") >= 1, "--shards must be positive");
     NB_REQUIRE(cli.get_int("scale-threads") >= 0, "--scale-threads must be >= 0");
+    NB_REQUIRE(cli.get_int("lanes") >= 1 &&
+                   cli.get_int("lanes") <= static_cast<std::int64_t>(kernel_max_lanes),
+               "--lanes must be in [1, kernel_max_lanes]");
+    const std::string kernel_flag = cli.get_string("kernel");
+    NB_REQUIRE(kernel_flag == "scalar" || kernel_flag == "simd" || kernel_flag == "auto",
+               "--kernel must be scalar, simd or auto");
     run_scale_benchmark(static_cast<bin_count>(cli.get_int("scale-n")),
                         static_cast<step_count>(cli.get_int("scale-m")),
                         static_cast<std::size_t>(cli.get_int("scale-threads")),
-                        static_cast<std::size_t>(cli.get_int("shards")), seed,
+                        static_cast<std::size_t>(cli.get_int("shards")),
+                        static_cast<std::size_t>(cli.get_int("lanes")), kernel_flag, seed,
                         cli.get_bool("scale-verify"), cli.get_string("json"));
   }
   return 0;

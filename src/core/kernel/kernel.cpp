@@ -1,0 +1,129 @@
+// Runtime ISA dispatch and the block driver of the allocation kernel.
+//
+// The driver owns everything backend-independent: lane-state setup, the
+// Lemire threshold hoist, cutting the run into L1-resident blocks (always
+// at multiples of the lane count, so every backend sees the same aligned
+// lane rotation), and folding the decided bins into the caller's count
+// row.  Backends only fill the block's chosen-bin buffer.
+#include "core/kernel/kernel.hpp"
+
+#include <string>
+
+#include "core/kernel/kernel_common.hpp"
+
+namespace nb {
+namespace {
+
+/// Chosen-bin buffer capacity per block: 32 KiB, L1-resident alongside the
+/// lane state, and a multiple of every legal lane count's round size after
+/// the driver rounds it down.
+constexpr std::size_t kBlockBalls = 8192;
+static_assert(kBlockBalls % kernel_max_lanes == 0);
+
+kernel_detail::fill_fn pick_fill(kernel_isa resolved) noexcept {
+  switch (resolved) {
+#if defined(__x86_64__) || defined(__i386__)
+    case kernel_isa::sse2:
+      return kernel_detail::fill_sse2;
+    case kernel_isa::avx2:
+      return kernel_detail::fill_avx2;
+#endif
+    default:
+      return kernel_detail::fill_scalar;
+  }
+}
+
+template <typename Row>
+void run_impl(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap, Row* row,
+              step_count balls, std::uint64_t seed) {
+  NB_REQUIRE(lanes >= 1 && lanes <= kernel_max_lanes, "kernel lanes must be in [1, 64]");
+  NB_REQUIRE(n >= 1, "kernel needs at least one bin");
+  NB_ASSERT(balls >= 0 && snap != nullptr && row != nullptr);
+  const kernel_detail::fill_fn fill = pick_fill(resolve_kernel_isa(isa));
+  kernel_detail::lane_soa state;
+  state.init(lanes, seed);
+  const std::uint64_t threshold = kernel_detail::lemire_threshold(n);
+  const std::size_t block = (kBlockBalls / lanes) * lanes;  // multiple of the lane count
+  alignas(64) std::uint32_t chosen[kBlockBalls];
+  while (balls > 0) {
+    const std::size_t count =
+        balls < static_cast<step_count>(block) ? static_cast<std::size_t>(balls) : block;
+    fill(state, n, threshold, snap, chosen, count);
+    for (std::size_t i = 0; i < count; ++i) ++row[chosen[i]];
+    balls -= static_cast<step_count>(count);
+  }
+}
+
+}  // namespace
+
+kernel_isa detect_kernel_isa() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return kernel_isa::avx2;
+  if (__builtin_cpu_supports("sse2")) return kernel_isa::sse2;
+#endif
+  return kernel_isa::scalar;
+}
+
+bool kernel_isa_supported(kernel_isa isa) noexcept {
+  switch (isa) {
+    case kernel_isa::scalar:
+    case kernel_isa::auto_detect:
+      return true;
+    case kernel_isa::sse2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case kernel_isa::avx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+kernel_isa resolve_kernel_isa(kernel_isa requested) noexcept {
+  if (requested == kernel_isa::auto_detect) return detect_kernel_isa();
+  if (kernel_isa_supported(requested)) return requested;
+  // Unsupported explicit request: downgrade to the best available backend.
+  // Legal because backends are bit-identical; the caller can still probe
+  // kernel_isa_supported() when the distinction matters (tests do).
+  return detect_kernel_isa();
+}
+
+const char* kernel_isa_name(kernel_isa isa) noexcept {
+  switch (isa) {
+    case kernel_isa::scalar:
+      return "scalar";
+    case kernel_isa::sse2:
+      return "sse2";
+    case kernel_isa::avx2:
+      return "avx2";
+    case kernel_isa::auto_detect:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<kernel_isa> kernel_isa_from_name(std::string_view name) noexcept {
+  if (name == "scalar") return kernel_isa::scalar;
+  if (name == "sse2") return kernel_isa::sse2;
+  if (name == "avx2") return kernel_isa::avx2;
+  if (name == "auto" || name == "simd") return kernel_isa::auto_detect;
+  return std::nullopt;
+}
+
+void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                std::uint16_t* row, step_count balls, std::uint64_t seed) {
+  run_impl(isa, lanes, n, snap, row, balls, seed);
+}
+
+void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                std::uint32_t* row, step_count balls, std::uint64_t seed) {
+  run_impl(isa, lanes, n, snap, row, balls, seed);
+}
+
+}  // namespace nb

@@ -1,0 +1,83 @@
+// Lane-interleaved SIMD allocation kernel: the data-parallel inner loop of
+// every frozen-window allocation decision.
+//
+// One kernel call answers "given a frozen 8-bit load snapshot, allocate
+// `balls` two-sample decisions and count the chosen bins" -- the body of a
+// shard in the parallel engine and of a whole window in the serial kernel
+// engine.  The kernel runs L independent xoshiro256++ *lanes* (lane l is
+// seeded derive_seed(seed, l)); ball t belongs to lane t % L, and each ball
+// consumes from its lane, in order:
+//
+//   1. one-or-more raw u64 draws for the first bin index i1 (Lemire
+//      multiply-shift with rejection -- unbiased, same accept rule as
+//      nb::bounded),
+//   2. the same for the second bin index i2,
+//   3. exactly one raw u64 draw c for the tie bit.
+//
+// The decision is the canonical two-sample rule over the snapshot:
+// the less loaded of snap[i1]/snap[i2], ties broken by the top bit of c
+// (bit set -> i1), and the chosen bin's counter is incremented.
+//
+// CONTRACT (enforced by tests/test_kernel.cpp): the accumulated counts are
+// a pure function of (lanes, n, snapshot, balls, seed).  The instruction-
+// set backend -- scalar, SSE2 or AVX2, selected at runtime -- is execution
+// only and NEVER affects results; `lanes` is a sampling parameter exactly
+// like shard_options::shards (changing it changes which lane streams exist
+// and therefore the drawn randomness).
+//
+// Snapshot gather safety: vector backends read the snapshot 4 bytes at a
+// time, so `snap` must stay readable for 3 bytes past index n - 1.
+// compact_snapshot allocates exactly this tail padding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace nb {
+
+/// Instruction-set backend of the allocation kernel.  Execution-only:
+/// every backend is bit-identical for a fixed lane count.
+enum class kernel_isa : std::uint8_t {
+  scalar = 0,       ///< portable reference (defines the contract)
+  sse2 = 1,         ///< 2 lanes per vector (x86-64 baseline)
+  avx2 = 2,         ///< 4 lanes per vector + hardware gathers
+  auto_detect = 3,  ///< resolve to the best backend this CPU supports
+};
+
+/// Ceiling on the lane count (keeps lane state stack-resident; far above
+/// any useful configuration -- AVX2 consumes 4 lanes per vector).
+inline constexpr std::size_t kernel_max_lanes = 64;
+
+/// Best backend the running CPU supports (never auto_detect).
+[[nodiscard]] kernel_isa detect_kernel_isa() noexcept;
+
+/// True when `isa` can execute on this CPU (auto_detect is always true).
+[[nodiscard]] bool kernel_isa_supported(kernel_isa isa) noexcept;
+
+/// Maps auto_detect to the detected best backend and silently downgrades
+/// an unsupported request to the best supported one -- legal because the
+/// backend never affects results.
+[[nodiscard]] kernel_isa resolve_kernel_isa(kernel_isa requested) noexcept;
+
+/// "scalar" / "sse2" / "avx2" / "auto".
+[[nodiscard]] const char* kernel_isa_name(kernel_isa isa) noexcept;
+
+/// Inverse of kernel_isa_name, plus the aliases "simd" (= auto_detect)
+/// used by bench CLIs.  nullopt for anything else.
+[[nodiscard]] std::optional<kernel_isa> kernel_isa_from_name(std::string_view name) noexcept;
+
+/// Runs `balls` lane-interleaved decisions against `snap` (n bins, 8-bit
+/// offsets, 3 bytes of tail padding) and accumulates `++row[chosen]` per
+/// ball.  The uint16 overload is the shard-engine row (caller guarantees
+/// <= 65535 balls per call, as shard_engine's window cap does); the uint32
+/// overload serves whole serial windows.
+void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                std::uint16_t* row, step_count balls, std::uint64_t seed);
+void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                std::uint32_t* row, step_count balls, std::uint64_t seed);
+
+}  // namespace nb

@@ -1,0 +1,112 @@
+// Internal machinery shared by the allocation-kernel backends.  Not part
+// of the public API -- include core/kernel/kernel.hpp instead.
+//
+// The scalar pieces here (lane state stepping, the queue-replay ball) are
+// the single source of truth for the kernel's sampling semantics: vector
+// backends generate raw draws in bulk and fall back to replay_ball for
+// remainder lanes, partial rounds and the (astronomically rare, ~2^-32
+// per sample) Lemire rejections, so every backend consumes each lane's
+// stream in exactly the reference order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/kernel/kernel.hpp"
+#include "rng/rng.hpp"
+
+namespace nb::kernel_detail {
+
+/// Structure-of-arrays state of the kernel's xoshiro256++ lanes: word w of
+/// lane l sits at sW[l], so a vector backend loads W consecutive lanes'
+/// states with one aligned vector load per word.  Lane l's stream is
+/// bit-identical to nb::xoshiro256pp(derive_seed(seed, l)).
+struct lane_soa {
+  std::size_t lanes = 0;
+  alignas(64) std::array<std::uint64_t, kernel_max_lanes> s0{};
+  alignas(64) std::array<std::uint64_t, kernel_max_lanes> s1{};
+  alignas(64) std::array<std::uint64_t, kernel_max_lanes> s2{};
+  alignas(64) std::array<std::uint64_t, kernel_max_lanes> s3{};
+
+  void init(std::size_t lane_count, std::uint64_t seed) noexcept {
+    NB_ASSERT(lane_count >= 1 && lane_count <= kernel_max_lanes);
+    lanes = lane_count;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      // Same state expansion as xoshiro256pp::reseed.
+      splitmix64 sm(derive_seed(seed, l));
+      s0[l] = sm.next();
+      s1[l] = sm.next();
+      s2[l] = sm.next();
+      s3[l] = sm.next();
+    }
+  }
+
+  /// One scalar step of lane l -- the same update as xoshiro256pp::next.
+  std::uint64_t next(std::size_t l) noexcept {
+    const std::uint64_t result = detail::rotl64(s0[l] + s3[l], 23) + s0[l];
+    const std::uint64_t t = s1[l] << 17;
+    s2[l] ^= s0[l];
+    s3[l] ^= s1[l];
+    s1[l] ^= s2[l];
+    s0[l] ^= s3[l];
+    s2[l] ^= t;
+    s3[l] = detail::rotl64(s3[l], 45);
+    return result;
+  }
+};
+
+/// Lemire rejection threshold for `bound`, hoisted once per kernel run.
+[[nodiscard]] inline std::uint64_t lemire_threshold(std::uint64_t bound) noexcept {
+  return (0 - bound) % bound;
+}
+
+/// The canonical two-sample decision: less loaded of the two snapshot
+/// offsets, ties broken by the top bit of c (set -> i1).
+[[nodiscard]] inline std::uint32_t decide(std::uint8_t a, std::uint8_t b, std::uint64_t c,
+                                          std::uint32_t i1, std::uint32_t i2) noexcept {
+  const bool pick_first = (a < b) | ((a == b) & ((c >> 63) != 0));
+  return pick_first ? i1 : i2;
+}
+
+/// One ball of lane l, decided scalar: raw draws come first from `queue`
+/// (draws a vector backend already generated for this ball), then live
+/// from the lane.  With an accept-first queue of {a, b, c} this consumes
+/// exactly the three queued values -- identical to the vector fast path --
+/// and on rejection it transparently continues on the lane's live stream,
+/// which sits exactly after the queued draws.
+[[nodiscard]] inline std::uint32_t replay_ball(lane_soa& st, std::size_t l, std::uint64_t bound,
+                                               std::uint64_t threshold, const std::uint8_t* snap,
+                                               const std::uint64_t* queue, int queued) noexcept {
+  int qi = 0;
+  const auto draw = [&]() noexcept { return qi < queued ? queue[qi++] : st.next(l); };
+  const auto draw_bounded = [&]() noexcept {
+    for (;;) {
+      const std::uint64_t x = draw();
+      const auto m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      if (static_cast<std::uint64_t>(m) >= threshold) return static_cast<std::uint32_t>(m >> 64);
+    }
+  };
+  const std::uint32_t i1 = draw_bounded();
+  const std::uint32_t i2 = draw_bounded();
+  const std::uint64_t c = draw();
+  return decide(snap[i1], snap[i2], c, i1, i2);
+}
+
+/// A backend fills chosen[0..balls) with the decided bin per ball, in ball
+/// order, continuing the lane rotation from lane 0 (the driver only cuts
+/// blocks at multiples of the lane count, so rotation stays aligned).
+using fill_fn = void (*)(lane_soa& st, bin_count n, std::uint64_t threshold,
+                         const std::uint8_t* snap, std::uint32_t* chosen, std::size_t balls);
+
+void fill_scalar(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+                 std::uint32_t* chosen, std::size_t balls);
+#if defined(__x86_64__) || defined(__i386__)
+void fill_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+               std::uint32_t* chosen, std::size_t balls);
+void fill_avx2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+               std::uint32_t* chosen, std::size_t balls);
+#endif
+
+}  // namespace nb::kernel_detail

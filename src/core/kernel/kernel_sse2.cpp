@@ -1,0 +1,126 @@
+// SSE2 backend of the allocation kernel: 2 lanes per 128-bit vector.
+//
+// Vectorizes the arithmetic-heavy half of the pipeline -- the xoshiro256++
+// steps and the Lemire multiply-shift -- and keeps the snapshot loads and
+// the (branchless) decision scalar, since SSE2 has neither gathers nor
+// 64-bit compares.  Same lane contract and the same rare-rejection replay
+// as the other backends; SSE2 is the x86-64 baseline, so this TU needs no
+// target attribute beyond the explicit one (harmless, and it keeps 32-bit
+// x86 builds honest).
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+#include "core/kernel/kernel_common.hpp"
+
+#define NB_TGT_SSE2 __attribute__((target("sse2")))
+
+namespace nb::kernel_detail {
+namespace {
+
+NB_TGT_SSE2 inline __m128i rot64(__m128i x, int k) {
+  return _mm_or_si128(_mm_slli_epi64(x, k), _mm_srli_epi64(x, 64 - k));
+}
+
+NB_TGT_SSE2 inline __m128i xo_step(__m128i& s0, __m128i& s1, __m128i& s2, __m128i& s3) {
+  const __m128i result = _mm_add_epi64(rot64(_mm_add_epi64(s0, s3), 23), s0);
+  const __m128i t = _mm_slli_epi64(s1, 17);
+  s2 = _mm_xor_si128(s2, s0);
+  s3 = _mm_xor_si128(s3, s1);
+  s1 = _mm_xor_si128(s1, s2);
+  s0 = _mm_xor_si128(s0, s3);
+  s2 = _mm_xor_si128(s2, t);
+  s3 = rot64(s3, 45);
+  return result;
+}
+
+/// Lemire multiply-shift for 2 draws (see lemire4 in kernel_avx2.cpp for
+/// the 96-bit product decomposition; bound < 2^32).
+NB_TGT_SSE2 inline void lemire2(__m128i x, __m128i bound, __m128i& candidate, __m128i& low) {
+  const __m128i lo_prod = _mm_mul_epu32(x, bound);
+  const __m128i hi_prod = _mm_mul_epu32(_mm_srli_epi64(x, 32), bound);
+  candidate = _mm_srli_epi64(_mm_add_epi64(hi_prod, _mm_srli_epi64(lo_prod, 32)), 32);
+  low = _mm_add_epi64(_mm_slli_epi64(hi_prod, 32), lo_prod);
+}
+
+NB_TGT_SSE2 void fill_sse2_impl(lane_soa& st, bin_count n, std::uint64_t threshold,
+                                const std::uint8_t* snap, std::uint32_t* chosen,
+                                std::size_t balls) {
+  const std::size_t lanes = st.lanes;
+  const std::size_t vec_lanes = lanes - lanes % 2;
+  const auto bound64 = static_cast<std::uint64_t>(n);
+  const __m128i bound = _mm_set1_epi64x(static_cast<long long>(bound64));
+  const __m128i zero = _mm_setzero_si128();
+
+  std::size_t t = 0;
+  while (t + lanes <= balls) {
+    for (std::size_t lane0 = 0; lane0 < vec_lanes; lane0 += 2) {
+      __m128i s0 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s0.data() + lane0));
+      __m128i s1 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s1.data() + lane0));
+      __m128i s2 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s2.data() + lane0));
+      __m128i s3 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s3.data() + lane0));
+      const __m128i a = xo_step(s0, s1, s2, s3);
+      const __m128i b = xo_step(s0, s1, s2, s3);
+      const __m128i c = xo_step(s0, s1, s2, s3);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s0.data() + lane0), s0);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s1.data() + lane0), s1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s2.data() + lane0), s2);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s3.data() + lane0), s3);
+
+      __m128i i1;
+      __m128i i2;
+      __m128i low_a;
+      __m128i low_b;
+      lemire2(a, bound, i1, low_a);
+      lemire2(b, bound, i2, low_b);
+
+      // Coarse rejection test, same reasoning as the AVX2 backend: a real
+      // rejection forces the high dword of the low product word to zero.
+      const __m128i hz =
+          _mm_or_si128(_mm_cmpeq_epi32(low_a, zero), _mm_cmpeq_epi32(low_b, zero));
+      const auto reject = static_cast<std::uint32_t>(_mm_movemask_epi8(hz)) & 0xF0F0u;
+
+      alignas(16) std::uint64_t qa[2];
+      alignas(16) std::uint64_t qb[2];
+      alignas(16) std::uint64_t qc[2];
+      _mm_store_si128(reinterpret_cast<__m128i*>(qa), a);
+      _mm_store_si128(reinterpret_cast<__m128i*>(qb), b);
+      _mm_store_si128(reinterpret_cast<__m128i*>(qc), c);
+      if (reject != 0) [[unlikely]] {
+        for (std::size_t l = 0; l < 2; ++l) {
+          const std::uint64_t queue[3] = {qa[l], qb[l], qc[l]};
+          chosen[t + lane0 + l] = replay_ball(st, lane0 + l, bound64, threshold, snap, queue, 3);
+        }
+        continue;
+      }
+
+      alignas(16) std::uint64_t idx1[2];
+      alignas(16) std::uint64_t idx2[2];
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx1), i1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx2), i2);
+      for (std::size_t l = 0; l < 2; ++l) {
+        chosen[t + lane0 + l] =
+            decide(snap[idx1[l]], snap[idx2[l]], qc[l], static_cast<std::uint32_t>(idx1[l]),
+                   static_cast<std::uint32_t>(idx2[l]));
+      }
+    }
+    for (std::size_t l = vec_lanes; l < lanes; ++l) {
+      chosen[t + l] = replay_ball(st, l, bound64, threshold, snap, nullptr, 0);
+    }
+    t += lanes;
+  }
+  for (std::size_t l = 0; t < balls; ++l, ++t) {
+    chosen[t] = replay_ball(st, l, bound64, threshold, snap, nullptr, 0);
+  }
+}
+
+}  // namespace
+
+void fill_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+               std::uint32_t* chosen, std::size_t balls) {
+  fill_sse2_impl(st, n, threshold, snap, chosen, balls);
+}
+
+}  // namespace nb::kernel_detail
+
+#endif  // x86

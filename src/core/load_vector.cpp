@@ -28,10 +28,12 @@ bool compact_snapshot::assign(const std::vector<load_t>& loads) {
   base_ = mn;
   ok_ = (mx - mn) <= 255;
   if (!ok_) return false;
-  off_.resize(loads.size());
-  for (std::size_t i = 0; i < loads.size(); ++i) {
+  n_ = loads.size();
+  off_.resize(n_ + tail_padding);
+  for (std::size_t i = 0; i < n_; ++i) {
     off_[i] = static_cast<std::uint8_t>(loads[i] - mn);
   }
+  for (std::size_t p = n_; p < off_.size(); ++p) off_[p] = 0;
   return true;
 }
 

@@ -138,6 +138,10 @@ class level_index {
 /// L2-resident while shards hammer it with random reads.
 class compact_snapshot {
  public:
+  /// Zero bytes kept readable past the last offset so the allocation
+  /// kernel's vector backends may gather 4 bytes at any valid bin index.
+  static constexpr std::size_t tail_padding = 3;
+
   /// Rebuilds from `loads`.  O(n).  Returns false (and marks the snapshot
   /// unusable) when the span exceeds 255; callers must then fall back to
   /// the full-width loads.
@@ -145,12 +149,13 @@ class compact_snapshot {
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] load_t base() const noexcept { return base_; }
-  [[nodiscard]] std::size_t size() const noexcept { return off_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
   [[nodiscard]] const std::uint8_t* data() const noexcept { return off_.data(); }
   [[nodiscard]] std::uint8_t off(bin_index i) const noexcept { return off_[i]; }
 
  private:
-  std::vector<std::uint8_t> off_;
+  std::vector<std::uint8_t> off_;  ///< n_ offsets + tail_padding zero bytes
+  std::size_t n_ = 0;
   load_t base_ = 0;
   bool ok_ = false;
 };

@@ -73,6 +73,11 @@ class b_batch {
   /// The frozen loads the current batch's decisions read.
   [[nodiscard]] const std::vector<load_t>& window_snapshot() const noexcept { return stale_; }
 
+  /// b-Batch's snapshot_decide IS the canonical two-sample min rule, so
+  /// its windows may run through the lane-interleaved SIMD kernel (the
+  /// kernel_window_parallel contract; cross-checked by test_kernel.cpp).
+  static constexpr bool kernel_min_select = true;
+
   /// One b-Batch decision over the compact snapshot: less loaded of the
   /// two sampled bins, ties by a fair coin -- the same rule as step_one,
   /// reading 8-bit offsets (order-preserving: common base, no saturation

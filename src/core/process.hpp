@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/kernel/kernel.hpp"
 #include "core/load_vector.hpp"
 #include "rng/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -131,6 +132,51 @@ concept window_parallel = allocation_process<P> && window_probed<P> &&
       { p.commit_window(inc, k) } -> std::same_as<void>;
     };
 
+/// Window-parallel process whose snapshot_decide is the canonical
+/// two-sample min rule ("less loaded of the two sampled bins, ties broken
+/// by the next draw's top bit") -- declared by the process via
+/// `static constexpr bool kernel_min_select = true` and cross-checked
+/// against its snapshot_decide by the kernel test suite.  Only such
+/// processes may run through the lane-interleaved allocation kernel
+/// (core/kernel/); anything else keeps the generic snapshot_decide loop.
+template <typename P>
+concept kernel_window_parallel = window_parallel<P> && requires {
+  requires P::kernel_min_select;
+};
+
+namespace engine_detail {
+
+/// The stale-snapshot window walk shared by shard_engine and
+/// kernel_engine: cuts `count` at window boundaries (and at `cap`, which
+/// deterministically splits oversized windows), routes undersized windows
+/// (below `min_window` or shorter than n/4 balls, where the per-window
+/// O(n) work would not amortize) and span-saturated snapshots to the
+/// serial fused loop on the master stream, and hands every remaining
+/// window to `fast(k)` with `snapshot` freshly assigned.  Keeping the
+/// routing in one place keeps both engines' window selection identical.
+template <window_probed P, typename Fast>
+void walk_windows(P& process, rng_t& rng, step_count count, step_count cap,
+                  step_count min_window, compact_snapshot& snapshot, const Fast& fast) {
+  while (count > 0) {
+    const step_count window = process.snapshot_window();
+    if (window <= 0) {  // no frozen window: serial for the whole rest
+      nb::step_many(process, rng, count);
+      return;
+    }
+    step_count k = window < count ? window : count;
+    if (k > cap) k = cap;
+    const auto n = static_cast<step_count>(process.state().n());
+    if (k < min_window || k * 4 < n || !snapshot.assign(process.window_snapshot())) {
+      nb::step_many(process, rng, k);
+    } else {
+      fast(k);
+    }
+    count -= k;
+  }
+}
+
+}  // namespace engine_detail
+
 /// Configuration for intra-run shard parallelism.  `shards` is part of the
 /// sampling contract (changing it changes which substreams exist and hence
 /// the drawn randomness); `threads` is execution only and never affects
@@ -145,6 +191,14 @@ struct shard_options {
   /// dominate); the engine also requires window >= n/4 so the O(n) merge
   /// amortizes.
   step_count min_window = 4096;
+  /// Kernel lanes per shard.  Part of the sampling contract exactly like
+  /// `shards`: lane seeds derive from the shard substream, so changing
+  /// the lane count changes the drawn randomness.
+  std::size_t lanes = 8;
+  /// Kernel instruction-set backend.  Execution only: backends are
+  /// bit-identical for a fixed lane count (kernel contract, enforced by
+  /// tests/test_kernel.cpp), so like `threads` this never affects results.
+  kernel_isa isa = kernel_isa::auto_detect;
 };
 
 /// The intra-run shard-parallel batch engine.  Owns the worker pool and
@@ -153,13 +207,18 @@ struct shard_options {
 /// once per run (or reuse across runs of the same configuration).
 class shard_engine {
  public:
-  explicit shard_engine(shard_options opt = {}) : opt_(opt), pool_(opt.threads) {
+  explicit shard_engine(shard_options opt = {})
+      : opt_(opt), isa_(resolve_kernel_isa(opt.isa)), pool_(opt.threads) {
     NB_REQUIRE(opt.shards >= 1, "need at least one shard");
     NB_REQUIRE(opt.min_window >= 1, "min_window must be positive");
+    NB_REQUIRE(opt.lanes >= 1 && opt.lanes <= kernel_max_lanes,
+               "kernel lanes must be in [1, kernel_max_lanes]");
   }
 
   [[nodiscard]] const shard_options& options() const noexcept { return opt_; }
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+  /// The resolved kernel backend this engine's shards execute with.
+  [[nodiscard]] kernel_isa isa() const noexcept { return isa_; }
 
   /// Allocates `count` balls through `process`.  Window-parallel processes
   /// run each sufficiently large stale-snapshot window across the pool;
@@ -171,30 +230,14 @@ class shard_engine {
     if constexpr (!window_parallel<P>) {
       nb::step_many(process, rng, count);
     } else {
-      while (count > 0) {
-        const step_count window = process.snapshot_window();
-        if (window <= 0) {  // no frozen window: serial for the whole rest
-          nb::step_many(process, rng, count);
-          return;
-        }
-        // Cap parallel windows so even a shard that routed every one of
-        // its balls into a single bin cannot overflow a 16-bit delta row;
-        // the cap splits oversized windows deterministically (it depends
-        // only on the shard count, never on threads).
-        const step_count cap =
-            static_cast<step_count>(opt_.shards) * shard_deltas::max_row_count;
-        step_count k = window < count ? window : count;
-        if (k > cap) k = cap;
-        const auto n = static_cast<step_count>(process.state().n());
-        if (k < opt_.min_window || k * 4 < n || !snapshot_.assign(process.window_snapshot())) {
-          // Undersized window, O(n) merge would not amortize, or snapshot
-          // span > 255 (compact representation saturated): serial window.
-          nb::step_many(process, rng, k);
-        } else {
-          run_window(process, rng, k);
-        }
-        count -= k;
-      }
+      // Cap parallel windows so even a shard that routed every one of its
+      // balls into a single bin cannot overflow a 16-bit delta row; the
+      // cap splits oversized windows deterministically (it depends only
+      // on the shard count, never on threads).
+      const step_count cap =
+          static_cast<step_count>(opt_.shards) * shard_deltas::max_row_count;
+      engine_detail::walk_windows(process, rng, count, cap, opt_.min_window, snapshot_,
+                                  [&](step_count k) { run_window(process, rng, k); });
     }
   }
 
@@ -223,9 +266,10 @@ class shard_engine {
         std::fill_n(row, n, std::uint16_t{0});
         continue;
       }
-      pool_.submit([n, snap, row, shard_balls, seed = shard_stream_seed(window_token, s)] {
+      pool_.submit([n, snap, row, shard_balls, seed = shard_stream_seed(window_token, s),
+                    lanes = opt_.lanes, isa = isa_] {
         std::fill_n(row, n, std::uint16_t{0});
-        run_shard<P>(n, snap, row, shard_balls, seed);
+        run_shard<P>(n, snap, row, shard_balls, seed, lanes, isa);
       });
     }
     pool_.wait_idle();
@@ -241,32 +285,108 @@ class shard_engine {
     process.commit_window(merged_, k);
   }
 
-  /// Shard body: block-sample bin pairs, decide each against the compact
-  /// snapshot, count increments into this shard's private row.
+  /// Shard body.  Min-select processes run the lane-interleaved SIMD
+  /// kernel (vectorized block RNG + branchless snapshot decide, see
+  /// core/kernel/): lane seeds derive from this shard's substream, so the
+  /// sampling contract stays (seed, shards, lanes) and never sees threads
+  /// or the ISA backend.  Processes with a bespoke snapshot_decide keep
+  /// the generic block-sampled loop.
   template <window_parallel P>
   static void run_shard(bin_count n, const std::uint8_t* snap, std::uint16_t* row,
-                        step_count shard_balls, std::uint64_t seed) {
-    static constexpr std::size_t kBlock = 2048;  // 16 KiB of indices: L1-resident
-    alignas(64) std::array<bin_index, 2 * kBlock> idx;
-    rng_t srng(seed);
-    while (shard_balls > 0) {
-      const std::size_t chunk =
-          shard_balls < static_cast<step_count>(kBlock) ? static_cast<std::size_t>(shard_balls)
-                                                        : kBlock;
-      bounded_block(srng, n, idx.data(), 2 * chunk);
-      for (std::size_t t = 0; t < chunk; ++t) {
-        const bin_index chosen = P::snapshot_decide(snap, idx[2 * t], idx[2 * t + 1], srng);
-        ++row[chosen];
+                        step_count shard_balls, std::uint64_t seed, std::size_t lanes,
+                        kernel_isa isa) {
+    if constexpr (kernel_window_parallel<P>) {
+      kernel_run(isa, lanes, n, snap, row, shard_balls, seed);
+    } else {
+      static constexpr std::size_t kBlock = 2048;  // 16 KiB of indices: L1-resident
+      alignas(64) std::array<bin_index, 2 * kBlock> idx;
+      rng_t srng(seed);
+      while (shard_balls > 0) {
+        const std::size_t chunk =
+            shard_balls < static_cast<step_count>(kBlock) ? static_cast<std::size_t>(shard_balls)
+                                                          : kBlock;
+        bounded_block(srng, n, idx.data(), 2 * chunk);
+        for (std::size_t t = 0; t < chunk; ++t) {
+          const bin_index chosen = P::snapshot_decide(snap, idx[2 * t], idx[2 * t + 1], srng);
+          ++row[chosen];
+        }
+        shard_balls -= static_cast<step_count>(chunk);
       }
-      shard_balls -= static_cast<step_count>(chunk);
     }
   }
 
   shard_options opt_;
+  kernel_isa isa_;
   thread_pool pool_;
   compact_snapshot snapshot_;
   shard_deltas deltas_;
   std::vector<std::uint32_t> merged_;
+};
+
+/// Configuration of the serial kernel engine.  `lanes` is part of the
+/// sampling contract (lane streams are derived per window token); `isa`
+/// is execution only and never affects results.
+struct kernel_options {
+  std::size_t lanes = 8;
+  kernel_isa isa = kernel_isa::auto_detect;
+  /// Windows shorter than this (or shorter than n/4 balls) take the plain
+  /// serial fused loop -- the per-window O(n) snapshot/commit would not
+  /// amortize.
+  step_count min_window = 4096;
+};
+
+/// Serial counterpart of shard_engine: every sufficiently large
+/// stale-snapshot window runs through the lane-interleaved allocation
+/// kernel -- no threads, no shard split, one uint32 increment vector --
+/// so single-threaded drivers get the SIMD speedup too.  Sampling
+/// contract: one token per window from the master stream; lane l of that
+/// window draws from derive_seed(token, l).  For a fixed (seed, lanes)
+/// the result is bit-identical across ISA backends; like the shard
+/// engine it draws different (identically distributed) randomness than
+/// the serial fused loop, so agreement with that path is distributional.
+class kernel_engine {
+ public:
+  explicit kernel_engine(kernel_options opt = {})
+      : opt_(opt), isa_(resolve_kernel_isa(opt.isa)) {
+    NB_REQUIRE(opt.lanes >= 1 && opt.lanes <= kernel_max_lanes,
+               "kernel lanes must be in [1, kernel_max_lanes]");
+    NB_REQUIRE(opt.min_window >= 1, "min_window must be positive");
+  }
+
+  [[nodiscard]] const kernel_options& options() const noexcept { return opt_; }
+  /// The resolved backend windows execute with.
+  [[nodiscard]] kernel_isa isa() const noexcept { return isa_; }
+
+  /// Allocates `count` balls through `process`: min-select frozen windows
+  /// go through the kernel, everything else (and every undersized or
+  /// saturated window) takes the serial fused loop, drawing from `rng`
+  /// exactly like nb::step_many.
+  template <single_steppable P>
+  void step_many(P& process, rng_t& rng, step_count count) {
+    NB_ASSERT(count >= 0);
+    if constexpr (!kernel_window_parallel<P>) {
+      nb::step_many(process, rng, count);
+    } else {
+      // No row-width cap needed: whole windows accumulate into uint32
+      // counters and a run is bounded by max_run_balls anyway.
+      engine_detail::walk_windows(
+          process, rng, count, max_run_balls, opt_.min_window, snapshot_, [&](step_count k) {
+            // One master-stream draw per window (same cadence as the
+            // shard engine), then the whole window decides in the kernel.
+            const std::uint64_t token = rng.next();
+            const bin_count n = process.state().n();
+            inc_.assign(n, 0);
+            kernel_run(isa_, opt_.lanes, n, snapshot_.data(), inc_.data(), k, token);
+            process.commit_window(inc_, k);
+          });
+    }
+  }
+
+ private:
+  kernel_options opt_;
+  kernel_isa isa_;
+  compact_snapshot snapshot_;
+  std::vector<std::uint32_t> inc_;
 };
 
 /// Type-erased handle so heterogeneous processes can share registries,
@@ -295,6 +415,11 @@ class any_process {
   void step_many_parallel(rng_t& rng, step_count count, shard_engine& engine) {
     impl_->step_many_parallel(rng, count, engine);
   }
+  /// Same, into the serial kernel engine: min-select frozen windows run
+  /// the SIMD kernel, everything else the serial fused loop.
+  void step_many_kernel(rng_t& rng, step_count count, kernel_engine& engine) {
+    impl_->step_many_kernel(rng, count, engine);
+  }
   [[nodiscard]] const load_state& state() const { return impl_->state(); }
   void reset() { impl_->reset(); }
   [[nodiscard]] std::string name() const { return impl_->name(); }
@@ -305,6 +430,7 @@ class any_process {
     virtual void step(rng_t&) = 0;
     virtual void step_many(rng_t&, step_count) = 0;
     virtual void step_many_parallel(rng_t&, step_count, shard_engine&) = 0;
+    virtual void step_many_kernel(rng_t&, step_count, kernel_engine&) = 0;
     [[nodiscard]] virtual const load_state& state() const = 0;
     virtual void reset() = 0;
     [[nodiscard]] virtual std::string name() const = 0;
@@ -319,6 +445,9 @@ class any_process {
       nb::step_many(process, rng, count);
     }
     void step_many_parallel(rng_t& rng, step_count count, shard_engine& engine) override {
+      engine.step_many(process, rng, count);
+    }
+    void step_many_kernel(rng_t& rng, step_count count, kernel_engine& engine) override {
       engine.step_many(process, rng, count);
     }
     [[nodiscard]] const load_state& state() const override { return process.state(); }
@@ -349,6 +478,20 @@ inline void step_many_parallel(P& process, rng_t& rng, step_count count, shard_e
 inline void step_many_parallel(any_process& process, rng_t& rng, step_count count,
                                shard_engine& engine) {
   process.step_many_parallel(rng, count, engine);
+}
+
+/// Serial-kernel counterpart of step_many(): allocates `count` balls
+/// through `engine`, SIMD-kernel wherever the process exposes min-select
+/// stale-snapshot windows and the serial fused loop everywhere else.
+template <single_steppable P>
+inline void step_many_kernel(P& process, rng_t& rng, step_count count, kernel_engine& engine) {
+  engine.step_many(process, rng, count);
+}
+
+/// Type-erased overload.
+inline void step_many_kernel(any_process& process, rng_t& rng, step_count count,
+                             kernel_engine& engine) {
+  process.step_many_kernel(rng, count, engine);
 }
 
 }  // namespace nb

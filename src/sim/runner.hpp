@@ -45,6 +45,16 @@ struct repeat_options {
   std::size_t threads_per_run = 0;
   /// Fixed shard count for the intra-run engine (sampling contract).
   std::size_t shards = 16;
+  /// threads_per_run == 0 only: when true, serial runs move through the
+  /// lane-interleaved allocation kernel (kernel_engine) instead of the
+  /// plain fused loop -- the single-threaded SIMD path.  Results depend
+  /// on `lanes`, never on `isa`.
+  bool use_kernel = false;
+  /// Kernel lanes for both engines (sampling contract, like `shards`).
+  std::size_t lanes = 8;
+  /// Kernel ISA backend for both engines (execution only; bit-identical
+  /// across backends).
+  kernel_isa isa = kernel_isa::auto_detect;
 };
 
 /// Aggregate over repetitions of one configuration.
@@ -100,6 +110,17 @@ run_result simulate_parallel(P& process, step_count m, rng_t& rng, shard_engine&
   return detail::collect_run_result(process);
 }
 
+/// Serial-kernel variant: moves the m balls through the lane-interleaved
+/// allocation kernel wherever the process exposes min-select frozen
+/// windows (serial fused loop elsewhere).  Same observables as simulate();
+/// results are bit-identical across ISA backends for a fixed lane count.
+template <allocation_process P>
+run_result simulate_kernel(P& process, step_count m, rng_t& rng, kernel_engine& engine) {
+  detail::check_run_ceiling(process, m);
+  step_many_kernel(process, rng, m, engine);
+  return detail::collect_run_result(process);
+}
+
 /// Runs `factory()` for m balls, `opt.runs` times with derived seeds, in
 /// parallel, and aggregates.  The factory must yield a fresh process (same
 /// configuration) on every call and must be safe to call concurrently.
@@ -111,8 +132,14 @@ repeat_result run_repeated_with(Factory&& factory, step_count m, const repeat_op
     auto process = factory();
     rng_t rng(derive_seed(opt.master_seed, r));
     if (opt.threads_per_run > 0) {
-      shard_engine engine(shard_options{.threads = opt.threads_per_run, .shards = opt.shards});
+      shard_engine engine(shard_options{.threads = opt.threads_per_run,
+                                        .shards = opt.shards,
+                                        .lanes = opt.lanes,
+                                        .isa = opt.isa});
       results[r] = simulate_parallel(process, m, rng, engine);
+    } else if (opt.use_kernel) {
+      kernel_engine engine(kernel_options{.lanes = opt.lanes, .isa = opt.isa});
+      results[r] = simulate_kernel(process, m, rng, engine);
     } else {
       results[r] = simulate(process, m, rng);
     }
