@@ -1,8 +1,10 @@
 // Shared infrastructure for the reproduction bench binaries:
-//   * standard CLI (mode quick/paper, overrides for n/runs/seed/threads)
-//   * a flattened parallel cell runner (all (configuration, repetition)
-//     jobs share one work queue so every core stays busy even when a
-//     single configuration has few repetitions)
+//   * standard CLI (mode quick/paper, overrides for n/runs/seed/threads,
+//     campaign journal/resume/JSON knobs)
+//   * campaign_options_for(): maps the standard flags onto the experiment
+//     orchestrator (src/exp/campaign.hpp), which owns cell scheduling --
+//     the flattened (configuration, repetition) work queue, per-cell
+//     derived seeds, engine routing, journaling and streaming aggregation
 //   * the paper's published results (Tables 12.3 and 12.4) embedded for
 //     side-by-side comparison
 #pragma once
@@ -34,6 +36,9 @@ struct bench_config {
   std::string kernel = "off";       // off | scalar | sse2 | avx2 | auto | simd
   std::size_t lanes = 8;            // kernel lanes (sampling contract)
   std::string csv;                  // optional CSV output path ("" = none)
+  std::string journal;              // optional campaign JSONL journal ("" = none)
+  bool resume = false;              // replay --journal, run only missing cells
+  std::string json;                 // optional campaign aggregate JSON ("" = none)
 
   [[nodiscard]] bool paper_mode() const { return mode == "paper"; }
 
@@ -71,6 +76,12 @@ inline void add_standard_flags(cli_parser& cli) {
                  "backends are bit-identical for a fixed lane count)");
   cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
   cli.add_string("csv", "", "also write results to this CSV file");
+  cli.add_string("journal", "",
+                 "append-only JSONL cell journal for checkpoint/resume (see README "
+                 "\"Running experiment campaigns\")");
+  cli.add_bool("resume", false,
+               "replay --journal and run only the cells it does not already contain");
+  cli.add_string("json", "", "also write the campaign aggregate JSON to this file");
 }
 
 /// Parses standard flags into a bench_config.  Returns nullopt on --help.
@@ -97,61 +108,46 @@ inline std::optional<bench_config> parse_standard(cli_parser& cli, int argc,
              "--lanes must be in [1, kernel_max_lanes]");
   cfg.lanes = static_cast<std::size_t>(cli.get_int("lanes"));
   cfg.csv = cli.get_string("csv");
+  cfg.journal = cli.get_string("journal");
+  cfg.resume = cli.get_bool("resume");
+  NB_REQUIRE(!cfg.resume || !cfg.journal.empty(), "--resume needs --journal");
+  cfg.json = cli.get_string("json");
   return cfg;
 }
 
-/// One experiment configuration to be repeated `runs` times.
-struct cell {
-  std::string label;
-  std::function<any_process()> factory;
-  step_count m = 0;
-};
-
-/// Runs every (cell, repetition) job through one shared work queue.
-/// Deterministic: job seeds depend only on (master seed, cell index, run
-/// index), never on scheduling.  threads_per_run > 0 additionally routes
-/// each job through the intra-run shard engine (windowed processes --
-/// b-Batch cells -- then run shard-parallel inside the run; results stay
-/// independent of both thread knobs).  A `kernel` backend routes serial
-/// jobs through the lane-interleaved SIMD kernel_engine instead of the
-/// plain fused loop, and selects the shard engine's backend otherwise;
-/// results never depend on the backend, only on `lanes`.
-inline std::vector<repeat_result> run_cells(const std::vector<cell>& cells, std::size_t runs,
-                                            std::uint64_t master_seed, std::size_t threads,
-                                            std::size_t threads_per_run = 0,
-                                            std::optional<kernel_isa> kernel = std::nullopt,
-                                            std::size_t lanes = 8) {
-  NB_REQUIRE(runs >= 1, "need at least one run per cell");
-  std::vector<repeat_result> results(cells.size());
-  for (auto& r : results) r.runs.resize(runs);
-  parallel_for(cells.size() * runs, threads, [&](std::size_t job) {
-    const std::size_t c = job / runs;
-    const std::size_t r = job % runs;
-    any_process process = cells[c].factory();
-    const std::uint64_t seed = derive_seed(derive_seed(master_seed, c), r);
-    rng_t rng(seed);
-    if (threads_per_run > 0) {
-      // Pool + scratch are built per job: intra-run parallelism targets
-      // few huge runs, where a run dwarfs the engine's ~ms startup.
-      shard_engine engine(shard_options{.threads = threads_per_run,
-                                        .lanes = lanes,
-                                        .isa = kernel.value_or(kernel_isa::auto_detect)});
-      results[c].runs[r] = simulate_parallel(process, cells[c].m, rng, engine);
-    } else if (kernel.has_value()) {
-      kernel_engine engine(kernel_options{.lanes = lanes, .isa = *kernel});
-      results[c].runs[r] = simulate_kernel(process, cells[c].m, rng, engine);
-    } else {
-      results[c].runs[r] = simulate(process, cells[c].m, rng);
-    }
-    results[c].runs[r].seed = seed;
-  });
-  for (auto& res : results) {
-    for (const auto& r : res.runs) {
-      res.gap_histogram.add(static_cast<std::int64_t>(std::llround(r.gap)));
-    }
-  }
-  return results;
+/// Maps the standard bench flags onto orchestrator options.  `repeats`
+/// comes from the config's runs() (quick/paper default or --runs).
+inline campaign_options campaign_options_for(const bench_config& cfg) {
+  campaign_options opt;
+  opt.repeats = cfg.runs();
+  opt.seed = cfg.seed;
+  opt.threads = cfg.threads;
+  opt.threads_per_run = cfg.threads_per_run;
+  opt.use_kernel = cfg.kernel_backend().has_value() && cfg.threads_per_run == 0;
+  opt.isa = cfg.kernel_backend().value_or(kernel_isa::auto_detect);
+  opt.lanes = cfg.lanes;
+  opt.journal_path = cfg.journal;
+  opt.resume = cfg.resume;
+  return opt;
 }
+
+/// Standard post-campaign emission: aggregate JSON (--json) and a
+/// progress note about journal/resume cell accounting.
+inline void report_campaign(const campaign_result& campaign, const bench_config& cfg) {
+  if (!cfg.json.empty()) {
+    campaign.write_json(cfg.json);
+    std::printf("[campaign aggregate JSON -> %s]\n", cfg.json.c_str());
+  }
+  if (!cfg.journal.empty()) {
+    std::printf("[journal %s: %zu cells executed, %zu resumed]\n", cfg.journal.c_str(),
+                campaign.cells_executed, campaign.cells_resumed);
+  }
+}
+
+// The cell list type and run_cells live in the orchestrator now
+// (src/exp/campaign.hpp): same shared (configuration, repetition) work
+// queue, but with flat per-cell seeds derive_seed(master_seed, cell index)
+// and campaign-grade journaling available to every binary.
 
 /// Wall-clock helper.
 class stopwatch {

@@ -2,6 +2,12 @@
 // parameter g = 1..20) and sigma-Noisy-Load (sigma = 1..20) for
 // n in {10^4, 5x10^4, 10^5}, m = 1000 n.
 //
+// One orchestrator campaign over the whole (n x process x parameter) grid:
+// the declarative sweep_grid expands to campaign configs, run_campaign
+// schedules every cell with derived seeds, and the streaming aggregators
+// feed the tables.  --journal/--resume checkpoint the campaign; --json
+// archives the aggregate.
+//
 // Output: one table per n with the measured mean gap (and stddev) per
 // process per noise level, plus the paper's mean where Table 12.3 reports
 // that configuration; optional CSV of the full series.
@@ -26,59 +32,59 @@ int run(int argc, const char* const* argv) {
   std::printf("=== Figure 12.1: average gap vs noise parameter (mode=%s, runs=%zu) ===\n\n",
               cfg->mode.c_str(), cfg->runs());
 
+  sweep_grid grid;
+  grid.kinds = {"g-bounded", "g-myopic", "sigma-noisy-load"};
+  grid.params.clear();
+  const auto params = arithmetic_range(1, max_param);
+  for (const auto g : params) grid.params.push_back(static_cast<double>(g));
+  grid.bins = cfg->bin_counts();
+  grid.m_multiplier = cfg->m_multiplier;
+
+  stopwatch total;
+  const auto campaign = run_campaign(grid, campaign_options_for(*cfg));
+
   std::unique_ptr<csv_writer> csv;
   if (!cfg->csv.empty()) {
     csv = std::make_unique<csv_writer>(
         cfg->csv, std::vector<std::string>{"n", "process", "param", "mean_gap", "stddev", "runs"});
   }
 
-  stopwatch total;
-  for (const bin_count n : cfg->bin_counts()) {
+  // expand_grid order: bins outermost, then kinds, then params -- so the
+  // block for one n starts at n_index * kinds * params, laid out kind-major.
+  const std::size_t per_n = grid.kinds.size() * params.size();
+  for (std::size_t ni = 0; ni < grid.bins.size(); ++ni) {
+    const bin_count n = grid.bins[ni];
     const step_count m = static_cast<step_count>(cfg->m_multiplier) * n;
-
-    std::vector<cell> cells;
-    const auto params = arithmetic_range(1, max_param);
-    for (const auto g : params) {
-      cells.push_back({"g-bounded", [n, g] { return any_process(g_bounded(n, static_cast<load_t>(g))); }, m});
-      cells.push_back(
-          {"g-myopic", [n, g] { return any_process(g_myopic_comp(n, static_cast<load_t>(g))); }, m});
-      cells.push_back({"sigma-noisy-load",
-                       [n, g] {
-                         return any_process(
-                             sigma_noisy_load(n, rho_gaussian(static_cast<double>(g))));
-                       },
-                       m});
-    }
-    const auto results = run_cells(cells, cfg->runs(), cfg->seed, cfg->threads);
+    const auto at = [&](std::size_t kind, std::size_t param) -> const cell_aggregator& {
+      return campaign.configs[ni * per_n + kind * params.size() + param].aggregate;
+    };
 
     text_table table({"g / sigma", "g-Bounded", "(paper)", "g-Myopic", "(paper)", "s-Noisy-Load",
                       "(paper)"});
     for (std::size_t i = 0; i < params.size(); ++i) {
-      const auto& bounded_res = results[3 * i];
-      const auto& myopic_res = results[3 * i + 1];
-      const auto& noisy_res = results[3 * i + 2];
       const int p = static_cast<int>(params[i]);
-      table.add_row({std::to_string(p), format_fixed(bounded_res.mean_gap(), 2),
+      table.add_row({std::to_string(p), format_fixed(at(0, i).mean_gap(), 2),
                      opt_str(paper_mean_for("g-bounded", p, n)),
-                     format_fixed(myopic_res.mean_gap(), 2),
+                     format_fixed(at(1, i).mean_gap(), 2),
                      opt_str(paper_mean_for("g-myopic", p, n)),
-                     format_fixed(noisy_res.mean_gap(), 2),
+                     format_fixed(at(2, i).mean_gap(), 2),
                      opt_str(paper_mean_for("sigma-noisy-load", p, n))});
       if (csv) {
-        const repeat_result* rs[] = {&bounded_res, &myopic_res, &noisy_res};
         const char* names[] = {"g-bounded", "g-myopic", "sigma-noisy-load"};
-        for (int k = 0; k < 3; ++k) {
-          const auto s = rs[k]->gap_summary();
+        for (std::size_t k = 0; k < 3; ++k) {
+          const auto& agg = at(k, i);
           csv->write_row({csv_writer::field(static_cast<std::int64_t>(n)), names[k],
                           csv_writer::field(static_cast<std::int64_t>(p)),
-                          csv_writer::field(s.mean), csv_writer::field(s.stddev),
-                          csv_writer::field(static_cast<std::int64_t>(s.count))});
+                          csv_writer::field(agg.gap().mean()),
+                          csv_writer::field(agg.gap_stddev()),
+                          csv_writer::field(static_cast<std::int64_t>(agg.count()))});
         }
       }
     }
     std::printf("n = %s, m = %s balls:\n%s\n", format_power_of_ten(n).c_str(),
                 format_power_of_ten(m).c_str(), table.render().c_str());
   }
+  report_campaign(campaign, *cfg);
   std::printf("Expected shape (paper): all three curves increase ~linearly for large "
               "parameters,\nordered g-Bounded >= g-Myopic-Comp >= sigma-Noisy-Load.\n");
   std::printf("[fig_12_1 done in %s]\n", format_duration(total.seconds()).c_str());

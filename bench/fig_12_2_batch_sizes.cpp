@@ -3,6 +3,10 @@
 // against the One-Choice gap with m = b balls (the first-batch lower bound
 // of Observation 11.6), plus the theory column
 // log n / log((4n/b) log n) (Corollary 10.4).
+//
+// One orchestrator campaign: each batch size contributes a b-Batch config
+// (m = 1000 n) and a One-Choice config (m = b), both registry-backed, so
+// the campaign is journal-able and resumable (--journal/--resume).
 #include <cmath>
 
 #include "bench_common.hpp"
@@ -31,16 +35,17 @@ int run(int argc, const char* const* argv) {
   std::printf("=== Figure 12.2: b-Batch gap vs batch size (n = %s, m = %s, runs=%zu) ===\n\n",
               format_power_of_ten(n).c_str(), format_power_of_ten(m).c_str(), cfg->runs());
 
-  std::vector<cell> cells;
+  std::vector<campaign_config> configs;
   for (const auto b : batch_sizes) {
-    cells.push_back({"b-batch/" + std::to_string(b),
-                     [n, b] { return any_process(b_batch(n, b)); }, m});
-    cells.push_back({"one-choice/" + std::to_string(b),
-                     [n] { return any_process(one_choice(n)); }, b});
+    configs.push_back({"b-batch/" + std::to_string(b), {}, m,
+                       process_spec{"b-batch", n, static_cast<double>(b)}});
+    // One-Choice ignores the parameter; keep b as metadata so the JSON /
+    // CSV rows stay self-describing.
+    configs.push_back({"one-choice/" + std::to_string(b), {}, b,
+                       process_spec{"one-choice", n, static_cast<double>(b)}});
   }
   stopwatch total;
-  const auto results = run_cells(cells, cfg->runs(), cfg->seed, cfg->threads,
-                                 cfg->threads_per_run, cfg->kernel_backend(), cfg->lanes);
+  const auto campaign = run_campaign(configs, campaign_options_for(*cfg));
 
   std::unique_ptr<csv_writer> csv;
   if (!cfg->csv.empty()) {
@@ -53,13 +58,12 @@ int run(int argc, const char* const* argv) {
                     "(paper max)", "theory log n/log((4n/b)log n)"});
   for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
     const auto b = batch_sizes[i];
-    const double batch_gap = results[2 * i].mean_gap();
-    const double one_gap = results[2 * i + 1].mean_gap();
+    const double batch_gap = campaign.configs[2 * i].aggregate.mean_gap();
+    const auto& one = campaign.configs[2 * i + 1].aggregate;
+    const double one_gap = one.mean_gap();
     // The paper's One-Choice series reports the *max load* = gap + b/n
     // (see EXPERIMENTS.md); print both for an apples-to-apples column.
-    double one_max = 0.0;
-    for (const auto& r : results[2 * i + 1].runs) one_max += static_cast<double>(r.max_load);
-    one_max /= static_cast<double>(results[2 * i + 1].runs.size());
+    const double one_max = one.max_load().mean();
     const double shape =
         b <= static_cast<std::int64_t>(n * std::log(n))
             ? theory::batch_gap(n, static_cast<double>(b))
@@ -75,6 +79,7 @@ int run(int argc, const char* const* argv) {
     }
   }
   std::printf("%s\n", table.render().c_str());
+  report_campaign(campaign, *cfg);
   std::printf(
       "Expected shape (paper): flat Two-Choice-like gap for small b, then the b-Batch curve\n"
       "converges to the One-Choice(m=b) curve as b grows past n (batching forfeits the power\n"

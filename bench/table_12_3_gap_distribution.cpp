@@ -5,21 +5,17 @@
 //
 // Note g = 0 and sigma = 0 are the noise-free Two-Choice process (the
 // paper's sigma-Noisy-Load requires sigma > 0; its sigma=0 column equals
-// Two-Choice, which is how we reproduce it).
+// Two-Choice, which is how we reproduce it) -- the param-0 configs map to
+// the "two-choice" registry kind.
+//
+// One orchestrator campaign over the whole (n x process x parameter)
+// grid; the aggregators' merged gap histograms ARE the table rows.
 #include "bench_common.hpp"
 
 namespace {
 
 using namespace nb;
 using namespace nb::bench;
-
-any_process make_for(const std::string& process, int param, bin_count n) {
-  if (param == 0) return two_choice(n);
-  if (process == "g-bounded") return g_bounded(n, param);
-  if (process == "g-myopic") return g_myopic_comp(n, param);
-  if (process == "sigma-noisy-load") return sigma_noisy_load(n, rho_gaussian(param));
-  throw contract_error("unknown process in table 12.3: " + process);
-}
 
 int run(int argc, const char* const* argv) {
   cli_parser cli(
@@ -39,34 +35,41 @@ int run(int argc, const char* const* argv) {
   std::printf("=== Table 12.3: empirical gap distribution (mode=%s, runs=%zu) ===\n\n",
               cfg.mode.c_str(), cfg.runs());
 
+  const auto bins = cfg.bin_counts();
+  std::vector<campaign_config> configs;
+  for (const bin_count n : bins) {
+    const step_count m = static_cast<step_count>(cfg.m_multiplier) * n;
+    for (const auto& process : processes) {
+      for (const int p : params) {
+        const std::string kind = p == 0 ? "two-choice" : process;
+        configs.push_back({process + "/" + std::to_string(p) + "@n=" + std::to_string(n), {}, m,
+                           process_spec{kind, n, static_cast<double>(p)}});
+      }
+    }
+  }
+  stopwatch total;
+  const auto campaign = run_campaign(configs, campaign_options_for(cfg));
+
   std::unique_ptr<csv_writer> csv;
   if (!cfg.csv.empty()) {
     csv = std::make_unique<csv_writer>(
         cfg.csv, std::vector<std::string>{"n", "process", "param", "gap", "count"});
   }
 
-  stopwatch total;
-  for (const bin_count n : cfg.bin_counts()) {
+  const std::size_t per_n = processes.size() * params.size();
+  for (std::size_t ni = 0; ni < bins.size(); ++ni) {
+    const bin_count n = bins[ni];
     const step_count m = static_cast<step_count>(cfg.m_multiplier) * n;
-    std::vector<cell> cells;
-    for (const auto& process : processes) {
-      for (const int p : params) {
-        cells.push_back({process + "/" + std::to_string(p),
-                         [process, p, n] { return make_for(process, p, n); }, m});
-      }
-    }
-    const auto results = run_cells(cells, cfg.runs(), cfg.seed, cfg.threads);
-
     for (std::size_t pi = 0; pi < processes.size(); ++pi) {
       text_table table({"g/sigma", "measured distribution", "paper distribution"});
       for (std::size_t gi = 0; gi < params.size(); ++gi) {
-        const auto& res = results[pi * params.size() + gi];
+        const auto& agg = campaign.configs[ni * per_n + pi * params.size() + gi].aggregate;
         const auto& published = paper_distributions();
         const auto it = published.find(paper_key{processes[pi], params[gi], n});
-        table.add_row({std::to_string(params[gi]), res.gap_histogram.to_paper_style(),
+        table.add_row({std::to_string(params[gi]), agg.gap_histogram().to_paper_style(),
                        it != published.end() ? paper_style(it->second) : "-"});
         if (csv) {
-          for (const auto& [value, count] : res.gap_histogram.entries()) {
+          for (const auto& [value, count] : agg.gap_histogram().entries()) {
             csv->write_row({csv_writer::field(static_cast<std::int64_t>(n)), processes[pi],
                             csv_writer::field(static_cast<std::int64_t>(params[gi])),
                             csv_writer::field(value), csv_writer::field(count)});
@@ -78,6 +81,7 @@ int run(int argc, const char* const* argv) {
                   table.render().c_str());
     }
   }
+  report_campaign(campaign, cfg);
   std::printf("[table_12_3 done in %s]\n", format_duration(total.seconds()).c_str());
   return 0;
 }

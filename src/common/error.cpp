@@ -2,7 +2,35 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <sstream>
+
+namespace nb {
+
+namespace {
+std::mutex warn_mutex;
+std::set<std::string>& warned_keys() {
+  static std::set<std::string> keys;
+  return keys;
+}
+}  // namespace
+
+bool warn_once(const std::string& key, const std::string& message) {
+  {
+    const std::lock_guard<std::mutex> lock(warn_mutex);
+    if (!warned_keys().insert(key).second) return false;
+  }
+  std::fprintf(stderr, "noisebalance: warning: %s\n", message.c_str());
+  return true;
+}
+
+bool warned(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(warn_mutex);
+  return warned_keys().count(key) != 0;
+}
+
+}  // namespace nb
 
 namespace nb::detail {
 

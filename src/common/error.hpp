@@ -27,6 +27,16 @@ class contract_error : public std::invalid_argument {
   explicit contract_error(const std::string& what) : std::invalid_argument(what) {}
 };
 
+/// One-shot diagnostics for accepted-but-ineffective configuration (e.g.
+/// threads_per_run on a process with no parallel windows): emits
+/// "noisebalance: warning: <message>" to stderr the first time each `key`
+/// is seen in this process, and never again.  Thread-safe.  Returns true
+/// iff this call was the one that emitted.
+bool warn_once(const std::string& key, const std::string& message);
+
+/// True iff warn_once has already fired for `key` (regression-test hook).
+[[nodiscard]] bool warned(const std::string& key);
+
 namespace detail {
 [[noreturn]] void throw_contract_error(std::string_view condition, std::string_view message,
                                        std::string_view file, long line);

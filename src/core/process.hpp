@@ -228,6 +228,14 @@ class shard_engine {
   void step_many(P& process, rng_t& rng, step_count count) {
     NB_ASSERT(count >= 0);
     if constexpr (!window_parallel<P>) {
+      // The caller asked for intra-run parallelism (threads_per_run) but
+      // this process exposes no parallel snapshot windows -- the request
+      // is accepted but has no effect, which has historically been a
+      // silent trap.  Say so, once per process kind.
+      warn_once("shard-engine/" + process.name(),
+                "threads_per_run has no effect on process '" + process.name() +
+                    "': it exposes no parallel snapshot windows (window_parallel); "
+                    "running the serial fused loop instead");
       nb::step_many(process, rng, count);
     } else {
       // Cap parallel windows so even a shard that routed every one of its
@@ -365,6 +373,12 @@ class kernel_engine {
   void step_many(P& process, rng_t& rng, step_count count) {
     NB_ASSERT(count >= 0);
     if constexpr (!kernel_window_parallel<P>) {
+      // Same accepted-but-ineffective trap as the shard engine: use_kernel
+      // only accelerates min-select frozen windows.
+      warn_once("kernel-engine/" + process.name(),
+                "use_kernel has no effect on process '" + process.name() +
+                    "': it exposes no min-select snapshot windows (kernel_min_select); "
+                    "running the serial fused loop instead");
       nb::step_many(process, rng, count);
     } else {
       // No row-width cap needed: whole windows accumulate into uint32

@@ -1,0 +1,307 @@
+#include "exp/campaign.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "exp/journal.hpp"
+#include "util/csv.hpp"
+
+namespace nb {
+
+// ---------------------------------------------------------------------------
+// Aggregator.
+
+void cell_aggregator::add(const run_result& r) {
+  gap_.add(r.gap);
+  underload_.add(r.underload_gap);
+  max_load_.add(static_cast<double>(r.max_load));
+  histogram_.add(static_cast<std::int64_t>(std::llround(r.gap)));
+}
+
+void cell_aggregator::merge(const cell_aggregator& other) {
+  gap_.merge(other.gap_);
+  underload_.merge(other.underload_);
+  max_load_.merge(other.max_load_);
+  histogram_.merge(other.histogram_);
+}
+
+std::int64_t cell_aggregator::gap_quantile(double q) const { return histogram_.quantile(q); }
+
+// ---------------------------------------------------------------------------
+// Config construction.
+
+campaign_config make_config(const sweep_point& point) {
+  campaign_config config;
+  config.label = point.label;
+  config.m = point.m;
+  config.process = point.process;
+  return config;
+}
+
+std::vector<campaign_config> make_configs(const std::vector<sweep_point>& points) {
+  std::vector<campaign_config> out;
+  out.reserve(points.size());
+  for (const auto& point : points) out.push_back(make_config(point));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler.
+
+namespace {
+
+/// FNV-1a fingerprint of the configuration list's identifying fields.
+/// Journals store it in their header: per-cell seeds depend only on
+/// (campaign seed, cell index), so without this a journal from a
+/// same-shaped campaign over a *different* grid (other m, n, kinds or
+/// labels) would pass every seed check and silently mix in on resume.
+std::uint64_t grid_fingerprint(const std::vector<campaign_config>& configs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const std::string& field) {
+    for (const unsigned char c : field) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xFFu;  // field separator, so ("ab","c") != ("a","bc")
+    h *= 1099511628211ULL;
+  };
+  for (const auto& config : configs) {
+    mix(config.label);
+    mix(config.process.kind);
+    mix(std::to_string(config.process.n));
+    mix(json_double(config.process.param));
+    mix(std::to_string(config.m));
+  }
+  return h;
+}
+
+run_result run_cell(const campaign_config& config, std::uint64_t seed,
+                    const campaign_options& opt) {
+  any_process process = config.factory ? config.factory() : make_process(config.process);
+  rng_t rng(seed);
+  run_result r;
+  if (opt.threads_per_run > 0) {
+    // Engine + scratch are per cell: intra-run parallelism targets few,
+    // huge runs, where one run dwarfs the engine's ~ms startup.
+    shard_engine engine(shard_options{.threads = opt.threads_per_run,
+                                      .shards = opt.shards,
+                                      .lanes = opt.lanes,
+                                      .isa = opt.isa});
+    r = simulate_parallel(process, config.m, rng, engine);
+  } else if (opt.use_kernel) {
+    kernel_engine engine(kernel_options{.lanes = opt.lanes, .isa = opt.isa});
+    r = simulate_kernel(process, config.m, rng, engine);
+  } else {
+    r = simulate(process, config.m, rng);
+  }
+  r.seed = seed;
+  return r;
+}
+
+}  // namespace
+
+campaign_result run_campaign(const std::vector<campaign_config>& configs,
+                             const campaign_options& opt) {
+  NB_REQUIRE(!configs.empty(), "campaign needs at least one configuration");
+  NB_REQUIRE(opt.repeats >= 1, "campaign needs at least one repetition per configuration");
+  for (const auto& config : configs) {
+    NB_REQUIRE(config.factory != nullptr || !config.process.kind.empty(),
+               "campaign config '" + config.label + "' needs a factory or a registry spec");
+    NB_REQUIRE(config.m >= 0 && config.m <= max_run_balls,
+               "campaign config '" + config.label + "' has m outside [0, max_run_balls]");
+    // Surface unknown kinds / bad parameters here, on the caller's thread:
+    // pool tasks are noexcept by contract, so a spec error inside a worker
+    // would terminate instead of throwing.
+    if (!config.factory) (void)make_process(config.process);
+  }
+
+  const std::size_t total = configs.size() * opt.repeats;
+  campaign_result out;
+  out.repeats = opt.repeats;
+  out.seed = opt.seed;
+  out.cells.resize(total);
+
+  // Resume: fold the journal's completed cells in before scheduling.
+  std::vector<char> done(total, 0);
+  std::vector<journal_entry> preserved;
+  const journal_header header{configs.size(), opt.repeats, opt.seed, grid_fingerprint(configs)};
+  if (opt.resume) {
+    NB_REQUIRE(!opt.journal_path.empty(), "resume needs a journal path");
+    auto replay = replay_journal(opt.journal_path);
+    // A file with no valid campaign header is not ours to truncate: the
+    // user may have pointed --journal at the wrong path.
+    NB_REQUIRE(!replay.file_exists || replay.header_valid,
+               "cannot resume: '" + opt.journal_path +
+                   "' exists but is not a campaign journal; refusing to overwrite it");
+    if (replay.header_valid) {
+      NB_REQUIRE(replay.header == header,
+                 "journal belongs to a different campaign "
+                 "(configs/repeats/seed/grid mismatch)");
+      for (auto& entry : replay.entries) {
+        NB_REQUIRE(entry.cell < total, "journal cell index out of range");
+        NB_REQUIRE(entry.result.seed == derive_seed(opt.seed, entry.cell),
+                   "journal cell seed does not match this campaign's derivation");
+        out.cells[entry.cell] = entry.result;
+        done[entry.cell] = 1;
+      }
+      preserved = std::move(replay.entries);
+    }
+  }
+
+  journal_writer journal;
+  if (!opt.journal_path.empty()) journal.open(opt.journal_path, header, preserved);
+
+  std::vector<std::size_t> pending;
+  pending.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    if (!done[index]) pending.push_back(index);
+  }
+  out.cells_resumed = total - pending.size();
+  out.cells_executed = pending.size();
+
+  parallel_for(pending.size(), opt.threads, [&](std::size_t job) {
+    const std::size_t index = pending[job];
+    const campaign_config& config = configs[index / opt.repeats];
+    run_result r = run_cell(config, derive_seed(opt.seed, index), opt);
+    out.cells[index] = r;
+    journal.append({index, r});
+  });
+
+  // Aggregate in cell-index order: deterministic for any worker count and
+  // identical whether a cell ran fresh or was replayed from the journal.
+  out.configs.reserve(configs.size());
+  for (const auto& config : configs) {
+    config_result cr;
+    cr.config = config;
+    out.configs.push_back(std::move(cr));
+  }
+  for (std::size_t index = 0; index < total; ++index) {
+    out.configs[index / opt.repeats].aggregate.add(out.cells[index]);
+  }
+  return out;
+}
+
+campaign_result run_campaign(const sweep_grid& grid, const campaign_options& opt) {
+  return run_campaign(make_configs(expand_grid(grid)), opt);
+}
+
+// ---------------------------------------------------------------------------
+// Emission.
+
+namespace {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const unsigned char c : raw) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {  // control characters would break strict parsers
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string campaign_result::to_json() const {
+  std::string s;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\n  \"campaign\": {\"seed\": %" PRIu64
+                ", \"repeats\": %zu, \"configs\": %zu, \"cells\": %zu},\n  \"results\": [\n",
+                seed, repeats, configs.size(), configs.size() * repeats);
+  s += buf;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto& config = configs[c].config;
+    const auto& agg = configs[c].aggregate;
+    s += "    {\"label\": \"" + json_escape(config.label) + "\"";
+    s += ", \"kind\": \"" + json_escape(config.process.kind) + "\"";
+    s += ", \"param\": " + json_double(config.process.param);
+    std::snprintf(buf, sizeof buf, ", \"n\": %u, \"m\": %" PRId64 ", \"runs\": %zu,\n",
+                  config.process.n, static_cast<std::int64_t>(config.m), agg.count());
+    s += buf;
+    s += "     \"gap\": {\"mean\": " + json_double(agg.gap().mean());
+    s += ", \"stddev\": " + json_double(agg.gap_stddev());
+    s += ", \"min\": " + json_double(agg.gap().min());
+    s += ", \"max\": " + json_double(agg.gap().max());
+    s += ", \"q25\": " + std::to_string(agg.gap_quantile(0.25));
+    s += ", \"median\": " + std::to_string(agg.gap_quantile(0.5));
+    s += ", \"q75\": " + std::to_string(agg.gap_quantile(0.75)) + "},\n";
+    s += "     \"underload_gap_mean\": " + json_double(agg.underload_gap().mean());
+    s += ", \"max_load_mean\": " + json_double(agg.max_load().mean());
+    s += ",\n     \"gap_histogram\": [";
+    const auto entries = agg.gap_histogram().entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += "[" + std::to_string(entries[i].first) + ", " + std::to_string(entries[i].second) + "]";
+    }
+    s += "]}";
+    s += c + 1 < configs.size() ? ",\n" : "\n";
+  }
+  s += "  ]\n}\n";
+  return s;
+}
+
+void campaign_result::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  NB_REQUIRE(out.is_open(), "cannot open campaign JSON output '" + path + "'");
+  out << to_json();
+}
+
+void campaign_result::write_csv(const std::string& path) const {
+  csv_writer csv(path, {"label", "kind", "param", "n", "m", "runs", "mean_gap", "stddev_gap",
+                        "min_gap", "max_gap", "gap_q25", "gap_median", "gap_q75",
+                        "mean_underload_gap", "mean_max_load"});
+  for (const auto& cr : configs) {
+    const auto& config = cr.config;
+    const auto& agg = cr.aggregate;
+    csv.write_row({config.label, config.process.kind, csv_writer::field(config.process.param),
+                   csv_writer::field(static_cast<std::int64_t>(config.process.n)),
+                   csv_writer::field(static_cast<std::int64_t>(config.m)),
+                   csv_writer::field(static_cast<std::int64_t>(agg.count())),
+                   csv_writer::field(agg.gap().mean()), csv_writer::field(agg.gap_stddev()),
+                   csv_writer::field(agg.gap().min()), csv_writer::field(agg.gap().max()),
+                   csv_writer::field(agg.gap_quantile(0.25)),
+                   csv_writer::field(agg.gap_quantile(0.5)),
+                   csv_writer::field(agg.gap_quantile(0.75)),
+                   csv_writer::field(agg.underload_gap().mean()),
+                   csv_writer::field(agg.max_load().mean())});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Historical bench entry point.
+
+std::vector<repeat_result> run_cells(const std::vector<cell>& cells, std::size_t runs,
+                                     std::uint64_t master_seed, std::size_t threads,
+                                     std::size_t threads_per_run,
+                                     std::optional<kernel_isa> kernel, std::size_t lanes) {
+  NB_REQUIRE(runs >= 1, "need at least one run per cell");
+  campaign_options opt;
+  opt.repeats = runs;
+  opt.seed = master_seed;
+  opt.threads = threads;
+  opt.threads_per_run = threads_per_run;
+  opt.use_kernel = kernel.has_value() && threads_per_run == 0;
+  opt.isa = kernel.value_or(kernel_isa::auto_detect);
+  opt.lanes = lanes;
+  const auto campaign = run_campaign(cells, opt);
+  std::vector<repeat_result> results(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    results[c].runs.assign(campaign.cells.begin() + static_cast<std::ptrdiff_t>(c * runs),
+                           campaign.cells.begin() + static_cast<std::ptrdiff_t>((c + 1) * runs));
+    results[c].gap_histogram = campaign.configs[c].aggregate.gap_histogram();
+  }
+  return results;
+}
+
+}  // namespace nb

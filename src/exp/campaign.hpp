@@ -1,0 +1,158 @@
+// The experiment orchestrator: deterministic multi-run campaigns.
+//
+// A campaign is a list of configurations (process x n x m grid points),
+// each repeated `repeats` times.  Every (configuration, repetition) pair
+// is one *cell* -- the schedulable unit -- with flat index
+// `config * repeats + rep` and RNG seed `derive_seed(campaign_seed, index)`.
+// Cells run across the shared thread_pool in any order; because sampling
+// depends only on the cell index (never on scheduling) and aggregation
+// always folds cells in index order, campaign results -- including the
+// emitted aggregate JSON -- are byte-identical for ANY worker count
+// (enforced by tests/test_orchestrator.cpp).
+//
+// Each cell routes through the fastest applicable engine, exactly like the
+// single-configuration drivers in sim/runner.hpp: threads_per_run > 0
+// engages the intra-run shard engine, use_kernel the serial SIMD kernel
+// engine, anything else the serial fused loop.
+//
+// Aggregation is streaming: per configuration the campaign keeps a
+// cell_aggregator (Welford gap/underload/max-load stats + an integer gap
+// histogram for quantiles), so memory stays O(cells) regardless of m.
+//
+// Checkpoint/resume: with a journal path every finished cell is appended
+// to an append-only JSONL file (see exp/journal.hpp); `resume` replays the
+// journal, skips completed cells, and -- because journal doubles
+// round-trip bit-exactly -- produces byte-identical aggregates to an
+// uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/process_registry.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace nb {
+
+/// One campaign grid point.  Processes come either from the registry
+/// (`process.kind`, journaled and reported as metadata) or from an
+/// arbitrary `factory` (which wins when both are set and must be safe to
+/// call concurrently).  Field order keeps the historical positional
+/// brace-init `{label, factory, m}` of the bench cell lists compiling.
+struct campaign_config {
+  std::string label;
+  std::function<any_process()> factory;
+  step_count m = 0;
+  process_spec process{};
+};
+
+/// Historical name for a bench configuration list entry.
+using cell = campaign_config;
+
+/// Builds a registry-backed configuration from an expanded sweep point.
+[[nodiscard]] campaign_config make_config(const sweep_point& point);
+[[nodiscard]] std::vector<campaign_config> make_configs(const std::vector<sweep_point>& points);
+
+/// Campaign execution knobs.  Only `repeats`, `seed`, `shards` and `lanes`
+/// are part of the sampling contract; threads, worker counts and the ISA
+/// backend never affect results.
+struct campaign_options {
+  std::size_t repeats = 10;
+  std::uint64_t seed = 1;
+  /// Scheduler workers over cells; 0 = one per hardware core.
+  std::size_t threads = 0;
+  /// > 0: every cell runs through the intra-run shard engine with this
+  /// many workers (stale-snapshot windows go shard-parallel).
+  std::size_t threads_per_run = 0;
+  std::size_t shards = 16;
+  /// threads_per_run == 0 only: route cells through the serial
+  /// lane-interleaved SIMD kernel engine.
+  bool use_kernel = false;
+  std::size_t lanes = 8;
+  kernel_isa isa = kernel_isa::auto_detect;
+  /// Non-empty: append every finished cell to this JSONL journal.
+  std::string journal_path;
+  /// Replay `journal_path` first and run only the missing cells.
+  bool resume = false;
+};
+
+/// Streaming per-configuration aggregate: Welford stats over the cells'
+/// gap / underload gap / max load, plus the integer gap histogram the
+/// paper's tables report (gaps rounded to nearest integer -- exact
+/// whenever n | m, which holds for every paper experiment).
+class cell_aggregator {
+ public:
+  void add(const run_result& r);
+  void merge(const cell_aggregator& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return gap_.count(); }
+  [[nodiscard]] const running_stats& gap() const noexcept { return gap_; }
+  [[nodiscard]] const running_stats& underload_gap() const noexcept { return underload_; }
+  [[nodiscard]] const running_stats& max_load() const noexcept { return max_load_; }
+  [[nodiscard]] const int_histogram& gap_histogram() const noexcept { return histogram_; }
+
+  [[nodiscard]] double mean_gap() const noexcept { return gap_.mean(); }
+  [[nodiscard]] double gap_stddev() const noexcept { return gap_.stddev(); }
+  /// Quantile of the rounded-gap distribution (from the histogram).
+  [[nodiscard]] std::int64_t gap_quantile(double q) const;
+
+ private:
+  running_stats gap_;
+  running_stats underload_;
+  running_stats max_load_;
+  int_histogram histogram_;
+};
+
+/// One configuration's outcome.
+struct config_result {
+  campaign_config config;
+  cell_aggregator aggregate;
+};
+
+/// Outcome of a whole campaign.
+struct campaign_result {
+  std::vector<config_result> configs;
+  /// Flat per-cell results, config-major: cell = config * repeats + rep.
+  std::vector<run_result> cells;
+  std::size_t repeats = 0;
+  std::uint64_t seed = 0;
+  /// Cells executed fresh this invocation vs. replayed from the journal.
+  /// Deliberately NOT part of to_json(): a resumed campaign must emit the
+  /// same bytes as an uninterrupted one.
+  std::size_t cells_executed = 0;
+  std::size_t cells_resumed = 0;
+
+  /// Deterministic aggregate JSON (config order, %.17g doubles): the
+  /// machine-readable campaign archive.
+  [[nodiscard]] std::string to_json() const;
+  void write_json(const std::string& path) const;
+  /// One row per configuration, through util/csv.
+  void write_csv(const std::string& path) const;
+};
+
+/// Runs the campaign: expands configs x repeats into cells, schedules
+/// them over the pool, journals, aggregates.  See the file comment for
+/// the determinism and resume contracts.
+[[nodiscard]] campaign_result run_campaign(const std::vector<campaign_config>& configs,
+                                           const campaign_options& opt);
+
+/// Declarative-grid convenience overload.
+[[nodiscard]] campaign_result run_campaign(const sweep_grid& grid, const campaign_options& opt);
+
+/// The historical bench entry point, now a thin wrapper over the
+/// orchestrator: every (cell, repetition) job shares one work queue, with
+/// seeds derive_seed(master_seed, cell * runs + rep).  threads_per_run
+/// and `kernel` route jobs through the shard / serial-kernel engines as
+/// before; results never depend on `threads` or the backend.
+[[nodiscard]] std::vector<repeat_result> run_cells(
+    const std::vector<cell>& cells, std::size_t runs, std::uint64_t master_seed,
+    std::size_t threads, std::size_t threads_per_run = 0,
+    std::optional<kernel_isa> kernel = std::nullopt, std::size_t lanes = 8);
+
+}  // namespace nb

@@ -1,0 +1,178 @@
+#include "exp/journal.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+namespace {
+
+/// Locates the raw value text of `"key":` in a machine-written JSON line.
+/// The journal never nests objects or writes string values with escapes,
+/// so scanning to the next delimiter is exact.
+std::optional<std::string> find_value(const std::string& line, const char* key) {
+  const std::string pattern = std::string("\"") + key + "\":";
+  const auto pos = line.find(pattern);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t start = pos + pattern.size();
+  while (start < line.size() && line[start] == ' ') ++start;
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' && line[end] != '\n' &&
+         line[end] != ' ') {
+    ++end;
+  }
+  if (end == start) return std::nullopt;
+  return line.substr(start, end - start);
+}
+
+std::optional<double> find_double(const std::string& line, const char* key) {
+  const auto raw = find_value(line, key);
+  if (!raw) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(raw->c_str(), &end);
+  if (errno != 0 || end != raw->c_str() + raw->size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> find_u64(const std::string& line, const char* key) {
+  const auto raw = find_value(line, key);
+  if (!raw || raw->empty() || !std::isdigit(static_cast<unsigned char>((*raw)[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(raw->c_str(), &end, 10);
+  if (errno != 0 || end != raw->c_str() + raw->size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> find_i64(const std::string& line, const char* key) {
+  const auto raw = find_value(line, key);
+  if (!raw) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(raw->c_str(), &end, 10);
+  if (errno != 0 || end != raw->c_str() + raw->size()) return std::nullopt;
+  return v;
+}
+
+/// A complete journal line ends in '}' -- a line truncated mid-number
+/// would otherwise parse as a shorter, wrong value.
+bool complete_object(const std::string& line) {
+  std::size_t end = line.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(line[end - 1]))) --end;
+  return end > 0 && line[end - 1] == '}';
+}
+
+}  // namespace
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string journal_header_line(const journal_header& header) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"nb-campaign-journal\",\"version\":1,\"configs\":%zu,"
+                "\"repeats\":%zu,\"seed\":%" PRIu64 ",\"grid\":%" PRIu64 "}",
+                header.configs, header.repeats, header.seed, header.grid);
+  return buf;
+}
+
+std::string journal_entry_line(const journal_entry& entry) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"cell\":%zu,\"seed\":%" PRIu64 ",\"balls\":%" PRId64
+                ",\"gap\":%s,\"underload_gap\":%s,\"max_load\":%d,\"min_load\":%d}",
+                entry.cell, entry.result.seed, static_cast<std::int64_t>(entry.result.balls),
+                json_double(entry.result.gap).c_str(),
+                json_double(entry.result.underload_gap).c_str(),
+                static_cast<int>(entry.result.max_load), static_cast<int>(entry.result.min_load));
+  return buf;
+}
+
+std::optional<journal_header> parse_journal_header(const std::string& line) {
+  if (!complete_object(line)) return std::nullopt;
+  if (line.find("\"nb-campaign-journal\"") == std::string::npos) return std::nullopt;
+  const auto configs = find_u64(line, "configs");
+  const auto repeats = find_u64(line, "repeats");
+  const auto seed = find_u64(line, "seed");
+  const auto grid = find_u64(line, "grid");
+  if (!configs || !repeats || !seed || !grid) return std::nullopt;
+  journal_header h;
+  h.configs = static_cast<std::size_t>(*configs);
+  h.repeats = static_cast<std::size_t>(*repeats);
+  h.seed = *seed;
+  h.grid = *grid;
+  return h;
+}
+
+std::optional<journal_entry> parse_journal_entry(const std::string& line) {
+  if (!complete_object(line)) return std::nullopt;
+  const auto cell = find_u64(line, "cell");
+  const auto seed = find_u64(line, "seed");
+  const auto balls = find_i64(line, "balls");
+  const auto gap = find_double(line, "gap");
+  const auto underload = find_double(line, "underload_gap");
+  const auto max_load = find_i64(line, "max_load");
+  const auto min_load = find_i64(line, "min_load");
+  if (!cell || !seed || !balls || !gap || !underload || !max_load || !min_load) {
+    return std::nullopt;
+  }
+  journal_entry e;
+  e.cell = static_cast<std::size_t>(*cell);
+  e.result.seed = *seed;
+  e.result.balls = *balls;
+  e.result.gap = *gap;
+  e.result.underload_gap = *underload;
+  e.result.max_load = static_cast<load_t>(*max_load);
+  e.result.min_load = static_cast<load_t>(*min_load);
+  return e;
+}
+
+void journal_writer::open(const std::string& path, const journal_header& header,
+                          const std::vector<journal_entry>& preserve) {
+  NB_REQUIRE(!path.empty(), "journal path must not be empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_.open(path, std::ios::out | std::ios::trunc);
+  NB_REQUIRE(out_.is_open(), "cannot open campaign journal '" + path + "' for writing");
+  out_ << journal_header_line(header) << '\n';
+  for (const auto& entry : preserve) out_ << journal_entry_line(entry) << '\n';
+  out_.flush();
+}
+
+void journal_writer::append(const journal_entry& entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  out_ << journal_entry_line(entry) << '\n';
+  out_.flush();
+}
+
+journal_replay replay_journal(const std::string& path) {
+  journal_replay out;
+  std::ifstream in(path);
+  if (!in.is_open()) return out;
+  out.file_exists = true;
+  std::string line;
+  if (!std::getline(in, line)) return out;
+  const auto header = parse_journal_header(line);
+  if (!header) return out;
+  out.header_valid = true;
+  out.header = *header;
+  while (std::getline(in, line)) {
+    auto entry = parse_journal_entry(line);
+    if (!entry) break;  // torn final write: everything after is unreachable
+    out.entries.push_back(*entry);
+  }
+  return out;
+}
+
+}  // namespace nb

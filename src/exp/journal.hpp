@@ -1,0 +1,103 @@
+// Append-only JSONL journal of campaign cells, the checkpoint/resume
+// substrate of the experiment orchestrator (src/exp/campaign.hpp).
+//
+// File layout: one JSON object per line.  The first line is a header
+// identifying the campaign shape; every following line records one
+// completed cell.  Lines are flushed as cells finish, so an interrupted
+// campaign leaves a valid prefix (at worst one truncated final line, which
+// replay discards).  Schema:
+//
+//   {"type":"nb-campaign-journal","version":1,"configs":C,"repeats":R,"seed":S}
+//   {"cell":7,"seed":11437862103275740807,"balls":1000000,"gap":4,
+//    "underload_gap":3.2,"max_load":1004,"min_load":996}
+//
+// Doubles are written with %.17g so replayed values round-trip bit-exactly:
+// a campaign resumed from a journal aggregates to byte-identical JSON as an
+// uninterrupted run (enforced by tests/test_orchestrator.cpp).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace nb {
+
+/// Identifies the campaign a journal belongs to.  Resume refuses journals
+/// whose header does not match the running campaign: `grid` fingerprints
+/// the actual configuration list (labels, specs, m values), so even a
+/// same-shaped campaign with a different grid -- where every per-cell
+/// seed check would pass -- cannot silently mix in.
+struct journal_header {
+  std::size_t configs = 0;
+  std::size_t repeats = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t grid = 0;
+
+  bool operator==(const journal_header&) const = default;
+};
+
+/// One completed cell: its flat index and the full run outcome.
+struct journal_entry {
+  std::size_t cell = 0;
+  run_result result;
+};
+
+/// Thread-safe append-only writer.  Default-constructed writers are
+/// inactive (append is a no-op), so drivers without a journal path pay
+/// nothing.
+class journal_writer {
+ public:
+  journal_writer() = default;
+
+  /// Opens (truncates) `path`, writes the header line and re-writes
+  /// `preserve` (the entries replayed from a previous journal, so resumed
+  /// campaigns end up with one clean, garbage-free journal).  Throws
+  /// nb::contract_error if the file cannot be opened.
+  void open(const std::string& path, const journal_header& header,
+            const std::vector<journal_entry>& preserve = {});
+
+  [[nodiscard]] bool active() const noexcept { return out_.is_open(); }
+
+  /// Appends one cell line and flushes it (crash durability).
+  void append(const journal_entry& entry);
+
+ private:
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+/// A replayed journal: the header (if the file had a valid one) and every
+/// complete, well-formed cell line before the first malformed one.
+/// `file_exists` lets resume distinguish "no journal yet" (start fresh)
+/// from "a file is there but it is not a campaign journal" (refuse to
+/// overwrite it).
+struct journal_replay {
+  bool file_exists = false;
+  bool header_valid = false;
+  journal_header header;
+  std::vector<journal_entry> entries;
+};
+
+/// Reads `path`, tolerating a missing file (header_valid == false) and a
+/// truncated final line (dropped).  Replay stops at the first malformed
+/// line: with the flush-per-line writer, anything after a torn write is
+/// unreachable anyway.
+[[nodiscard]] journal_replay replay_journal(const std::string& path);
+
+/// %.17g rendering shared by the journal codec and the campaign JSON
+/// emitter -- the one formatter the bit-exact round-trip contract (and
+/// therefore resume-equals-fresh byte identity) depends on.
+[[nodiscard]] std::string json_double(double v);
+
+// Line codec, exposed for tests.
+[[nodiscard]] std::string journal_header_line(const journal_header& header);
+[[nodiscard]] std::string journal_entry_line(const journal_entry& entry);
+[[nodiscard]] std::optional<journal_header> parse_journal_header(const std::string& line);
+[[nodiscard]] std::optional<journal_entry> parse_journal_entry(const std::string& line);
+
+}  // namespace nb

@@ -30,6 +30,8 @@
 #include "core/process.hpp"
 #include "core/process_registry.hpp"
 #include "core/theory/bounds.hpp"
+#include "exp/campaign.hpp"
+#include "exp/journal.hpp"
 #include "rng/rng.hpp"
 #include "sim/recorder.hpp"
 #include "sim/runner.hpp"

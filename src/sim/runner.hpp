@@ -42,6 +42,8 @@ struct repeat_options {
   /// b-Batch batches) run shard-parallel inside each run.  Results depend
   /// on `shards`, never on this thread count.  Intended for few, huge runs
   /// -- combined with `threads` > 1 the products of the two multiplies.
+  /// Processes without parallel windows run serially regardless; the
+  /// engine emits a one-time warn_once diagnostic when that happens.
   std::size_t threads_per_run = 0;
   /// Fixed shard count for the intra-run engine (sampling contract).
   std::size_t shards = 16;

@@ -1,8 +1,26 @@
 #include "sim/sweep.hpp"
 
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
 #include "common/error.hpp"
 
 namespace nb {
+
+namespace {
+/// Compact parameter rendering for sweep-point labels: integral values
+/// print without a decimal point ("8"), everything else as %g ("0.5").
+std::string param_label(double p) {
+  char buf[32];
+  if (p == std::floor(p) && std::abs(p) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(p));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", p);
+  }
+  return buf;
+}
+}  // namespace
 
 std::vector<std::int64_t> arithmetic_range(std::int64_t lo, std::int64_t hi, std::int64_t step) {
   NB_REQUIRE(step >= 1, "step must be positive");
@@ -42,6 +60,32 @@ std::vector<std::int64_t> one_five_decades(std::int64_t lo, std::int64_t hi) {
       if (v >= lo && v <= hi) out.push_back(v);
     }
     decade *= 10;
+  }
+  return out;
+}
+
+std::vector<sweep_point> expand_grid(const sweep_grid& grid) {
+  NB_REQUIRE(!grid.kinds.empty(), "sweep grid needs at least one process kind");
+  NB_REQUIRE(!grid.bins.empty(), "sweep grid needs at least one bin count");
+  NB_REQUIRE(!grid.params.empty(), "sweep grid needs at least one parameter value");
+  NB_REQUIRE(grid.m_override >= 0, "m_override must be non-negative");
+  NB_REQUIRE(grid.m_override > 0 || grid.m_multiplier >= 1,
+             "need m_override > 0 or m_multiplier >= 1");
+  std::vector<sweep_point> out;
+  out.reserve(grid.bins.size() * grid.kinds.size() * grid.params.size());
+  for (const bin_count n : grid.bins) {
+    NB_REQUIRE(n >= 1, "sweep grid bin counts must be positive");
+    const step_count m =
+        grid.m_override > 0 ? grid.m_override : grid.m_multiplier * static_cast<step_count>(n);
+    for (const auto& kind : grid.kinds) {
+      for (const double p : grid.params) {
+        sweep_point point;
+        point.process = process_spec{kind, n, p};
+        point.m = m;
+        point.label = kind + "/" + param_label(p) + "@n=" + std::to_string(n);
+        out.push_back(std::move(point));
+      }
+    }
   }
   return out;
 }

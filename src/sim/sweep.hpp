@@ -1,10 +1,14 @@
-// Parameter-sweep helpers shared by the bench binaries.
+// Parameter sweeps: the value-range helpers shared by the bench binaries
+// plus the declarative cross-run grid the experiment orchestrator
+// (src/exp/campaign.hpp) expands into campaign configurations.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/process_registry.hpp"
 
 namespace nb {
 
@@ -27,5 +31,37 @@ namespace nb {
 /// Returns 0 iff remaining is 0.
 [[nodiscard]] step_count checkpoint_chunk(step_count balls_so_far, step_count remaining,
                                           step_count interval);
+
+// ---------------------------------------------------------------------------
+// Declarative sweep grids.
+
+/// A cross-run experiment grid: every combination of process kind, noise
+/// parameter and bin count becomes one sweep point, with m either fixed
+/// (`m_override`) or scaled with n (`m_multiplier`, the paper's m = 1000n
+/// convention).  Parameter meaning follows process_spec (g / sigma / b /
+/// tau / beta / d depending on the kind); kinds that take no parameter
+/// ignore it, so the default single 0 works for them.
+struct sweep_grid {
+  std::vector<std::string> kinds;
+  std::vector<double> params = {0.0};
+  std::vector<bin_count> bins;
+  /// m = m_multiplier * n when m_override == 0.
+  std::int64_t m_multiplier = 1000;
+  /// > 0: the same m for every point, regardless of n.
+  step_count m_override = 0;
+};
+
+/// One expanded point of a sweep_grid.
+struct sweep_point {
+  std::string label;  ///< "kind/param@n=..." -- stable key for outputs.
+  process_spec process;
+  step_count m = 0;
+};
+
+/// Expands `grid` in a fixed, documented order: bins outermost, then
+/// kinds, then params -- so the points for one n are a contiguous block
+/// of size kinds.size() * params.size(), laid out kind-major.  Drivers
+/// rely on this order to index results.
+[[nodiscard]] std::vector<sweep_point> expand_grid(const sweep_grid& grid);
 
 }  // namespace nb

@@ -104,6 +104,39 @@ TEST(RunRepeated, SummaryMatchesRuns) {
   EXPECT_NEAR(res.mean_gap(), s.mean, 1e-12);
 }
 
+TEST(RunRepeated, ThreadsPerRunWithoutParallelWindowsWarnsOnceAndRunsSerially) {
+  // Regression: threads_per_run used to be silently ignored for processes
+  // without parallel snapshot windows.  It must still run (serially, with
+  // identical results to the plain serial path) but say so once.
+  const auto run_with = [](std::size_t threads_per_run) {
+    repeat_options opt;
+    opt.runs = 3;
+    opt.master_seed = 21;
+    opt.threads = 1;
+    opt.threads_per_run = threads_per_run;
+    return run_repeated_with([] { return two_choice(64); }, 2000, opt);
+  };
+  const auto ignored = run_with(4);
+  EXPECT_TRUE(warned("shard-engine/two-choice"));
+  const auto serial = run_with(0);
+  ASSERT_EQ(ignored.runs.size(), serial.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ignored.runs[i].gap, serial.runs[i].gap) << "run " << i;
+    EXPECT_EQ(ignored.runs[i].max_load, serial.runs[i].max_load);
+  }
+}
+
+TEST(WarnOnce, EmitsExactlyOncePerKey) {
+  // warn_once state is process-global and never reset; a fresh key per
+  // invocation keeps this valid under --gtest_repeat / --gtest_shuffle.
+  static int invocation = 0;
+  const std::string key = "test-sim/unique-key-" + std::to_string(invocation++);
+  EXPECT_FALSE(warned(key));
+  EXPECT_TRUE(warn_once(key, "first emission"));
+  EXPECT_FALSE(warn_once(key, "suppressed"));
+  EXPECT_TRUE(warned(key));
+}
+
 TEST(RunRepeated, RejectsZeroRuns) {
   repeat_options opt;
   opt.runs = 0;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_throughput.json against the
+committed baseline.
+
+The throughput bench (bench/throughput.cpp --scale) emits a results array
+of per-leg entries {kernel, isa, threads, balls_per_sec, ...}.  This gate
+matches fresh legs to baseline legs and fails when any fresh leg is slower
+than (1 - tolerance) x its baseline, or when a headline speedup ratio
+(kernel_vs_fused_speedup, shard_vs_fused_speedup) drops below the same
+bound.
+
+Matching is by (kernel, isa class, threads), where the isa class folds all
+SIMD backends together ("none"/"scalar" stay distinct) -- the committed
+baseline may say avx2 while a CI runner reports a different best backend.
+Legs present only in one file are reported and skipped, not failed (e.g. a
+runner without SIMD support never produces the SIMD leg).
+
+The default tolerance is deliberately generous (40%): the baseline is
+recorded at paper scale on a developer machine while CI runs a reduced
+smoke scale on shared runners, so the gate is meant to catch real
+regressions (a broken fast path, an accidental serial fallback), not
+machine-to-machine noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def isa_class(isa):
+    return isa if isa in ("none", "scalar") else "simd"
+
+
+def leg_key(entry):
+    return (entry["kernel"], isa_class(entry["isa"]), entry["threads"])
+
+
+def index_legs(doc):
+    legs = {}
+    for entry in doc.get("results", []):
+        legs[leg_key(entry)] = entry
+    return legs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_throughput.json (the reference)")
+    parser.add_argument("--fresh", required=True,
+                        help="BENCH_throughput.json from this run")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional slowdown before failing (default 0.40)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    base_legs = index_legs(baseline)
+    fresh_legs = index_legs(fresh)
+    floor = 1.0 - args.tolerance
+    failures = []
+    print(f"bench-regression gate: tolerance {args.tolerance:.0%} "
+          f"(fail below {floor:.0%} of baseline)")
+
+    for key, base in sorted(base_legs.items()):
+        label = f"kernel={key[0]:<6} isa={key[1]:<6} threads={key[2]}"
+        if key not in fresh_legs:
+            print(f"  SKIP {label}: leg missing from fresh results")
+            continue
+        base_rate = base["balls_per_sec"]
+        fresh_rate = fresh_legs[key]["balls_per_sec"]
+        ratio = fresh_rate / base_rate
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"  {verdict:<10} {label}: {fresh_rate:.3e} vs baseline "
+              f"{base_rate:.3e} balls/s ({ratio:.0%})")
+        if ratio < floor:
+            failures.append(label)
+
+    for key in sorted(set(fresh_legs) - set(base_legs)):
+        print(f"  NOTE new leg not in baseline: kernel={key[0]} isa={key[1]} threads={key[2]}")
+
+    # Headline speedup ratios are machine-independent-ish (same run, same
+    # machine, two legs), so they get the same floor.
+    for ratio_key in ("kernel_vs_fused_speedup", "shard_vs_fused_speedup"):
+        if ratio_key not in baseline or ratio_key not in fresh:
+            continue
+        ratio = fresh[ratio_key] / baseline[ratio_key]
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"  {verdict:<10} {ratio_key}: {fresh[ratio_key]:.2f}x vs baseline "
+              f"{baseline[ratio_key]:.2f}x ({ratio:.0%})")
+        if ratio < floor:
+            failures.append(ratio_key)
+
+    if failures:
+        print(f"FAILED: {len(failures)} regression(s): {', '.join(failures)}")
+        return 1
+    print("PASSED: no leg regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
