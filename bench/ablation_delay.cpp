@@ -28,6 +28,7 @@ int run(int argc, const char* const* argv) {
   auto cfg_opt = parse_standard(cli, argc, argv);
   if (!cfg_opt) return 0;
   auto cfg = *cfg_opt;
+  warn_model_flags_unsupported(cfg, "ablation_delay");
   if (cfg.runs_override == 0 && !cfg.paper_mode()) cfg.runs_override = 5;
 
   const bin_count n = cfg.n_override > 0 ? static_cast<bin_count>(cfg.n_override) : bin_count{4096};

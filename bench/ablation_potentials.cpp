@@ -28,6 +28,7 @@ int run(int argc, const char* const* argv) {
   add_standard_flags(cli);
   const auto cfg = parse_standard(cli, argc, argv);
   if (!cfg) return 0;
+  warn_model_flags_unsupported(*cfg, "ablation_potentials");
 
   stopwatch total;
 

@@ -35,6 +35,8 @@ struct bench_config {
   std::size_t threads_per_run = 0;  // 0 = serial runs; > 0 = intra-run shard engine
   std::string kernel = "off";       // off | scalar | sse2 | avx2 | auto | simd
   std::size_t lanes = 8;            // kernel lanes (sampling contract)
+  std::string weighting = "unit";   // ball-weighting spec (make_weighting)
+  std::string sampler = "uniform";  // bin-sampler spec (make_sampler)
   std::string csv;                  // optional CSV output path ("" = none)
   std::string journal;              // optional campaign JSONL journal ("" = none)
   bool resume = false;              // replay --journal, run only missing cells
@@ -75,6 +77,11 @@ inline void add_standard_flags(cli_parser& cli) {
                  "sse2 | avx2 | auto | simd (auto/simd = best this CPU supports; "
                  "backends are bit-identical for a fixed lane count)");
   cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
+  cli.add_string("weighting", "unit",
+                 "ball-weighting spec: unit | fixed:<w> | two-point:<lo>,<hi>,<p> | "
+                 "pareto:<alpha>[,<cap>] (sampling contract; see README \"Weighted balls\")");
+  cli.add_string("sampler", "uniform",
+                 "bin-sampler spec: uniform | zipf:<s> | hot:<k>,<f> (sampling contract)");
   cli.add_string("csv", "", "also write results to this CSV file");
   cli.add_string("journal", "",
                  "append-only JSONL cell journal for checkpoint/resume (see README "
@@ -107,6 +114,11 @@ inline std::optional<bench_config> parse_standard(cli_parser& cli, int argc,
                  cli.get_int("lanes") <= static_cast<std::int64_t>(kernel_max_lanes),
              "--lanes must be in [1, kernel_max_lanes]");
   cfg.lanes = static_cast<std::size_t>(cli.get_int("lanes"));
+  cfg.weighting = cli.get_string("weighting");
+  cfg.sampler = cli.get_string("sampler");
+  // Parse-validate the weighting spec up front; the sampler is built per
+  // process (its table depends on n), so its spec is validated on first use.
+  (void)make_weighting(cfg.weighting);
   cfg.csv = cli.get_string("csv");
   cfg.journal = cli.get_string("journal");
   cfg.resume = cli.get_bool("resume");
@@ -129,6 +141,42 @@ inline campaign_options campaign_options_for(const bench_config& cfg) {
   opt.journal_path = cfg.journal;
   opt.resume = cfg.resume;
   return opt;
+}
+
+/// Applies the --weighting/--sampler flags to a declarative grid: the
+/// model axes become single-element dimensions, so the expansion order and
+/// labels are unchanged when the flags are left at their defaults.
+inline void apply_model_flags(sweep_grid& grid, const bench_config& cfg) {
+  grid.weightings = {cfg.weighting};
+  grid.samplers = {cfg.sampler};
+}
+
+/// Same for an explicit configuration list.  Registry-backed configs take
+/// the specs; factory-built cells own their model, so non-default flags
+/// on them trigger the house accepted-but-ineffective diagnostic instead
+/// of silence.
+inline void apply_model_flags(std::vector<campaign_config>& configs, const bench_config& cfg) {
+  if (cfg.weighting == "unit" && cfg.sampler == "uniform") return;
+  for (auto& config : configs) {
+    if (config.factory) {
+      warn_once("bench-model-flags/" + config.label,
+                "--weighting/--sampler have no effect on factory-built cell '" + config.label +
+                    "': the flags apply to registry-backed configs only");
+      continue;
+    }
+    config.process.weighting = cfg.weighting;
+    config.process.sampler = cfg.sampler;
+  }
+}
+
+/// For binaries whose cells are all factory-built (or that bypass the
+/// campaign layer entirely): one-time diagnostic that non-default
+/// --weighting/--sampler flags were accepted but cannot apply.
+inline void warn_model_flags_unsupported(const bench_config& cfg, const std::string& binary) {
+  if (cfg.weighting == "unit" && cfg.sampler == "uniform") return;
+  warn_once("bench-model-flags/" + binary,
+            "--weighting/--sampler have no effect in " + binary +
+                ": its cells are factory-built; the flags apply to registry-backed configs only");
 }
 
 /// Standard post-campaign emission: aggregate JSON (--json) and a

@@ -23,6 +23,7 @@ int run(int argc, const char* const* argv) {
   auto cfg_opt = parse_standard(cli, argc, argv);
   if (!cfg_opt) return 0;
   auto cfg = *cfg_opt;
+  warn_model_flags_unsupported(cfg, "ext_noisy_thinning");
   if (cfg.runs_override == 0 && !cfg.paper_mode()) cfg.runs_override = 5;
 
   const bin_count n =

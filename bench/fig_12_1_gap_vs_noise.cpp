@@ -39,6 +39,7 @@ int run(int argc, const char* const* argv) {
   for (const auto g : params) grid.params.push_back(static_cast<double>(g));
   grid.bins = cfg->bin_counts();
   grid.m_multiplier = cfg->m_multiplier;
+  apply_model_flags(grid, *cfg);
 
   stopwatch total;
   const auto campaign = run_campaign(grid, campaign_options_for(*cfg));

@@ -44,6 +44,7 @@ int run(int argc, const char* const* argv) {
     configs.push_back({"one-choice/" + std::to_string(b), {}, b,
                        process_spec{"one-choice", n, static_cast<double>(b)}});
   }
+  apply_model_flags(configs, *cfg);
   stopwatch total;
   const auto campaign = run_campaign(configs, campaign_options_for(*cfg));
 

@@ -24,6 +24,7 @@ int run(int argc, const char* const* argv) {
   auto cfg_opt = parse_standard(cli, argc, argv);
   if (!cfg_opt) return 0;
   auto cfg = *cfg_opt;
+  warn_model_flags_unsupported(cfg, "lower_bounds");
   if (cfg.runs_override == 0 && !cfg.paper_mode()) cfg.runs_override = 10;
 
   const bin_count n =

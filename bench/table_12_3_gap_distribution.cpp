@@ -47,6 +47,7 @@ int run(int argc, const char* const* argv) {
       }
     }
   }
+  apply_model_flags(configs, cfg);
   stopwatch total;
   const auto campaign = run_campaign(configs, campaign_options_for(cfg));
 

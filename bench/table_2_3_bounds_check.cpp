@@ -39,6 +39,7 @@ int run(int argc, const char* const* argv) {
   auto cfg_opt = parse_standard(cli, argc, argv);
   if (!cfg_opt) return 0;
   auto cfg = *cfg_opt;
+  warn_model_flags_unsupported(cfg, "table_2_3_bounds_check");
   if (cfg.runs_override == 0 && !cfg.paper_mode()) cfg.runs_override = 5;
 
   stopwatch total;

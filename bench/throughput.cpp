@@ -135,11 +135,11 @@ struct scale_measurement {
   std::vector<load_t> loads;
 };
 
-/// One observed run; `move` advances the process by a chunk.
-template <typename Move>
-scale_measurement scale_observed_run(bin_count n, step_count m, step_count interval,
-                                     std::uint64_t seed, const Move& move) {
-  b_batch process(n, static_cast<step_count>(n));
+/// One observed run of `make()`; `move` advances the process by a chunk.
+template <typename Make, typename Move>
+scale_measurement scale_observed_run_with(const Make& make, step_count m, step_count interval,
+                                          std::uint64_t seed, const Move& move) {
+  auto process = make();
   rng_t rng(seed);
   scale_measurement out;
   for (step_count done = 0; done < m;) {
@@ -155,11 +155,22 @@ scale_measurement scale_observed_run(bin_count n, step_count m, step_count inter
   return out;
 }
 
+/// The historical b-Batch (b = n) observed run the scale legs compare on.
+template <typename Move>
+scale_measurement scale_observed_run(bin_count n, step_count m, step_count interval,
+                                     std::uint64_t seed, const Move& move) {
+  return scale_observed_run_with([n] { return b_batch(n, static_cast<step_count>(n)); }, m,
+                                 interval, seed, move);
+}
+
 /// One timed leg of the scale benchmark (a row of the JSON results array).
 struct scale_entry {
   std::string kernel;  // off | scalar | sse2 | avx2 | shard
   std::string isa;     // resolved backend ("none" for the fused loop)
   std::size_t threads = 1;
+  std::string process = "b-batch";   // workload the leg times
+  std::string weighting = "unit";    // ball-weighting spec (leg key)
+  std::string sampler = "uniform";   // bin-sampler spec (leg key)
   timing_stats timing;
   scale_measurement run;
 };
@@ -184,7 +195,8 @@ scale_entry time_scale_leg(std::string kernel, std::string isa, std::size_t thre
 
 void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::size_t shards,
                          std::size_t lanes, const std::string& kernel_flag, std::uint64_t seed,
-                         bool verify, const std::string& json_path) {
+                         bool verify, const std::string& alias_spec,
+                         const std::string& json_path) {
   const auto interval = static_cast<step_count>(n);
   const auto work = static_cast<double>(m);
   const kernel_isa best = detect_kernel_isa();
@@ -252,9 +264,35 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
       [&engine](b_batch& p, rng_t& rng, step_count chunk) {
         step_many_parallel(p, rng, chunk, engine);
       }));
-  const scale_entry& shard = results.back();  // no further push_back: stays valid
+  const scale_entry shard = results.back();  // copy: the alias leg below may reallocate
   std::printf("  shard vs fused        %14.2fx on %u hardware cores\n",
               shard.timing.rate_median(work) / fused_rate, std::thread::hardware_concurrency());
+
+  // Alias-sampled two-choice leg: the generalized-model smoke signal.  A
+  // zipf-skewed bin sampler through the serial fused loop -- keyed by its
+  // (weighting, sampler) pair in the JSON so the regression gate tracks
+  // the alias fast path separately from the uniform legs.
+  if (!alias_spec.empty()) {
+    scale_entry alias_leg;
+    alias_leg.kernel = "off";
+    alias_leg.isa = "none";
+    alias_leg.threads = 1;
+    alias_leg.process = "two-choice";
+    alias_leg.sampler = alias_spec;
+    const auto make_alias_two_choice = [n, &alias_spec] {
+      two_choice p(n);
+      p.set_model(make_model("unit", alias_spec, n));
+      return p;
+    };
+    alias_leg.timing = time_median_of(kWarmup, kReps, [&] {
+      alias_leg.run = scale_observed_run_with(
+          make_alias_two_choice, m, interval, seed,
+          [](two_choice& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); });
+    });
+    std::printf("  %-10s sampler=%-9s t=1 %12.3e balls/s   (two-choice, gap %.1f)\n", "off",
+                alias_spec.c_str(), alias_leg.timing.rate_median(work), alias_leg.run.gap);
+    results.push_back(std::move(alias_leg));
+  }
 
   bool identical = true;
   if (verify) {
@@ -295,10 +333,12 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
       const scale_entry& e = results[i];
       std::fprintf(f,
                    "    {\"kernel\": \"%s\", \"isa\": \"%s\", \"threads\": %zu,\n"
+                   "     \"process\": \"%s\", \"weighting\": \"%s\", \"sampler\": \"%s\",\n"
                    "     \"balls_per_sec\": %.6e, \"balls_per_sec_min\": %.6e,\n"
                    "     \"balls_per_sec_max\": %.6e, \"seconds_median\": %.6f,\n"
                    "     \"gap\": %.2f}%s\n",
-                   e.kernel.c_str(), e.isa.c_str(), e.threads, e.timing.rate_median(work),
+                   e.kernel.c_str(), e.isa.c_str(), e.threads, e.process.c_str(),
+                   e.weighting.c_str(), e.sampler.c_str(), e.timing.rate_median(work),
                    e.timing.rate_min(work), e.timing.rate_max(work), e.timing.median_s,
                    e.run.gap, i + 1 < results.size() ? "," : "");
     }
@@ -337,13 +377,16 @@ int main(int argc, char** argv) {
   cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
   cli.add_bool("scale-verify", true,
                "replay the shard leg on 1 thread with the scalar backend and require bit parity");
+  cli.add_string("alias-sampler", "zipf:1",
+                 "bin-sampler spec for the alias-sampled two-choice scale leg "
+                 "(\"\" = skip the leg)");
   cli.add_string("json", "BENCH_throughput.json", "scale-result JSON path (\"\" = skip)");
   if (!cli.parse(argc, argv)) return 0;
 
   NB_REQUIRE(cli.get_int("n") >= 1 && cli.get_int("n") <= 0xFFFFFFFFLL,
              "--n must be in [1, 2^32)");
   NB_REQUIRE(cli.get_int("m") >= 1 && cli.get_int("m") <= max_run_balls,
-             "--m must be in [1, max_run_balls] (per-bin loads are 32-bit)");
+             "--m must be in [1, max_run_balls]");
   const auto n = static_cast<bin_count>(cli.get_int("n"));
   const auto m = static_cast<step_count>(cli.get_int("m"));
   const auto interval =
@@ -396,7 +439,8 @@ int main(int argc, char** argv) {
                         static_cast<std::size_t>(cli.get_int("scale-threads")),
                         static_cast<std::size_t>(cli.get_int("shards")),
                         static_cast<std::size_t>(cli.get_int("lanes")), kernel_flag, seed,
-                        cli.get_bool("scale-verify"), cli.get_string("json"));
+                        cli.get_bool("scale-verify"), cli.get_string("alias-sampler"),
+                        cli.get_string("json"));
   }
   return 0;
 }

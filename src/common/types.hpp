@@ -3,6 +3,12 @@
 // The paper's notation: n bins, m balls, loads x^t_i, normalized loads
 // y^t_i = x^t_i - t/n, and Gap(t) = max_i y^t_i.  We keep the same names in
 // code wherever practical.
+//
+// Generalized allocation (PR 5): balls may carry integer *weights* and the
+// per-bin load is the accumulated weight, so the load and weight types are
+// the same 64-bit signed integer.  The unit-weight configuration (weight 1
+// per ball) keeps every historical identity: load == ball count per bin and
+// total weight == balls.
 #pragma once
 
 #include <cstddef>
@@ -14,8 +20,20 @@ namespace nb {
 /// Index of a bin, in [0, n).  The paper uses 1-based [n]; code is 0-based.
 using bin_index = std::uint32_t;
 
-/// Absolute (integer) load of a bin.  With m <= 2^31 balls a 32-bit count
-/// is ample; the simulator checks m against this limit on construction.
+/// Weight of one ball, and the type every *accumulated* weight total uses.
+/// Unit-weight processes use 1 everywhere; weighted processes draw from a
+/// ball_weighting (core/alloc_model.hpp).  64-bit: a run's total weight
+/// (balls x weight) blows through 32 bits almost immediately, so all
+/// total-load accounting is int64 by type -- the overflow audit the
+/// weighted model forced.
+using weight_t = std::int64_t;
+
+/// Absolute (integer) load of a bin: the accumulated weight of the balls
+/// it holds.  Deliberately 32-bit -- the load vector and the stale
+/// snapshots are the hot random-access structures (2 reads + 1 write per
+/// ball), and widening them measurably slows the paper-scale fused loops.
+/// The weighted path guards every deposit against per-bin overflow
+/// instead (load_state::allocate(i, w)); totals live in weight_t.
 using load_t = std::int32_t;
 
 /// Number of balls / steps.  m can reach 10^8 at paper scale (n=1e5, m=1000n).
@@ -26,11 +44,29 @@ using bin_count = std::uint32_t;
 
 /// Ceiling on the number of balls in one run, derived from the load
 /// representation: per-bin loads are load_t (32-bit signed), and even the
-/// degenerate run that lands every ball in a single bin must not overflow
-/// one.  Kept a round 2*10^9 (just under the 2147483647 type limit) so CLI
-/// bounds and error messages stay human-readable.
+/// degenerate unit-weight run that lands every ball in a single bin must
+/// not overflow one.  Kept a round 2*10^9 (just under the 2147483647 type
+/// limit) so CLI bounds and error messages stay human-readable.
 inline constexpr step_count max_run_balls = 2'000'000'000;
 static_assert(max_run_balls <= static_cast<step_count>(std::numeric_limits<load_t>::max()),
               "a run at the ceiling must fit the per-bin load type");
+
+/// Ceiling on a single ball's weight (2^24).  Large enough for heavy-
+/// tailed job-size models with orders-of-magnitude spread, small enough
+/// that the guarded weighted deposit -- not this constant -- is what
+/// decides when a bin would overflow its 32-bit load.
+inline constexpr weight_t max_ball_weight = weight_t{1} << 24;
+
+/// Ceiling on the accumulated total weight of one run.  Half the int64
+/// range: average-load and gap arithmetic on totals stays overflow-free.
+/// With 32-bit per-bin loads the per-bin guard almost always binds first;
+/// this one exists so the int64 accumulator itself can never silently
+/// wrap, no matter the bin count.
+inline constexpr weight_t max_total_weight = std::numeric_limits<weight_t>::max() / 2;
+
+static_assert(max_run_balls <= max_total_weight,
+              "a unit-weight run at the ball ceiling must fit the weight ceiling");
+static_assert(max_ball_weight < std::numeric_limits<load_t>::max(),
+              "one maximal ball must fit a bin");
 
 }  // namespace nb

@@ -1,0 +1,269 @@
+#include "core/alloc_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nb {
+
+// ---------------------------------------------------------------------------
+// ball_weighting.
+
+ball_weighting ball_weighting::fixed(weight_t w) {
+  NB_REQUIRE(w >= 1 && w <= max_ball_weight, "fixed ball weight must be in [1, max_ball_weight]");
+  ball_weighting out;
+  out.kind_ = kind::fixed;
+  out.a_ = w;
+  out.b_ = w;
+  return out;
+}
+
+ball_weighting ball_weighting::two_point(weight_t lo, weight_t hi, double p_hi) {
+  NB_REQUIRE(lo >= 1 && hi >= lo && hi <= max_ball_weight,
+             "two-point weights must satisfy 1 <= lo <= hi <= max_ball_weight");
+  NB_REQUIRE(p_hi >= 0.0 && p_hi <= 1.0, "two-point p_hi must be in [0, 1]");
+  ball_weighting out;
+  out.kind_ = kind::two_point;
+  out.a_ = lo;
+  out.b_ = hi;
+  out.p_ = p_hi;
+  return out;
+}
+
+ball_weighting ball_weighting::pareto(double alpha, weight_t cap) {
+  NB_REQUIRE(alpha > 0.0, "pareto tail index alpha must be positive");
+  NB_REQUIRE(cap >= 1 && cap <= max_ball_weight, "pareto cap must be in [1, max_ball_weight]");
+  ball_weighting out;
+  out.kind_ = kind::pareto;
+  out.a_ = 1;
+  out.b_ = cap;
+  out.p_ = alpha;
+  return out;
+}
+
+namespace {
+std::string trim_number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+}  // namespace
+
+std::string ball_weighting::label() const {
+  switch (kind_) {
+    case kind::unit:
+      return "unit";
+    case kind::fixed:
+      return "fixed[w=" + std::to_string(a_) + "]";
+    case kind::two_point:
+      return "two-point[" + std::to_string(a_) + "," + std::to_string(b_) +
+             ",p=" + trim_number(p_) + "]";
+    case kind::pareto:
+      return "pareto[a=" + trim_number(p_) + ",cap=" + std::to_string(b_) + "]";
+  }
+  return "unit";
+}
+
+// ---------------------------------------------------------------------------
+// alias_table (Vose's method).
+
+alias_table::alias_table(const std::vector<double>& weights) {
+  NB_REQUIRE(!weights.empty(), "alias table needs at least one bin");
+  double sum = 0.0;
+  for (const double w : weights) {
+    NB_REQUIRE(w >= 0.0 && std::isfinite(w), "alias weights must be finite and non-negative");
+    sum += w;
+  }
+  NB_REQUIRE(sum > 0.0, "alias weights must not all be zero");
+
+  const std::size_t n = weights.size();
+  n_ = n;
+  thresh_.assign(n, 0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities p_i * n; slots with s < 1 donate capacity to
+  // slots with s > 1.  Worklists are filled in index order and drained
+  // back-to-front, so the construction is fully deterministic.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] / sum * static_cast<double>(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // keep-probability -> 64-bit fixed point.  p == 1 saturates to the max
+  // representable threshold with alias == slot, so the (2^-64-probability)
+  // "miss" still lands on the same bin -- the realized law is exact.
+  const auto to_fixed = [](double keep) -> std::uint64_t {
+    if (keep >= 1.0) return UINT64_MAX;
+    if (keep <= 0.0) return 0;
+    return static_cast<std::uint64_t>(keep * 0x1.0p64);
+  };
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    thresh_[s] = to_fixed(scaled[s]);
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers (floating-point slack) keep their own slot with certainty.
+  for (const std::uint32_t i : small) {
+    thresh_[i] = UINT64_MAX;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : large) {
+    thresh_[i] = UINT64_MAX;
+    alias_[i] = i;
+  }
+}
+
+std::vector<double> alias_table::probabilities() const {
+  std::vector<double> p(n_, 0.0);
+  const double slot_mass = n_ == 0 ? 0.0 : 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double keep = thresh_[i] == UINT64_MAX
+                            ? 1.0
+                            : static_cast<double>(thresh_[i]) * 0x1.0p-64;
+    p[i] += slot_mass * keep;
+    p[alias_[i]] += slot_mass * (1.0 - keep);
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// bin_sampler.
+
+bin_sampler bin_sampler::alias(const std::vector<double>& weights, std::string label) {
+  bin_sampler out;
+  out.table_ = alias_table(weights);
+  out.label_ = std::move(label);
+  return out;
+}
+
+void check_model(const alloc_model& model, bin_count n) {
+  NB_REQUIRE(model.sampler.is_uniform() || model.sampler.bins() == n,
+             "bin sampler was built for " + std::to_string(model.sampler.bins()) +
+                 " bins but the process has " + std::to_string(n));
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing.
+
+namespace {
+
+/// Splits "name:args" and returns args split on ','.
+struct parsed_spec {
+  std::string name;
+  std::vector<std::string> args;
+};
+
+parsed_spec split_spec(const std::string& spec) {
+  parsed_spec out;
+  const auto colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (colon == std::string::npos) return out;
+  std::string rest = spec.substr(colon + 1);
+  std::size_t start = 0;
+  while (start <= rest.size()) {
+    const auto comma = rest.find(',', start);
+    if (comma == std::string::npos) {
+      out.args.push_back(rest.substr(start));
+      break;
+    }
+    out.args.push_back(rest.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    NB_REQUIRE(used == s.size(), "trailing characters in " + what + " '" + s + "'");
+    return v;
+  } catch (const contract_error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw contract_error("cannot parse " + what + " '" + s + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& s, const std::string& what) {
+  const double v = parse_double(s, what);
+  NB_REQUIRE(v == std::floor(v) && std::abs(v) < 0x1.0p62, what + " must be an integer");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+ball_weighting make_weighting(const std::string& spec) {
+  const parsed_spec p = split_spec(spec);
+  if (p.name == "unit") {
+    NB_REQUIRE(p.args.empty(), "'unit' takes no arguments");
+    return ball_weighting::unit();
+  }
+  if (p.name == "fixed") {
+    NB_REQUIRE(p.args.size() == 1, "expected fixed:<w>");
+    return ball_weighting::fixed(parse_int(p.args[0], "fixed weight"));
+  }
+  if (p.name == "two-point") {
+    NB_REQUIRE(p.args.size() == 3, "expected two-point:<lo>,<hi>,<p>");
+    return ball_weighting::two_point(parse_int(p.args[0], "two-point lo"),
+                                     parse_int(p.args[1], "two-point hi"),
+                                     parse_double(p.args[2], "two-point p"));
+  }
+  if (p.name == "pareto") {
+    NB_REQUIRE(p.args.size() == 1 || p.args.size() == 2,
+               "expected pareto:<alpha> or pareto:<alpha>,<cap>");
+    const double alpha = parse_double(p.args[0], "pareto alpha");
+    const weight_t cap =
+        p.args.size() == 2 ? parse_int(p.args[1], "pareto cap") : (weight_t{1} << 20);
+    return ball_weighting::pareto(alpha, cap);
+  }
+  throw contract_error("unknown weighting spec '" + spec +
+                       "' (unit | fixed:<w> | two-point:<lo>,<hi>,<p> | pareto:<alpha>[,<cap>])");
+}
+
+bin_sampler make_sampler(const std::string& spec, bin_count n) {
+  NB_REQUIRE(n >= 1, "sampler needs at least one bin");
+  const parsed_spec p = split_spec(spec);
+  if (p.name == "uniform") {
+    NB_REQUIRE(p.args.empty(), "'uniform' takes no arguments");
+    return bin_sampler::uniform();
+  }
+  if (p.name == "zipf") {
+    NB_REQUIRE(p.args.size() == 1, "expected zipf:<s>");
+    const double s = parse_double(p.args[0], "zipf exponent");
+    NB_REQUIRE(s >= 0.0, "zipf exponent must be non-negative");
+    std::vector<double> w(n);
+    for (bin_count i = 0; i < n; ++i) w[i] = std::pow(static_cast<double>(i) + 1.0, -s);
+    return bin_sampler::alias(w, spec);
+  }
+  if (p.name == "hot") {
+    NB_REQUIRE(p.args.size() == 2, "expected hot:<k>,<f>");
+    const std::int64_t k = parse_int(p.args[0], "hot bin count");
+    const double f = parse_double(p.args[1], "hot probability mass");
+    NB_REQUIRE(k >= 1 && k < static_cast<std::int64_t>(n),
+               "hot bin count must be in [1, n)");
+    NB_REQUIRE(f > 0.0 && f < 1.0, "hot mass must be in (0, 1)");
+    std::vector<double> w(n, (1.0 - f) / static_cast<double>(n - k));
+    for (std::int64_t i = 0; i < k; ++i) w[static_cast<std::size_t>(i)] = f / static_cast<double>(k);
+    return bin_sampler::alias(w, spec);
+  }
+  throw contract_error("unknown sampler spec '" + spec +
+                       "' (uniform | zipf:<s> | hot:<k>,<f>)");
+}
+
+alloc_model make_model(const std::string& weighting_spec, const std::string& sampler_spec,
+                       bin_count n) {
+  return alloc_model{make_weighting(weighting_spec), make_sampler(sampler_spec, n)};
+}
+
+}  // namespace nb

@@ -9,6 +9,11 @@
 //   * d-Choice       -- least loaded of d samples [ABKU99/BCSV06].
 //   * (1+beta)       -- Two-Choice step with probability beta, One-Choice
 //                       step otherwise [PTW15].
+//
+// Every process carries an alloc_model (weighted balls + non-uniform bin
+// sampling, default unit/uniform); see the contract note in process.hpp.
+// Bin samples go through the model's sampler, deposits through deposit();
+// the default model reproduces the historical streams bit for bit.
 #pragma once
 
 #include <string>
@@ -21,21 +26,34 @@ class one_choice {
  public:
   explicit one_choice(bin_count n) : state_(n) {}
 
-  void step(rng_t& rng) { state_.allocate(sample_bin(rng, state_.n())); }
+  void step(rng_t& rng) { step_one(rng, state_.n()); }
 
   /// Fused bulk loop: n hoisted out of the per-ball path.
   void step_many(rng_t& rng, step_count count) {
     const bin_count n = state_.n();
     const load_state::bulk_window window(state_, count);
-    for (step_count t = 0; t < count; ++t) state_.allocate(sample_bin(rng, n));
+    for (step_count t = 0; t < count; ++t) step_one(rng, n);
   }
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return "one-choice"; }
+  [[nodiscard]] std::string name() const {
+    return with_model_suffix("one-choice", model_);
+  }
+
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
  private:
+  void step_one(rng_t& rng, bin_count n) {
+    deposit(state_, model_.weighting, model_.sampler.sample(rng, n), rng);
+  }
+
   load_state state_;
+  alloc_model model_;
 };
 
 class two_choice {
@@ -53,12 +71,20 @@ class two_choice {
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return "two-choice"; }
+  [[nodiscard]] std::string name() const {
+    return with_model_suffix("two-choice", model_);
+  }
+
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     bin_index chosen;
@@ -69,10 +95,11 @@ class two_choice {
     } else {
       chosen = coin_flip(rng) ? i1 : i2;
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
   }
 
   load_state state_;
+  alloc_model model_;
 };
 
 /// Least loaded of d independent uniform samples (with replacement); ties
@@ -94,16 +121,25 @@ class d_choice {
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return std::to_string(d_) + "-choice"; }
+  [[nodiscard]] std::string name() const {
+    const std::string base = std::to_string(d_) + "-choice";
+    return with_model_suffix(base, model_);
+  }
   [[nodiscard]] int d() const noexcept { return d_; }
+
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
  private:
   void step_one(rng_t& rng, bin_count n) {
-    bin_index best = sample_bin(rng, n);
+    bin_index best = model_.sampler.sample(rng, n);
     load_t best_load = state_.load(best);
     std::uint64_t tie_count = 1;
     for (int k = 1; k < d_; ++k) {
-      const bin_index candidate = sample_bin(rng, n);
+      const bin_index candidate = model_.sampler.sample(rng, n);
       const load_t candidate_load = state_.load(candidate);
       if (candidate_load < best_load) {
         best = candidate;
@@ -114,10 +150,11 @@ class d_choice {
         if (bounded(rng, tie_count) == 0) best = candidate;
       }
     }
-    state_.allocate(best);
+    deposit(state_, model_.weighting, best, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   int d_;
 };
 
@@ -139,17 +176,26 @@ class one_plus_beta {
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return "(1+beta)[" + std::to_string(beta_) + "]"; }
+  [[nodiscard]] std::string name() const {
+    const std::string base = "(1+beta)[" + std::to_string(beta_) + "]";
+    return with_model_suffix(base, model_);
+  }
   [[nodiscard]] double beta() const noexcept { return beta_; }
+
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
     if (!bernoulli(rng, beta_)) {
-      state_.allocate(i1);  // One-Choice step
+      deposit(state_, model_.weighting, i1, rng);  // One-Choice step
       return;
     }
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     bin_index chosen;
@@ -160,10 +206,11 @@ class one_plus_beta {
     } else {
       chosen = coin_flip(rng) ? i1 : i2;
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   double beta_;
 };
 
@@ -171,5 +218,9 @@ static_assert(allocation_process<one_choice>);
 static_assert(allocation_process<two_choice>);
 static_assert(allocation_process<d_choice>);
 static_assert(allocation_process<one_plus_beta>);
+static_assert(modeled_process<one_choice>);
+static_assert(modeled_process<two_choice>);
+static_assert(modeled_process<d_choice>);
+static_assert(modeled_process<one_plus_beta>);
 
 }  // namespace nb

@@ -54,6 +54,42 @@ void run_impl(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t
   }
 }
 
+kernel_detail::fill_alias_fn pick_fill_alias(kernel_isa resolved) noexcept {
+  switch (resolved) {
+#if defined(__x86_64__) || defined(__i386__)
+    case kernel_isa::sse2:
+      return kernel_detail::fill_alias_sse2;
+    case kernel_isa::avx2:
+      return kernel_detail::fill_alias_avx2;
+#endif
+    default:
+      return kernel_detail::fill_alias_scalar;
+  }
+}
+
+template <typename Row>
+void run_alias_impl(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                    const std::uint64_t* thresh, const bin_index* alias, Row* row,
+                    step_count balls, std::uint64_t seed) {
+  NB_REQUIRE(lanes >= 1 && lanes <= kernel_max_lanes, "kernel lanes must be in [1, 64]");
+  NB_REQUIRE(n >= 1, "kernel needs at least one bin");
+  NB_ASSERT(balls >= 0 && snap != nullptr && thresh != nullptr && alias != nullptr &&
+            row != nullptr);
+  const kernel_detail::fill_alias_fn fill = pick_fill_alias(resolve_kernel_isa(isa));
+  kernel_detail::lane_soa state;
+  state.init(lanes, seed);
+  const std::uint64_t threshold = kernel_detail::lemire_threshold(n);
+  const std::size_t block = (kBlockBalls / lanes) * lanes;
+  alignas(64) std::uint32_t chosen[kBlockBalls];
+  while (balls > 0) {
+    const std::size_t count =
+        balls < static_cast<step_count>(block) ? static_cast<std::size_t>(balls) : block;
+    fill(state, n, threshold, snap, thresh, alias, chosen, count);
+    for (std::size_t i = 0; i < count; ++i) ++row[chosen[i]];
+    balls -= static_cast<step_count>(count);
+  }
+}
+
 }  // namespace
 
 kernel_isa detect_kernel_isa() noexcept {
@@ -124,6 +160,18 @@ void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8
 void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
                 std::uint32_t* row, step_count balls, std::uint64_t seed) {
   run_impl(isa, lanes, n, snap, row, balls, seed);
+}
+
+void kernel_run_alias(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                      const std::uint64_t* thresh, const bin_index* alias, std::uint16_t* row,
+                      step_count balls, std::uint64_t seed) {
+  run_alias_impl(isa, lanes, n, snap, thresh, alias, row, balls, seed);
+}
+
+void kernel_run_alias(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                      const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* row,
+                      step_count balls, std::uint64_t seed) {
+  run_alias_impl(isa, lanes, n, snap, thresh, alias, row, balls, seed);
 }
 
 }  // namespace nb

@@ -80,4 +80,21 @@ void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8
 void kernel_run(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
                 std::uint32_t* row, step_count balls, std::uint64_t seed);
 
+/// Alias-sampled variant (non-uniform bin probabilities): each of a ball's
+/// two bin indices is one alias draw -- a Lemire-bounded slot over [n)
+/// followed by one raw u64 tested against the slot's 64-bit fixed-point
+/// keep-threshold (`thresh[slot]`, else `alias[slot]`; both arrays live in
+/// an nb::alias_table).  The decision over the snapshot is unchanged.
+/// Same hard contract as kernel_run with the table joining the pure-
+/// function inputs: counts depend only on (lanes, n, snap, thresh, alias,
+/// balls, seed); backends are bit-identical (AVX2 gathers the tables and
+/// the snapshot; SSE2 vectorizes the draw generation and picks scalar --
+/// table lookups without hardware gathers don't pay).
+void kernel_run_alias(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                      const std::uint64_t* thresh, const bin_index* alias, std::uint16_t* row,
+                      step_count balls, std::uint64_t seed);
+void kernel_run_alias(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t* snap,
+                      const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* row,
+                      step_count balls, std::uint64_t seed);
+
 }  // namespace nb

@@ -109,4 +109,70 @@ void fill_avx2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::ui
                std::uint32_t* chosen, std::size_t balls);
 #endif
 
+// ---------------------------------------------------------------------------
+// Alias-sampled lane path (non-uniform bin probabilities).
+//
+// Same lane contract as the uniform path, but each bin index is one alias
+// draw instead of one Lemire draw.  Per ball, lane l consumes, in order:
+//
+//   1. one-or-more raw u64 draws for alias slot s1 (Lemire over [n)),
+//   2. exactly one raw u64 u1; bin i1 = u1 < thresh[s1] ? s1 : alias[s1],
+//   3. the same two-draw pattern for i2,
+//   4. exactly one raw u64 c for the tie bit.
+//
+// The decision over the snapshot is unchanged (canonical min rule).  The
+// scalar pieces below define the order; vector backends bulk-generate the
+// five draws and fall back to the queue replay for rejections, remainder
+// lanes and partial rounds, exactly like the uniform path.
+
+/// One alias pick: keep the slot iff u clears its 64-bit fixed-point
+/// threshold, else take its alias (the exact expression every backend and
+/// the serial alias_table::sample share).
+[[nodiscard]] inline std::uint32_t alias_pick(const std::uint64_t* thresh,
+                                              const bin_index* alias, std::uint32_t slot,
+                                              std::uint64_t u) noexcept {
+  return u < thresh[slot] ? slot : alias[slot];
+}
+
+/// One alias-sampled ball of lane l, decided scalar; `queue` semantics as
+/// in replay_ball (an accept-first queue of {s1, u1, s2, u2, c} consumes
+/// exactly the five queued values -- the vector fast path -- and spills to
+/// the lane's live stream on rejection).
+[[nodiscard]] inline std::uint32_t replay_ball_alias(
+    lane_soa& st, std::size_t l, std::uint64_t bound, std::uint64_t threshold,
+    const std::uint8_t* snap, const std::uint64_t* thresh, const bin_index* alias,
+    const std::uint64_t* queue, int queued) noexcept {
+  int qi = 0;
+  const auto draw = [&]() noexcept { return qi < queued ? queue[qi++] : st.next(l); };
+  const auto draw_bounded = [&]() noexcept {
+    for (;;) {
+      const std::uint64_t x = draw();
+      const auto m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      if (static_cast<std::uint64_t>(m) >= threshold) return static_cast<std::uint32_t>(m >> 64);
+    }
+  };
+  const std::uint32_t s1 = draw_bounded();
+  const std::uint32_t i1 = alias_pick(thresh, alias, s1, draw());
+  const std::uint32_t s2 = draw_bounded();
+  const std::uint32_t i2 = alias_pick(thresh, alias, s2, draw());
+  const std::uint64_t c = draw();
+  return decide(snap[i1], snap[i2], c, i1, i2);
+}
+
+using fill_alias_fn = void (*)(lane_soa& st, bin_count n, std::uint64_t threshold,
+                               const std::uint8_t* snap, const std::uint64_t* thresh,
+                               const bin_index* alias, std::uint32_t* chosen, std::size_t balls);
+
+void fill_alias_scalar(lane_soa& st, bin_count n, std::uint64_t threshold,
+                       const std::uint8_t* snap, const std::uint64_t* thresh,
+                       const bin_index* alias, std::uint32_t* chosen, std::size_t balls);
+#if defined(__x86_64__) || defined(__i386__)
+void fill_alias_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+                     const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* chosen,
+                     std::size_t balls);
+void fill_alias_avx2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+                     const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* chosen,
+                     std::size_t balls);
+#endif
+
 }  // namespace nb::kernel_detail

@@ -23,4 +23,20 @@ void fill_scalar(lane_soa& st, bin_count n, std::uint64_t threshold, const std::
   }
 }
 
+void fill_alias_scalar(lane_soa& st, bin_count n, std::uint64_t threshold,
+                       const std::uint8_t* snap, const std::uint64_t* thresh,
+                       const bin_index* alias, std::uint32_t* chosen, std::size_t balls) {
+  const std::size_t lanes = st.lanes;
+  const auto bound = static_cast<std::uint64_t>(n);
+  std::size_t t = 0;
+  while (t + lanes <= balls) {
+    for (std::size_t l = 0; l < lanes; ++l, ++t) {
+      chosen[t] = replay_ball_alias(st, l, bound, threshold, snap, thresh, alias, nullptr, 0);
+    }
+  }
+  for (std::size_t l = 0; t < balls; ++l, ++t) {
+    chosen[t] = replay_ball_alias(st, l, bound, threshold, snap, thresh, alias, nullptr, 0);
+  }
+}
+
 }  // namespace nb::kernel_detail

@@ -114,11 +114,103 @@ NB_TGT_SSE2 void fill_sse2_impl(lane_soa& st, bin_count n, std::uint64_t thresho
   }
 }
 
+/// Alias-sampled fill: vectorizes what pays on SSE2 -- the five xoshiro
+/// steps per 2-lane group and the Lemire multiply-shift for both slots --
+/// and does the alias/threshold/snapshot lookups scalar (no hardware
+/// gathers; the scalar picks share alias_pick/decide with every backend,
+/// so results stay bit-identical).  Rejections and remainder lanes take
+/// the queue-replay path exactly like the uniform fill.
+NB_TGT_SSE2 void fill_alias_sse2_impl(lane_soa& st, bin_count n, std::uint64_t threshold,
+                                      const std::uint8_t* snap, const std::uint64_t* thresh,
+                                      const bin_index* alias, std::uint32_t* chosen,
+                                      std::size_t balls) {
+  const std::size_t lanes = st.lanes;
+  const std::size_t vec_lanes = lanes - lanes % 2;
+  const auto bound64 = static_cast<std::uint64_t>(n);
+  const __m128i bound = _mm_set1_epi64x(static_cast<long long>(bound64));
+  const __m128i zero = _mm_setzero_si128();
+
+  std::size_t t = 0;
+  while (t + lanes <= balls) {
+    for (std::size_t lane0 = 0; lane0 < vec_lanes; lane0 += 2) {
+      __m128i s0 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s0.data() + lane0));
+      __m128i s1 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s1.data() + lane0));
+      __m128i s2 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s2.data() + lane0));
+      __m128i s3 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s3.data() + lane0));
+      const __m128i a = xo_step(s0, s1, s2, s3);   // slot 1
+      const __m128i u1 = xo_step(s0, s1, s2, s3);  // keep/alias test 1
+      const __m128i b = xo_step(s0, s1, s2, s3);   // slot 2
+      const __m128i u2 = xo_step(s0, s1, s2, s3);  // keep/alias test 2
+      const __m128i c = xo_step(s0, s1, s2, s3);   // tie bit
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s0.data() + lane0), s0);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s1.data() + lane0), s1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s2.data() + lane0), s2);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s3.data() + lane0), s3);
+
+      __m128i sl1;
+      __m128i sl2;
+      __m128i low_a;
+      __m128i low_b;
+      lemire2(a, bound, sl1, low_a);
+      lemire2(b, bound, sl2, low_b);
+
+      alignas(16) std::uint64_t qa[2];
+      alignas(16) std::uint64_t qu1[2];
+      alignas(16) std::uint64_t qb[2];
+      alignas(16) std::uint64_t qu2[2];
+      alignas(16) std::uint64_t qc[2];
+      _mm_store_si128(reinterpret_cast<__m128i*>(qa), a);
+      _mm_store_si128(reinterpret_cast<__m128i*>(qu1), u1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(qb), b);
+      _mm_store_si128(reinterpret_cast<__m128i*>(qu2), u2);
+      _mm_store_si128(reinterpret_cast<__m128i*>(qc), c);
+
+      // Coarse rejection test, same reasoning as the uniform fill.
+      const __m128i hz =
+          _mm_or_si128(_mm_cmpeq_epi32(low_a, zero), _mm_cmpeq_epi32(low_b, zero));
+      const auto reject = static_cast<std::uint32_t>(_mm_movemask_epi8(hz)) & 0xF0F0u;
+      if (reject != 0) [[unlikely]] {
+        for (std::size_t l = 0; l < 2; ++l) {
+          const std::uint64_t queue[5] = {qa[l], qu1[l], qb[l], qu2[l], qc[l]};
+          chosen[t + lane0 + l] =
+              replay_ball_alias(st, lane0 + l, bound64, threshold, snap, thresh, alias, queue, 5);
+        }
+        continue;
+      }
+
+      alignas(16) std::uint64_t slot1[2];
+      alignas(16) std::uint64_t slot2[2];
+      _mm_store_si128(reinterpret_cast<__m128i*>(slot1), sl1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(slot2), sl2);
+      for (std::size_t l = 0; l < 2; ++l) {
+        const std::uint32_t i1 =
+            alias_pick(thresh, alias, static_cast<std::uint32_t>(slot1[l]), qu1[l]);
+        const std::uint32_t i2 =
+            alias_pick(thresh, alias, static_cast<std::uint32_t>(slot2[l]), qu2[l]);
+        chosen[t + lane0 + l] = decide(snap[i1], snap[i2], qc[l], i1, i2);
+      }
+    }
+    for (std::size_t l = vec_lanes; l < lanes; ++l) {
+      chosen[t + l] = replay_ball_alias(st, l, bound64, threshold, snap, thresh, alias, nullptr, 0);
+    }
+    t += lanes;
+  }
+  for (std::size_t l = 0; t < balls; ++l, ++t) {
+    chosen[t] = replay_ball_alias(st, l, bound64, threshold, snap, thresh, alias, nullptr, 0);
+  }
+}
+
 }  // namespace
 
 void fill_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
                std::uint32_t* chosen, std::size_t balls) {
   fill_sse2_impl(st, n, threshold, snap, chosen, balls);
+}
+
+void fill_alias_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+                     const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* chosen,
+                     std::size_t balls) {
+  fill_alias_sse2_impl(st, n, threshold, snap, thresh, alias, chosen, balls);
 }
 
 }  // namespace nb::kernel_detail

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 
 namespace nb {
 
@@ -15,6 +17,8 @@ void load_state::reset() {
   std::fill(loads_.begin(), loads_.end(), 0);
   levels_.reset(n());
   balls_ = 0;
+  extra_weight_ = 0;
+  levels_ok_ = true;
 }
 
 bool compact_snapshot::assign(const std::vector<load_t>& loads) {
@@ -61,17 +65,42 @@ void shard_deltas::sum_rows(std::vector<std::uint32_t>& out) const {
   sum_rows(out, 0, n_);
 }
 
-void load_state::apply_increments(const std::vector<std::uint32_t>& add) {
+void load_state::apply_increments(const std::vector<std::uint32_t>& add,
+                                  weight_t weight_per_ball) {
   NB_ASSERT(!bulk_);
   NB_REQUIRE(add.size() == loads_.size(), "increment vector must have one entry per bin");
+  NB_REQUIRE(weight_per_ball >= 1 && weight_per_ball <= max_ball_weight,
+             "per-ball weight must be in [1, max_ball_weight]");
   step_count total = 0;
-  for (std::size_t i = 0; i < loads_.size(); ++i) {
-    loads_[i] += static_cast<load_t>(add[i]);
-    total += add[i];
+  for (const std::uint32_t a : add) total += a;
+  // Same int64-overflow audit as the weighted allocate(), phrased as a
+  // division so the bound itself cannot overflow (total * weight_per_ball
+  // may exceed int64 at the ceilings' corner).
+  NB_REQUIRE(total <= (max_total_weight - total_weight()) / weight_per_ball,
+             "window would overflow the total-weight accumulator (max_total_weight)");
+  if (weight_per_ball == 1) {
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+      loads_[i] += static_cast<load_t>(add[i]);
+    }
+  } else {
+    // Validate every bin BEFORE mutating any (strong exception safety,
+    // like allocate(i, w)): a mid-loop throw must not leave a prefix of
+    // bins inflated while balls_/levels_ still reflect the old state.
+    constexpr auto bin_cap = static_cast<weight_t>(std::numeric_limits<load_t>::max());
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+      NB_REQUIRE(static_cast<weight_t>(loads_[i]) +
+                         static_cast<weight_t>(add[i]) * weight_per_ball <=
+                     bin_cap,
+                 "window would overflow a bin's 32-bit load");
+    }
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+      loads_[i] += static_cast<load_t>(static_cast<weight_t>(add[i]) * weight_per_ball);
+    }
   }
   balls_ += total;
+  extra_weight_ += total * (weight_per_ball - 1);
   NB_ASSERT(balls_ <= max_run_balls);
-  levels_.rebuild(loads_);
+  levels_ok_ = levels_.rebuild(loads_);
 }
 
 std::vector<double> load_state::normalized() const {
@@ -87,9 +116,16 @@ std::vector<double> load_state::sorted_normalized_desc() const {
   const double avg = average_load();
   std::vector<double> y;
   y.reserve(loads_.size());
-  levels_.for_each_level_desc([&](load_t level, bin_count count) {
-    y.insert(y.end(), count, static_cast<double>(level) - avg);
-  });
+  if (levels_ok_) {
+    levels_.for_each_level_desc([&](load_t level, bin_count count) {
+      y.insert(y.end(), count, static_cast<double>(level) - avg);
+    });
+  } else {
+    // Wide-span weighted regime: the dense level index gave up; one
+    // explicit sort keeps the query exact.
+    for (const load_t x : loads_) y.push_back(static_cast<double>(x) - avg);
+    std::sort(y.begin(), y.end(), std::greater<>());
+  }
   return y;
 }
 
@@ -97,7 +133,10 @@ bin_count load_state::overloaded_count() const noexcept {
   // x >= avg over integer loads is exactly x >= ceil(avg): count levels in
   // the index instead of scanning all n bins.
   const auto threshold = static_cast<load_t>(std::ceil(average_load()));
-  return levels_.count_at_or_above(threshold);
+  if (levels_ok_) return levels_.count_at_or_above(threshold);
+  bin_count over = 0;
+  for (const load_t x : loads_) over += x >= threshold ? 1 : 0;
+  return over;
 }
 
 }  // namespace nb

@@ -4,16 +4,30 @@
 // x^t = (x^t_1 .. x^t_n); the normalized load is y^t_i = x^t_i - t/n sorted
 // non-increasingly, and Gap(t) = max_i x^t_i - t/n = y^t_1.
 //
+// Generalized model (PR 5): a ball may deposit an integer *weight* w >= 1
+// instead of 1, so levels are weight-based -- level L holds the bins whose
+// accumulated weight is exactly L -- and "average load" means total weight
+// over n.  Per-bin loads stay 32-bit (they are the hot random-access
+// structures; the weighted deposit guards them against overflow), while
+// every total accumulates in 64-bit weight_t.  The unit-weight
+// configuration keeps every historical identity (level == ball count,
+// total weight == balls) bit for bit.
+//
 // The hot loop only ever calls allocate().  A level-compressed companion
 // index (`level_index`) counts how many bins sit at each load level and is
 // maintained incrementally, so min/max load are O(1) and the sorted
 // normalized vector / overloaded-bin count are O(span) resp. O(n) with no
 // sorting, where span = max - min load (O(log n) for every process the
-// paper studies).  Observation points therefore never pay an O(n log n)
-// sort.
+// paper studies).  Weighted allocations can blow the span up (one
+// heavy-tailed draw may jump a bin thousands of levels); past
+// level_index::max_dense_span the dense index stops paying for itself and
+// load_state degrades those queries to explicit scans/sorts over the raw
+// loads -- exact, just no longer sort-free.  Unit-weight runs never come
+// near the cap, so the paper path keeps the O(1)/O(span) queries.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -22,18 +36,27 @@
 namespace nb {
 
 /// Level-compressed summary of a load vector: for each load level L in
-/// [min_level, max_level], how many bins currently hold exactly L balls.
+/// [min_level, max_level], how many bins currently hold weight exactly L.
 ///
 /// Invariants (checked by tests against from-scratch recomputation):
 ///   * sum of counts == n,
 ///   * count_at(min_level) > 0 and count_at(max_level) > 0,
-///   * levels only ever move up, one ball at a time (on_allocate).
+///   * levels only ever move up (one level per unit-weight allocation,
+///     w levels per weighted one).
 ///
 /// Storage is a dense window [base_, base_ + counts_.size()) of levels;
 /// empty levels below the minimum are trimmed amortized-O(1), so memory is
-/// O(max - min) rather than O(max).
+/// O(max - min) rather than O(max).  The dense window is capped at
+/// max_dense_span levels: a weighted jump or rebuild whose span would
+/// exceed the cap reports failure instead of allocating, and the owning
+/// load_state falls back to scan-based queries.
 class level_index {
  public:
+  /// Widest dense window the index will hold (4 MiB of counts).  Paper
+  /// processes have spans of O(log n); only heavy-tailed weighted runs can
+  /// cross this.
+  static constexpr load_t max_dense_span = load_t{1} << 20;
+
   level_index() = default;
 
   /// All n bins at level 0.
@@ -63,22 +86,51 @@ class level_index {
     }
   }
 
+  /// Weighted jump: a bin moves from level `old_load` to `old_load + w`.
+  /// Returns false -- leaving the index UNCHANGED and no longer
+  /// maintainable -- when the resulting span would exceed max_dense_span;
+  /// the caller must then stop incremental maintenance and fall back to
+  /// scans until a rebuild brings the span back under the cap.
+  [[nodiscard]] bool on_allocate(load_t old_load, weight_t w) {
+    NB_ASSERT(w >= 1);
+    const weight_t updated_wide = static_cast<weight_t>(old_load) + w;
+    if (updated_wide - static_cast<weight_t>(min_) > static_cast<weight_t>(max_dense_span)) {
+      return false;
+    }
+    const auto updated = static_cast<load_t>(updated_wide);
+    const auto idx = static_cast<std::size_t>(old_load - base_);
+    NB_ASSERT(idx < counts_.size() && counts_[idx] > 0);
+    const auto target = static_cast<std::size_t>(updated - base_);
+    if (target >= counts_.size()) counts_.resize(target + 1, 0);
+    --counts_[idx];
+    ++counts_[target];
+    if (updated > max_) max_ = updated;
+    if (old_load == min_ && counts_[idx] == 0) {
+      while (counts_[static_cast<std::size_t>(min_ - base_)] == 0) ++min_;
+      trim_front();
+    }
+    return true;
+  }
+
   /// From-scratch recomputation, used to reconcile after a bulk window in
   /// which per-allocation maintenance was deferred.  O(n + span); yields a
   /// state query-identical to incremental maintenance of the same loads.
-  void rebuild(const std::vector<load_t>& loads) {
+  /// Returns false (index unusable) when the span exceeds max_dense_span.
+  [[nodiscard]] bool rebuild(const std::vector<load_t>& loads) {
     load_t mn = loads.front();
     load_t mx = loads.front();
     for (const load_t x : loads) {
       if (x < mn) mn = x;
       if (x > mx) mx = x;
     }
+    if (mx - mn > max_dense_span) return false;
     base_ = mn;
     min_ = mn;
     max_ = mx;
     n_ = static_cast<bin_count>(loads.size());
     counts_.assign(static_cast<std::size_t>(mx - mn) + 1, 0);
     for (const load_t x : loads) ++counts_[static_cast<std::size_t>(x - mn)];
+    return true;
   }
 
   [[nodiscard]] load_t min_level() const noexcept { return min_; }
@@ -212,19 +264,42 @@ class load_state {
   void reset();
 
   [[nodiscard]] bin_count n() const noexcept { return static_cast<bin_count>(loads_.size()); }
+  /// Number of allocation events (balls placed), regardless of weight.
   [[nodiscard]] step_count balls() const noexcept { return balls_; }
+  /// Accumulated weight of all placed balls; == balls() for unit weights.
+  [[nodiscard]] weight_t total_weight() const noexcept { return balls_ + extra_weight_; }
   [[nodiscard]] load_t load(bin_index i) const noexcept { return loads_[i]; }
   [[nodiscard]] const std::vector<load_t>& loads() const noexcept { return loads_; }
 
-  /// Adds one ball to bin i.  Hot path: no bounds check beyond debug
-  /// assert.  Inside a bulk window the level index is not touched (one
-  /// well-predicted branch); outside it every allocation leaves the index
-  /// query-consistent.
+  /// Adds one unit-weight ball to bin i.  Hot path: no bounds check beyond
+  /// debug assert.  Inside a bulk window the level index is not touched
+  /// (one well-predicted branch); outside it every allocation leaves the
+  /// index query-consistent.
   void allocate(bin_index i) noexcept {
     NB_ASSERT(i < loads_.size());
     const load_t old_load = loads_[i]++;
-    if (!bulk_) levels_.on_allocate(old_load);
+    if (!bulk_ && levels_ok_) levels_.on_allocate(old_load);
     ++balls_;
+  }
+
+  /// Adds one ball of weight w to bin i.  Weighted path: guards the
+  /// 32-bit per-bin load AND the int64 total-weight accumulator against
+  /// overflow -- the regression surface once weights replace unit
+  /// increments -- and keeps the level index dense while the span allows
+  /// it, degrading to scan-based queries past level_index::max_dense_span.
+  void allocate(bin_index i, weight_t w) {
+    NB_ASSERT(i < loads_.size());
+    NB_REQUIRE(w >= 1 && w <= max_ball_weight, "ball weight must be in [1, max_ball_weight]");
+    NB_REQUIRE(static_cast<weight_t>(loads_[i]) + w <=
+                   static_cast<weight_t>(std::numeric_limits<load_t>::max()),
+               "deposit would overflow the bin's 32-bit load");
+    NB_REQUIRE(total_weight() <= max_total_weight - w,
+               "run would overflow the total-weight accumulator (max_total_weight)");
+    const load_t old_load = loads_[i];
+    loads_[i] += static_cast<load_t>(w);
+    if (!bulk_ && levels_ok_) levels_ok_ = levels_.on_allocate(old_load, w);
+    ++balls_;
+    extra_weight_ += w - 1;
   }
 
   /// RAII bulk window: while open, allocate() skips the per-ball level
@@ -252,44 +327,69 @@ class load_state {
     load_state* state_;
   };
 
-  /// Applies a merged parallel-window delta: loads_[i] += add[i] for every
-  /// bin and balls_ += sum(add), then rebuilds the level index once
-  /// (O(n + span)).  The resulting state is query-identical to having
-  /// allocated the same balls one at a time.  `add` must have size n; must
-  /// not be called inside a bulk window.
-  void apply_increments(const std::vector<std::uint32_t>& add);
+  /// Applies a merged parallel-window delta: loads_[i] += add[i] *
+  /// weight_per_ball for every bin and balls_ += sum(add), then rebuilds
+  /// the level index once (O(n + span)).  The resulting state is
+  /// query-identical to having allocated the same balls one at a time.
+  /// `add` must have size n; must not be called inside a bulk window.
+  /// weight_per_ball covers the deterministic weightings the frozen-window
+  /// engines support (unit and fixed); RNG-driven weights never reach this
+  /// path (the engines fall back to the serial fused loop).
+  void apply_increments(const std::vector<std::uint32_t>& add, weight_t weight_per_ball = 1);
 
-  /// O(1): tracked by the level index.
-  [[nodiscard]] load_t max_load() const noexcept { return levels_.max_level(); }
-  /// O(1): tracked by the level index (previously an O(n) scan).
-  [[nodiscard]] load_t min_load() const noexcept { return levels_.min_level(); }
-
-  /// The level-compressed load distribution (maintained incrementally).
-  [[nodiscard]] const level_index& levels() const noexcept { return levels_; }
-
-  [[nodiscard]] double average_load() const noexcept {
-    return static_cast<double>(balls_) / static_cast<double>(n());
+  /// O(1) while the level index is dense; O(n) scan in the wide-span
+  /// weighted regime.
+  [[nodiscard]] load_t max_load() const noexcept {
+    if (levels_ok_) return levels_.max_level();
+    load_t mx = loads_.front();
+    for (const load_t x : loads_) {
+      if (x > mx) mx = x;
+    }
+    return mx;
+  }
+  /// O(1) while the level index is dense; O(n) scan otherwise.
+  [[nodiscard]] load_t min_load() const noexcept {
+    if (levels_ok_) return levels_.min_level();
+    load_t mn = loads_.front();
+    for (const load_t x : loads_) {
+      if (x < mn) mn = x;
+    }
+    return mn;
   }
 
-  /// Gap(t) = max_i x^t_i - t/n.  Integer whenever n divides t.
+  /// The level-compressed load distribution.  Only meaningful while
+  /// levels_valid(); wide-span weighted runs must query the raw loads.
+  [[nodiscard]] const level_index& levels() const noexcept { return levels_; }
+
+  /// False once a weighted run's span outgrew level_index::max_dense_span
+  /// (queries silently switch to exact scans; this is the probe for it).
+  [[nodiscard]] bool levels_valid() const noexcept { return levels_ok_; }
+
+  [[nodiscard]] double average_load() const noexcept {
+    return static_cast<double>(total_weight()) / static_cast<double>(n());
+  }
+
+  /// Gap(t) = max_i x^t_i - W_t/n (W_t = total weight; == t for unit
+  /// weights, the paper's definition).  Integer whenever n divides W_t.
   [[nodiscard]] double gap() const noexcept {
     return static_cast<double>(max_load()) - average_load();
   }
 
-  /// "Underload gap": t/n - min_i x^t_i (used by the two-sided potentials).
+  /// "Underload gap": W_t/n - min_i x^t_i (used by the two-sided potentials).
   [[nodiscard]] double underload_gap() const noexcept {
     return average_load() - static_cast<double>(min_load());
   }
 
-  /// y_i = x_i - t/n in bin-index order (not sorted).
+  /// y_i = x_i - W_t/n in bin-index order (not sorted).
   [[nodiscard]] std::vector<double> normalized() const;
 
   /// y_1 >= y_2 >= ... >= y_n, the paper's sorted normalized load vector.
-  /// Emitted from the level index in O(n + span) -- no sort.
+  /// Emitted from the level index in O(n + span) -- no sort -- while the
+  /// index is dense; wide-span weighted runs pay one explicit sort.
   [[nodiscard]] std::vector<double> sorted_normalized_desc() const;
 
   /// Number of overloaded bins |B+| = |{i : y_i >= 0}|.  O(span) via the
-  /// level index (previously an O(n) scan).
+  /// level index while dense, O(n) scan otherwise.
   [[nodiscard]] bin_count overloaded_count() const noexcept;
 
  private:
@@ -299,13 +399,15 @@ class load_state {
   }
   void end_bulk() {
     bulk_ = false;
-    levels_.rebuild(loads_);
+    levels_ok_ = levels_.rebuild(loads_);
   }
 
   std::vector<load_t> loads_;
   level_index levels_;
   step_count balls_ = 0;
+  weight_t extra_weight_ = 0;  ///< total_weight() - balls(): 0 for unit runs
   bool bulk_ = false;
+  bool levels_ok_ = true;
 };
 
 }  // namespace nb

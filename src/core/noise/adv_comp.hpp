@@ -39,15 +39,22 @@ class g_adv_comp {
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
   [[nodiscard]] std::string name() const {
-    return std::string(Strategy::label) + "[g=" + std::to_string(g_) + "]";
+    const std::string base = std::string(Strategy::label) + "[g=" + std::to_string(g_) + "]";
+    return with_model_suffix(base, model_);
   }
   [[nodiscard]] load_t g() const noexcept { return g_; }
   [[nodiscard]] const Strategy& strategy() const noexcept { return strategy_; }
 
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     const load_t diff = x1 >= x2 ? x1 - x2 : x2 - x1;
@@ -58,10 +65,11 @@ class g_adv_comp {
     } else {
       chosen = (x1 < x2) ? i1 : i2;
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   load_t g_;
   Strategy strategy_;
 };
@@ -72,6 +80,7 @@ using g_myopic_comp = g_adv_comp<random_decision>;
 
 static_assert(allocation_process<g_bounded>);
 static_assert(allocation_process<g_myopic_comp>);
+static_assert(modeled_process<g_bounded>);
 static_assert(allocation_process<g_adv_comp<always_correct>>);
 static_assert(allocation_process<g_adv_comp<overload_booster>>);
 static_assert(allocation_process<g_adv_comp<index_bias>>);

@@ -70,14 +70,21 @@ class g_adv_load {
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
   [[nodiscard]] std::string name() const {
-    return std::string(EstimateStrategy::label) + "[g=" + std::to_string(g_) + "]";
+    const std::string base = std::string(EstimateStrategy::label) + "[g=" + std::to_string(g_) + "]";
+    return with_model_suffix(base, model_);
   }
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const double e1 = strategy_.estimate(i1, state_, g_, rng);
     const double e2 = strategy_.estimate(i2, state_, g_, rng);
     bin_index chosen;
@@ -88,10 +95,11 @@ class g_adv_load {
     } else {
       chosen = coin_flip(rng) ? i1 : i2;
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   load_t g_;
   EstimateStrategy strategy_;
 };
@@ -99,5 +107,6 @@ class g_adv_load {
 static_assert(allocation_process<g_adv_load<inverting_estimates>>);
 static_assert(allocation_process<g_adv_load<uniform_noise_estimates>>);
 static_assert(allocation_process<g_adv_load<truthful_estimates>>);
+static_assert(modeled_process<g_adv_load<inverting_estimates>>);
 
 }  // namespace nb

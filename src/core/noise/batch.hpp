@@ -54,8 +54,17 @@ class b_batch {
     touched_.clear();
   }
 
-  [[nodiscard]] std::string name() const { return "b-batch[b=" + std::to_string(b_) + "]"; }
+  [[nodiscard]] std::string name() const {
+    const std::string base = "b-batch[b=" + std::to_string(b_) + "]";
+    return with_model_suffix(base, model_);
+  }
   [[nodiscard]] step_count batch_size() const noexcept { return b_; }
+
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// The load of bin i as reported during the current batch (for tests).
   [[nodiscard]] load_t reported_load(bin_index i) const { return stale_[i]; }
@@ -95,10 +104,12 @@ class b_batch {
   /// against the current snapshot) and refreshes exactly like the serial
   /// path: at a batch boundary the touched bins are re-read from the true
   /// loads; mid-batch (a partial window) they are only recorded as touched
-  /// so a later boundary refresh covers them.
+  /// so a later boundary refresh covers them.  Each counted ball deposits
+  /// the model's (deterministic) weight; the engines never route random
+  /// weightings here.
   void commit_window(const std::vector<std::uint32_t>& inc, step_count balls) {
     NB_ASSERT(balls >= 1 && balls <= snapshot_window());
-    state_.apply_increments(inc);
+    state_.apply_increments(inc, model_.weighting.fixed_weight());
     const bin_count n = state_.n();
     if (state_.balls() % b_ == 0) {
       for (const bin_index i : touched_) stale_[i] = state_.load(i);
@@ -115,8 +126,8 @@ class b_batch {
 
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const load_t s1 = stale_[i1];
     const load_t s2 = stale_[i2];
     bin_index chosen;
@@ -127,7 +138,7 @@ class b_batch {
     } else {
       chosen = coin_flip(rng) ? i1 : i2;  // the paper specifies random ties
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
     touched_.push_back(chosen);
   }
 
@@ -137,6 +148,7 @@ class b_batch {
   }
 
   load_state state_;
+  alloc_model model_;
   step_count b_;
   std::vector<load_t> stale_;
   std::vector<bin_index> touched_;
@@ -144,5 +156,6 @@ class b_batch {
 
 static_assert(allocation_process<b_batch>);
 static_assert(window_parallel<b_batch>);
+static_assert(modeled_process<b_batch>);
 
 }  // namespace nb

@@ -78,14 +78,15 @@ class tau_delay {
         tau_(tau),
         strategy_(std::move(strategy)),
         window_(static_cast<std::size_t>(tau > 0 ? tau - 1 : 0)),
+        window_weights_(window_.size(), 1),
         in_window_(n, 0) {
     NB_REQUIRE(tau >= 1, "delay tau must be at least 1");
   }
 
   void step(rng_t& rng) {
     const bin_index chosen = decide_one(rng, state_.n());
-    state_.allocate(chosen);
-    push_allocation(chosen);
+    const weight_t w = deposit(state_, model_.weighting, chosen, rng);
+    push_allocation(chosen, w);
   }
 
   /// Fused bulk loop.  After the first tau-1 allocations the ring buffer
@@ -96,7 +97,9 @@ class tau_delay {
     const bin_count n = state_.n();
     const load_state::bulk_window window(state_, count);
     if (window_.empty()) {  // tau == 1: no hidden allocations to track
-      for (step_count t = 0; t < count; ++t) state_.allocate(decide_one(rng, n));
+      for (step_count t = 0; t < count; ++t) {
+        deposit(state_, model_.weighting, decide_one(rng, n), rng);
+      }
       return;
     }
     // Fill phase: at most tau-1 balls, per-step bookkeeping.
@@ -104,14 +107,17 @@ class tau_delay {
       step(rng);
       --count;
     }
-    // Steady state: the ring is full for the rest of the chunk.
+    // Steady state: the ring is full for the rest of the chunk.  The
+    // hidden-allocation accounting is weight-denominated: each ring entry
+    // evicts exactly the weight it deposited.
     const std::size_t wsize = window_.size();
     for (step_count t = 0; t < count; ++t) {
       const bin_index chosen = decide_one(rng, n);
-      state_.allocate(chosen);
-      in_window_[window_[window_pos_]] -= 1;
+      const weight_t w = deposit(state_, model_.weighting, chosen, rng);
+      in_window_[window_[window_pos_]] -= window_weights_[window_pos_];
       window_[window_pos_] = chosen;
-      in_window_[chosen] += 1;
+      window_weights_[window_pos_] = static_cast<load_t>(w);
+      in_window_[chosen] += static_cast<load_t>(w);
       if (++window_pos_ == wsize) window_pos_ = 0;
     }
   }
@@ -126,9 +132,16 @@ class tau_delay {
   }
 
   [[nodiscard]] std::string name() const {
-    return std::string(Strategy::label) + "[tau=" + std::to_string(tau_) + "]";
+    const std::string base = std::string(Strategy::label) + "[tau=" + std::to_string(tau_) + "]";
+    return with_model_suffix(base, model_);
   }
   [[nodiscard]] step_count tau() const noexcept { return tau_; }
+
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// Window-parallel probe (see process.hpp): always 0.  tau-Delay's
   /// estimate window [x^{t-tau}, x^{t-1}] *slides* -- ball t+1's estimates
@@ -144,8 +157,8 @@ class tau_delay {
 
  private:
   bin_index decide_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const load_t hi1 = state_.load(i1);
     const load_t hi2 = state_.load(i2);
     const load_t lo1 = hi1 - in_window_[i1];
@@ -155,24 +168,27 @@ class tau_delay {
     return chosen;
   }
 
-  void push_allocation(bin_index chosen) {
+  void push_allocation(bin_index chosen, weight_t w) {
     if (window_.empty()) return;  // tau == 1: no hidden allocations
     if (window_size_ == window_.size()) {
       // Evict the allocation that just became tau steps old.
-      in_window_[window_[window_pos_]] -= 1;
+      in_window_[window_[window_pos_]] -= window_weights_[window_pos_];
     } else {
       ++window_size_;
     }
     window_[window_pos_] = chosen;
-    in_window_[chosen] += 1;
+    window_weights_[window_pos_] = static_cast<load_t>(w);
+    in_window_[chosen] += static_cast<load_t>(w);
     window_pos_ = (window_pos_ + 1) % window_.size();
   }
 
   load_state state_;
+  alloc_model model_;
   step_count tau_;
   Strategy strategy_;
-  std::vector<bin_index> window_;  // ring buffer of the last tau-1 targets
-  std::vector<load_t> in_window_;  // per-bin count of targets in the ring
+  std::vector<bin_index> window_;       // ring buffer of the last tau-1 targets
+  std::vector<load_t> window_weights_;  // weight each ring entry deposited
+  std::vector<load_t> in_window_;  // per-bin hidden weight inside the ring
   std::size_t window_size_ = 0;
   std::size_t window_pos_ = 0;
 };
@@ -182,5 +198,6 @@ static_assert(allocation_process<tau_delay<delay_adversarial>>);
 static_assert(allocation_process<tau_delay<delay_random>>);
 static_assert(window_probed<tau_delay<delay_oldest>>);
 static_assert(!window_parallel<tau_delay<delay_oldest>>);
+static_assert(modeled_process<tau_delay<delay_oldest>>);
 
 }  // namespace nb

@@ -96,13 +96,21 @@ class rho_noisy_comp {
 
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
-  [[nodiscard]] std::string name() const { return rho_.label(); }
+  [[nodiscard]] std::string name() const {
+    return with_model_suffix(rho_.label(), model_);
+  }
   [[nodiscard]] const Rho& rho() const noexcept { return rho_; }
+
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     bin_index chosen;
@@ -114,10 +122,11 @@ class rho_noisy_comp {
       const load_t delta = (x1 < x2) ? (x2 - x1) : (x1 - x2);
       chosen = bernoulli(rng, rho_(delta)) ? lighter : heavier;
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   Rho rho_;
 };
 
@@ -147,14 +156,21 @@ class sigma_noisy_load_gaussian {
     gauss_.reset();
   }
   [[nodiscard]] std::string name() const {
-    return "sigma-noisy-gauss[s=" + std::to_string(sigma_) + "]";
+    const std::string base = "sigma-noisy-gauss[s=" + std::to_string(sigma_) + "]";
+    return with_model_suffix(base, model_);
   }
   [[nodiscard]] double sigma() const noexcept { return sigma_; }
 
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const double e1 = static_cast<double>(state_.load(i1)) + sigma_ * gauss_.next(rng);
     const double e2 = static_cast<double>(state_.load(i2)) + sigma_ * gauss_.next(rng);
     bin_index chosen;
@@ -165,10 +181,11 @@ class sigma_noisy_load_gaussian {
     } else {
       chosen = coin_flip(rng) ? i1 : i2;  // probability-zero path for sigma>0
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   double sigma_;
   gaussian_sampler gauss_;
 };
@@ -177,5 +194,7 @@ static_assert(allocation_process<sigma_noisy_load>);
 static_assert(allocation_process<rho_noisy_comp<rho_constant>>);
 static_assert(allocation_process<rho_noisy_comp<rho_step>>);
 static_assert(allocation_process<sigma_noisy_load_gaussian>);
+static_assert(modeled_process<sigma_noisy_load>);
+static_assert(modeled_process<sigma_noisy_load_gaussian>);
 
 }  // namespace nb

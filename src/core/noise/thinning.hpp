@@ -74,13 +74,20 @@ class noisy_mean_thinning {
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
   [[nodiscard]] std::string name() const {
-    return std::string(Strategy::label) + "[g=" + std::to_string(g_) + "]";
+    const std::string base = std::string(Strategy::label) + "[g=" + std::to_string(g_) + "]";
+    return with_model_suffix(base, model_);
   }
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i = sample_bin(rng, n);
+    const bin_index i = model_.sampler.sample(rng, n);
     const double delta = static_cast<double>(state_.load(i)) - state_.average_load();
     bool keep;
     if (std::fabs(delta) <= static_cast<double>(g_)) {
@@ -88,14 +95,12 @@ class noisy_mean_thinning {
     } else {
       keep = delta < 0.0;  // correct: keep only on underloaded bins
     }
-    if (keep) {
-      state_.allocate(i);
-    } else {
-      state_.allocate(sample_bin(rng, n));
-    }
+    const bin_index target = keep ? i : model_.sampler.sample(rng, n);
+    deposit(state_, model_.weighting, target, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   load_t g_;
   Strategy strategy_;
 };
@@ -122,20 +127,27 @@ class noisy_one_plus_beta {
   [[nodiscard]] const load_state& state() const noexcept { return state_; }
   void reset() { state_.reset(); }
   [[nodiscard]] std::string name() const {
-    return "noisy-(1+beta)-" + std::string(Strategy::label) + "[beta=" + std::to_string(beta_) +
-           ",g=" + std::to_string(g_) + "]";
+    const std::string base = "noisy-(1+beta)-" + std::string(Strategy::label) +
+                             "[beta=" + std::to_string(beta_) + ",g=" + std::to_string(g_) + "]";
+    return with_model_suffix(base, model_);
   }
   [[nodiscard]] double beta() const noexcept { return beta_; }
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
+  void set_model(alloc_model m) {
+    check_model(m, state_.n());
+    model_ = std::move(m);
+  }
+  [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
-    const bin_index i1 = sample_bin(rng, n);
+    const bin_index i1 = model_.sampler.sample(rng, n);
     if (!bernoulli(rng, beta_)) {
-      state_.allocate(i1);  // One-Choice step: nothing to corrupt
+      deposit(state_, model_.weighting, i1, rng);  // One-Choice step: nothing to corrupt
       return;
     }
-    const bin_index i2 = sample_bin(rng, n);
+    const bin_index i2 = model_.sampler.sample(rng, n);
     const load_t x1 = state_.load(i1);
     const load_t x2 = state_.load(i2);
     const load_t diff = x1 >= x2 ? x1 - x2 : x2 - x1;
@@ -145,10 +157,11 @@ class noisy_one_plus_beta {
     } else {
       chosen = (x1 < x2) ? i1 : i2;
     }
-    state_.allocate(chosen);
+    deposit(state_, model_.weighting, chosen, rng);
   }
 
   load_state state_;
+  alloc_model model_;
   double beta_;
   load_t g_;
   Strategy strategy_;
@@ -162,5 +175,7 @@ static_assert(allocation_process<noisy_mean_thinning<thinning_random>>);
 static_assert(allocation_process<mean_thinning>);
 static_assert(allocation_process<noisy_one_plus_beta<greedy_reverser>>);
 static_assert(allocation_process<noisy_one_plus_beta<random_decision>>);
+static_assert(modeled_process<mean_thinning>);
+static_assert(modeled_process<noisy_one_plus_beta<greedy_reverser>>);
 
 }  // namespace nb

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/alloc_model.hpp"
 #include "core/kernel/kernel.hpp"
 #include "core/load_vector.hpp"
 #include "rng/rng.hpp"
@@ -78,6 +79,44 @@ concept allocation_process = single_steppable<P> &&
 /// Samples one bin uniformly at random (One-Choice primitive).
 inline bin_index sample_bin(rng_t& rng, bin_count n) {
   return static_cast<bin_index>(bounded(rng, n));
+}
+
+// ---------------------------------------------------------------------------
+// The generalized (weighting, sampler) contract.
+//
+// Every library process carries an alloc_model (core/alloc_model.hpp) and
+// threads it through its step/step_many loops: bin samples go through the
+// model's bin_sampler (uniform = the historical nb::bounded stream, bit
+// for bit) and each placed ball deposits the model's ball weight (unit =
+// the historical allocate(), drawing no randomness).  Draw order is part
+// of the sampling contract: all of a ball's *bin* draws come first, the
+// *weight* draw (if the weighting is random) comes after the placement
+// decision, immediately before the deposit.
+
+/// A process that exposes the generalized allocation model.  set_model is
+/// a configuration call (pre-run); swapping models mid-run is legal but
+/// changes the sampling contract from that ball on.
+template <typename P>
+concept modeled_process = requires(P p, const P cp, alloc_model m) {
+  { cp.model() } -> std::convertible_to<const alloc_model&>;
+  { p.set_model(m) } -> std::same_as<void>;
+};
+
+/// Deposits one decided ball and returns its weight: the unit fast path
+/// is the historical allocate(i); weighted models draw the ball's weight
+/// (after every bin draw of the step, per the contract above) and take
+/// the guarded weighted path.  The returned weight feeds processes whose
+/// bookkeeping is weight-denominated (e.g. tau-Delay's hidden-allocation
+/// window); most callers ignore it.
+inline weight_t deposit(load_state& state, const ball_weighting& weighting, bin_index i,
+                        rng_t& rng) {
+  if (weighting.is_unit()) {
+    state.allocate(i);
+    return 1;
+  }
+  const weight_t w = weighting.draw(rng);
+  state.allocate(i, w);
+  return w;
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +277,21 @@ class shard_engine {
                     "running the serial fused loop instead");
       nb::step_many(process, rng, count);
     } else {
+      if constexpr (modeled_process<P>) {
+        // RNG-drawn ball weights cannot ride the count-merging window
+        // path: a merged per-bin count row cannot reconstruct which
+        // weight draw landed where.  Accepted but ineffective, exactly
+        // like the no-window trap above -- say so once.
+        if (process.model().weighting.is_random()) {
+          warn_once("shard-engine-weighted/" + process.name(),
+                    "threads_per_run has no effect on process '" + process.name() +
+                        "' with random ball weighting " + process.model().weighting.label() +
+                        ": merged count rows cannot carry per-ball weight draws; "
+                        "running the serial fused loop instead");
+          nb::step_many(process, rng, count);
+          return;
+        }
+      }
       // Cap parallel windows so even a shard that routed every one of its
       // balls into a single bin cannot overflow a 16-bit delta row; the
       // cap splits oversized windows deterministically (it depends only
@@ -255,6 +309,14 @@ class shard_engine {
   void run_window(P& process, rng_t& rng, step_count k) {
     const bin_count n = process.state().n();
     const std::size_t shards = opt_.shards;
+    // Non-uniform bin sampling rides the same window machinery: shards
+    // draw their bin pairs from the model's alias table instead of the
+    // uniform Lemire path.  The table is immutable for the whole window
+    // (the process is not stepped while shards run).
+    const alias_table* table = nullptr;
+    if constexpr (modeled_process<P>) {
+      if (!process.model().sampler.is_uniform()) table = &process.model().sampler.table();
+    }
     // Geometry changes are rare (once per run); per window each shard task
     // zeroes its own row, keeping the shards*n*4-byte clear off the serial
     // path (at n = 10^6 and 16 shards that clear is 64 MB per window).
@@ -275,9 +337,9 @@ class shard_engine {
         continue;
       }
       pool_.submit([n, snap, row, shard_balls, seed = shard_stream_seed(window_token, s),
-                    lanes = opt_.lanes, isa = isa_] {
+                    lanes = opt_.lanes, isa = isa_, table] {
         std::fill_n(row, n, std::uint16_t{0});
-        run_shard<P>(n, snap, row, shard_balls, seed, lanes, isa);
+        run_shard<P>(n, snap, row, shard_balls, seed, lanes, isa, table);
       });
     }
     pool_.wait_idle();
@@ -295,16 +357,23 @@ class shard_engine {
 
   /// Shard body.  Min-select processes run the lane-interleaved SIMD
   /// kernel (vectorized block RNG + branchless snapshot decide, see
-  /// core/kernel/): lane seeds derive from this shard's substream, so the
+  /// core/kernel/); non-uniform samplers take the kernel's alias lane
+  /// path.  Lane seeds derive from this shard's substream, so the
   /// sampling contract stays (seed, shards, lanes) and never sees threads
   /// or the ISA backend.  Processes with a bespoke snapshot_decide keep
-  /// the generic block-sampled loop.
+  /// the generic block-sampled loop (uniform Lemire blocks or alias
+  /// blocks, per the model).
   template <window_parallel P>
   static void run_shard(bin_count n, const std::uint8_t* snap, std::uint16_t* row,
                         step_count shard_balls, std::uint64_t seed, std::size_t lanes,
-                        kernel_isa isa) {
+                        kernel_isa isa, const alias_table* table) {
     if constexpr (kernel_window_parallel<P>) {
-      kernel_run(isa, lanes, n, snap, row, shard_balls, seed);
+      if (table != nullptr) {
+        kernel_run_alias(isa, lanes, n, snap, table->thresholds(), table->aliases(), row,
+                         shard_balls, seed);
+      } else {
+        kernel_run(isa, lanes, n, snap, row, shard_balls, seed);
+      }
     } else {
       static constexpr std::size_t kBlock = 2048;  // 16 KiB of indices: L1-resident
       alignas(64) std::array<bin_index, 2 * kBlock> idx;
@@ -313,7 +382,11 @@ class shard_engine {
         const std::size_t chunk =
             shard_balls < static_cast<step_count>(kBlock) ? static_cast<std::size_t>(shard_balls)
                                                           : kBlock;
-        bounded_block(srng, n, idx.data(), 2 * chunk);
+        if (table != nullptr) {
+          table->sample_block(srng, idx.data(), 2 * chunk);
+        } else {
+          bounded_block(srng, n, idx.data(), 2 * chunk);
+        }
         for (std::size_t t = 0; t < chunk; ++t) {
           const bin_index chosen = P::snapshot_decide(snap, idx[2 * t], idx[2 * t + 1], srng);
           ++row[chosen];
@@ -381,16 +454,42 @@ class kernel_engine {
                     "running the serial fused loop instead");
       nb::step_many(process, rng, count);
     } else {
+      if constexpr (modeled_process<P>) {
+        // Same merged-count limitation as the shard engine: random ball
+        // weights force the serial fused loop.  One-time diagnostic so
+        // the silent fallback is visible.
+        if (process.model().weighting.is_random()) {
+          warn_once("kernel-engine-weighted/" + process.name(),
+                    "use_kernel has no effect on process '" + process.name() +
+                        "' with random ball weighting " + process.model().weighting.label() +
+                        ": merged count rows cannot carry per-ball weight draws; "
+                        "running the serial fused loop instead");
+          nb::step_many(process, rng, count);
+          return;
+        }
+      }
       // No row-width cap needed: whole windows accumulate into uint32
       // counters and a run is bounded by max_run_balls anyway.
       engine_detail::walk_windows(
           process, rng, count, max_run_balls, opt_.min_window, snapshot_, [&](step_count k) {
             // One master-stream draw per window (same cadence as the
-            // shard engine), then the whole window decides in the kernel.
+            // shard engine), then the whole window decides in the kernel
+            // -- the alias lane path when the model samples non-uniformly.
             const std::uint64_t token = rng.next();
             const bin_count n = process.state().n();
             inc_.assign(n, 0);
-            kernel_run(isa_, opt_.lanes, n, snapshot_.data(), inc_.data(), k, token);
+            const alias_table* table = nullptr;
+            if constexpr (modeled_process<P>) {
+              if (!process.model().sampler.is_uniform()) {
+                table = &process.model().sampler.table();
+              }
+            }
+            if (table != nullptr) {
+              kernel_run_alias(isa_, opt_.lanes, n, snapshot_.data(), table->thresholds(),
+                               table->aliases(), inc_.data(), k, token);
+            } else {
+              kernel_run(isa_, opt_.lanes, n, snapshot_.data(), inc_.data(), k, token);
+            }
             process.commit_window(inc_, k);
           });
     }
@@ -409,7 +508,7 @@ class any_process {
  public:
   template <allocation_process P>
   // NOLINTNEXTLINE(google-explicit-constructor): implicit wrap is the point.
-  any_process(P process) : impl_(std::make_unique<model<P>>(std::move(process))) {}
+  any_process(P process) : impl_(std::make_unique<model_t<P>>(std::move(process))) {}
 
   any_process(const any_process& other) : impl_(other.impl_->clone()) {}
   any_process& operator=(const any_process& other) {
@@ -437,6 +536,12 @@ class any_process {
   [[nodiscard]] const load_state& state() const { return impl_->state(); }
   void reset() { impl_->reset(); }
   [[nodiscard]] std::string name() const { return impl_->name(); }
+  /// Generalized-model plumbing: forwards to the wrapped process when it
+  /// models the (weighting, sampler) contract; otherwise only the default
+  /// unit/uniform model is accepted (anything else is a configuration
+  /// error the caller must hear about).
+  void set_model(alloc_model m) { impl_->set_model(std::move(m)); }
+  [[nodiscard]] const alloc_model& model() const { return impl_->model(); }
 
  private:
   struct base {
@@ -448,12 +553,14 @@ class any_process {
     [[nodiscard]] virtual const load_state& state() const = 0;
     virtual void reset() = 0;
     [[nodiscard]] virtual std::string name() const = 0;
+    virtual void set_model(alloc_model) = 0;
+    [[nodiscard]] virtual const alloc_model& model() const = 0;
     [[nodiscard]] virtual std::unique_ptr<base> clone() const = 0;
   };
 
   template <allocation_process P>
-  struct model final : base {
-    explicit model(P p) : process(std::move(p)) {}
+  struct model_t final : base {
+    explicit model_t(P p) : process(std::move(p)) {}
     void step(rng_t& rng) override { process.step(rng); }
     void step_many(rng_t& rng, step_count count) override {
       nb::step_many(process, rng, count);
@@ -467,8 +574,24 @@ class any_process {
     [[nodiscard]] const load_state& state() const override { return process.state(); }
     void reset() override { process.reset(); }
     [[nodiscard]] std::string name() const override { return process.name(); }
+    void set_model(alloc_model m) override {
+      if constexpr (modeled_process<P>) {
+        process.set_model(std::move(m));
+      } else {
+        NB_REQUIRE(m.is_default(), "process '" + process.name() +
+                                       "' does not support weighted/non-uniform allocation");
+      }
+    }
+    [[nodiscard]] const alloc_model& model() const override {
+      if constexpr (modeled_process<P>) {
+        return process.model();
+      } else {
+        static const alloc_model default_model{};
+        return default_model;
+      }
+    }
     [[nodiscard]] std::unique_ptr<base> clone() const override {
-      return std::make_unique<model<P>>(process);
+      return std::make_unique<model_t<P>>(process);
     }
     P process;
   };

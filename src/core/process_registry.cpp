@@ -23,7 +23,29 @@ step_count as_steps(double param) {
 }
 }  // namespace
 
+namespace {
+
+any_process build_process(const process_spec& spec);
+
+/// Applies the spec's allocation model to a freshly built process.  The
+/// default unit/uniform spec is a no-op, so registry behavior (and every
+/// historical golden test) is untouched unless a model is asked for.
+any_process with_model(any_process process, const process_spec& spec) {
+  if (spec.weighting != "unit" || spec.sampler != "uniform") {
+    process.set_model(make_model(spec.weighting, spec.sampler, process.state().n()));
+  }
+  return process;
+}
+
+}  // namespace
+
 any_process make_process(const process_spec& spec) {
+  return with_model(build_process(spec), spec);
+}
+
+namespace {
+
+any_process build_process(const process_spec& spec) {
   const bin_count n = spec.n;
   NB_REQUIRE(n >= 1, "process spec needs n >= 1");
   const std::string& kind = spec.kind;
@@ -55,6 +77,8 @@ any_process make_process(const process_spec& spec) {
 
   throw contract_error("unknown process kind: '" + kind + "'");
 }
+
+}  // namespace
 
 std::vector<std::pair<std::string, std::string>> registered_process_kinds() {
   return {

@@ -20,10 +20,17 @@ struct process_spec {
   /// load, b for batch, tau for delay, beta for (1+beta), d for d-choice.
   /// Ignored by one-choice / two-choice.
   double param = 0.0;
+  /// Generalized allocation model, as specs understood by make_weighting /
+  /// make_sampler (core/alloc_model.hpp).  The defaults are the paper's
+  /// unit-weight / uniform-sampling configuration; both are part of the
+  /// sampling contract and are journaled with the campaign grid.
+  std::string weighting = "unit";
+  std::string sampler = "uniform";
 };
 
-/// Constructs the process described by `spec`.  Throws nb::contract_error
-/// for unknown kinds or invalid parameters.
+/// Constructs the process described by `spec` (including its allocation
+/// model).  Throws nb::contract_error for unknown kinds or invalid
+/// parameters / model specs.
 [[nodiscard]] any_process make_process(const process_spec& spec);
 
 /// All valid `kind` strings, with a one-line description each.

@@ -3,7 +3,9 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <fstream>
+#include <mutex>
 
 #include "exp/journal.hpp"
 #include "util/csv.hpp"
@@ -73,6 +75,13 @@ std::uint64_t grid_fingerprint(const std::vector<campaign_config>& configs) {
     mix(std::to_string(config.process.n));
     mix(json_double(config.process.param));
     mix(std::to_string(config.m));
+    // Model axes joined the sampling contract in PR 5.  Mixed only when
+    // non-default so journals recorded before the axes existed (implicitly
+    // unit/uniform) keep resuming cleanly.
+    if (config.process.weighting != "unit" || config.process.sampler != "uniform") {
+      mix(config.process.weighting);
+      mix(config.process.sampler);
+    }
   }
   return h;
 }
@@ -161,13 +170,30 @@ campaign_result run_campaign(const std::vector<campaign_config>& configs,
   out.cells_resumed = total - pending.size();
   out.cells_executed = pending.size();
 
+  // Pool tasks are noexcept by contract, but weighted cells can fail at
+  // runtime (e.g. a fixed-weight config whose per-bin loads overflow the
+  // guarded 32-bit representation mid-run).  Capture the first error and
+  // rethrow it on the caller's thread instead of terminating; the journal
+  // keeps every cell that completed, so --resume picks up after a fix.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   parallel_for(pending.size(), opt.threads, [&](std::size_t job) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error) return;  // fail fast: stop starting new cells
+    }
     const std::size_t index = pending[job];
     const campaign_config& config = configs[index / opt.repeats];
-    run_result r = run_cell(config, derive_seed(opt.seed, index), opt);
-    out.cells[index] = r;
-    journal.append({index, r});
+    try {
+      run_result r = run_cell(config, derive_seed(opt.seed, index), opt);
+      out.cells[index] = r;
+      journal.append({index, r});
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
   });
+  if (first_error) std::rethrow_exception(first_error);
 
   // Aggregate in cell-index order: deterministic for any worker count and
   // identical whether a cell ran fresh or was replayed from the journal.
@@ -226,6 +252,8 @@ std::string campaign_result::to_json() const {
     s += "    {\"label\": \"" + json_escape(config.label) + "\"";
     s += ", \"kind\": \"" + json_escape(config.process.kind) + "\"";
     s += ", \"param\": " + json_double(config.process.param);
+    s += ", \"weighting\": \"" + json_escape(config.process.weighting) + "\"";
+    s += ", \"sampler\": \"" + json_escape(config.process.sampler) + "\"";
     std::snprintf(buf, sizeof buf, ", \"n\": %u, \"m\": %" PRId64 ", \"runs\": %zu,\n",
                   config.process.n, static_cast<std::int64_t>(config.m), agg.count());
     s += buf;
@@ -258,13 +286,14 @@ void campaign_result::write_json(const std::string& path) const {
 }
 
 void campaign_result::write_csv(const std::string& path) const {
-  csv_writer csv(path, {"label", "kind", "param", "n", "m", "runs", "mean_gap", "stddev_gap",
-                        "min_gap", "max_gap", "gap_q25", "gap_median", "gap_q75",
-                        "mean_underload_gap", "mean_max_load"});
+  csv_writer csv(path, {"label", "kind", "param", "weighting", "sampler", "n", "m", "runs",
+                        "mean_gap", "stddev_gap", "min_gap", "max_gap", "gap_q25", "gap_median",
+                        "gap_q75", "mean_underload_gap", "mean_max_load"});
   for (const auto& cr : configs) {
     const auto& config = cr.config;
     const auto& agg = cr.aggregate;
     csv.write_row({config.label, config.process.kind, csv_writer::field(config.process.param),
+                   config.process.weighting, config.process.sampler,
                    csv_writer::field(static_cast<std::int64_t>(config.process.n)),
                    csv_writer::field(static_cast<std::int64_t>(config.m)),
                    csv_writer::field(static_cast<std::int64_t>(agg.count())),

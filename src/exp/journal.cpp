@@ -91,11 +91,13 @@ std::string journal_entry_line(const journal_entry& entry) {
   char buf[320];
   std::snprintf(buf, sizeof buf,
                 "{\"cell\":%zu,\"seed\":%" PRIu64 ",\"balls\":%" PRId64
-                ",\"gap\":%s,\"underload_gap\":%s,\"max_load\":%d,\"min_load\":%d}",
+                ",\"gap\":%s,\"underload_gap\":%s,\"max_load\":%" PRId64 ",\"min_load\":%" PRId64
+                "}",
                 entry.cell, entry.result.seed, static_cast<std::int64_t>(entry.result.balls),
                 json_double(entry.result.gap).c_str(),
                 json_double(entry.result.underload_gap).c_str(),
-                static_cast<int>(entry.result.max_load), static_cast<int>(entry.result.min_load));
+                static_cast<std::int64_t>(entry.result.max_load),
+                static_cast<std::int64_t>(entry.result.min_load));
   return buf;
 }
 

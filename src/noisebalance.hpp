@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "core/alloc_model.hpp"
 #include "core/analysis/allocation_probability.hpp"
 #include "core/analysis/exact_chain.hpp"
 #include "core/basic_processes.hpp"

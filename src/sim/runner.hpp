@@ -10,8 +10,11 @@
 #pragma once
 
 #include <cmath>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/process.hpp"
@@ -57,6 +60,12 @@ struct repeat_options {
   /// Kernel ISA backend for both engines (execution only; bit-identical
   /// across backends).
   kernel_isa isa = kernel_isa::auto_detect;
+  /// Generalized allocation model applied to every run's process (specs
+  /// per make_weighting / make_sampler).  The defaults leave the factory's
+  /// processes untouched, so historical call sites are bit-identical.
+  /// Both are part of the sampling contract.
+  std::string weighting = "unit";
+  std::string sampler = "uniform";
 };
 
 /// Aggregate over repetitions of one configuration.
@@ -129,24 +138,64 @@ run_result simulate_kernel(P& process, step_count m, rng_t& rng, kernel_engine& 
 template <typename Factory>
 repeat_result run_repeated_with(Factory&& factory, step_count m, const repeat_options& opt) {
   NB_REQUIRE(opt.runs >= 1, "need at least one run");
-  std::vector<run_result> results(opt.runs);
-  parallel_for(opt.runs, opt.threads, [&](std::size_t r) {
-    auto process = factory();
-    rng_t rng(derive_seed(opt.master_seed, r));
-    if (opt.threads_per_run > 0) {
-      shard_engine engine(shard_options{.threads = opt.threads_per_run,
-                                        .shards = opt.shards,
-                                        .lanes = opt.lanes,
-                                        .isa = opt.isa});
-      results[r] = simulate_parallel(process, m, rng, engine);
-    } else if (opt.use_kernel) {
-      kernel_engine engine(kernel_options{.lanes = opt.lanes, .isa = opt.isa});
-      results[r] = simulate_kernel(process, m, rng, engine);
+  // Build the shared allocation model ONCE on the caller's thread (alias
+  // tables are O(n) to construct -- zipf alone is one pow per bin) and
+  // copy it into every run; this also validates the specs before any pool
+  // task starts.  Applied after construction so any factory-provided model
+  // loses to an explicit request; the default spec never touches the
+  // process.
+  const bool custom_model = opt.weighting != "unit" || opt.sampler != "uniform";
+  alloc_model shared_model;
+  if (custom_model) {
+    auto probe = factory();
+    using P = std::remove_cvref_t<decltype(probe)>;
+    if constexpr (modeled_process<P> || std::is_same_v<P, any_process>) {
+      shared_model = make_model(opt.weighting, opt.sampler, probe.state().n());
+      probe.set_model(shared_model);  // validates sampler bins against n
     } else {
-      results[r] = simulate(process, m, rng);
+      throw contract_error("process '" + probe.name() +
+                           "' does not support weighted/non-uniform allocation");
     }
-    results[r].seed = derive_seed(opt.master_seed, r);
+  }
+  std::vector<run_result> results(opt.runs);
+  // Weighted runs can fail mid-flight (guarded per-bin/total overflow);
+  // pool tasks are noexcept by contract, so capture the first error and
+  // rethrow it here instead of terminating.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  parallel_for(opt.runs, opt.threads, [&](std::size_t r) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error) return;
+    }
+    try {
+      auto process = factory();
+      if (custom_model) {
+        using P = std::remove_cvref_t<decltype(process)>;
+        if constexpr (modeled_process<P> || std::is_same_v<P, any_process>) {
+          process.set_model(shared_model);
+        }
+      }
+      rng_t rng(derive_seed(opt.master_seed, r));
+      if (opt.threads_per_run > 0) {
+        shard_engine engine(shard_options{.threads = opt.threads_per_run,
+                                          .shards = opt.shards,
+                                          .lanes = opt.lanes,
+                                          .isa = opt.isa});
+        results[r] = simulate_parallel(process, m, rng, engine);
+      } else if (opt.use_kernel) {
+        kernel_engine engine(kernel_options{.lanes = opt.lanes, .isa = opt.isa});
+        results[r] = simulate_kernel(process, m, rng, engine);
+      } else {
+        results[r] = simulate(process, m, rng);
+      }
+      results[r].seed = derive_seed(opt.master_seed, r);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
   });
+  if (first_error) std::rethrow_exception(first_error);
   repeat_result agg;
   agg.runs = std::move(results);
   for (const auto& r : agg.runs) {

@@ -49,6 +49,11 @@ struct sweep_grid {
   std::int64_t m_multiplier = 1000;
   /// > 0: the same m for every point, regardless of n.
   step_count m_override = 0;
+  /// Generalized-model axes (specs per make_weighting / make_sampler in
+  /// core/alloc_model.hpp).  The defaults add no new grid dimension and
+  /// leave every expanded point's spec/label exactly as before.
+  std::vector<std::string> weightings = {"unit"};
+  std::vector<std::string> samplers = {"uniform"};
 };
 
 /// One expanded point of a sweep_grid.
@@ -59,9 +64,11 @@ struct sweep_point {
 };
 
 /// Expands `grid` in a fixed, documented order: bins outermost, then
-/// kinds, then params -- so the points for one n are a contiguous block
-/// of size kinds.size() * params.size(), laid out kind-major.  Drivers
-/// rely on this order to index results.
+/// kinds, then params, then weightings, then samplers (the model axes
+/// innermost, so default single-element axes reproduce the historical
+/// order exactly) -- the points for one n are a contiguous block of size
+/// kinds.size() * params.size() * weightings.size() * samplers.size(),
+/// laid out kind-major.  Drivers rely on this order to index results.
 [[nodiscard]] std::vector<sweep_point> expand_grid(const sweep_grid& grid);
 
 }  // namespace nb

@@ -185,6 +185,94 @@ TEST(Kernel, BackendsBitIdenticalAcrossShapes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Alias-sampled lane path (PR 5): non-uniform bin probabilities through
+// the same lane contract.
+
+std::vector<std::uint32_t> kernel_alias_counts(kernel_isa isa, std::size_t lanes, bin_count n,
+                                               const std::vector<std::uint8_t>& snap,
+                                               const alias_table& table, step_count balls,
+                                               std::uint64_t seed) {
+  std::vector<std::uint32_t> row(n, 0);
+  kernel_run_alias(isa, lanes, n, snap.data(), table.thresholds(), table.aliases(), row.data(),
+                   balls, seed);
+  return row;
+}
+
+TEST(KernelAlias, BackendsBitIdenticalAcrossShapes) {
+  // The alias lane path's backend contract, over the same awkward shapes
+  // as the uniform path: remainder lanes, tiny bins, mid-round tails,
+  // multi-block runs.  AVX2 uses hardware gathers for the threshold /
+  // alias / snapshot lookups; SSE2 vectorizes only the draw generation --
+  // all must match the scalar reference bit for bit.
+  const auto isas = supported_backends();
+  for (const bin_count n : {1u, 2u, 7u, 97u, 4096u}) {
+    const auto snap = make_snapshot(n);
+    std::vector<double> weights(n);
+    for (bin_count i = 0; i < n; ++i) weights[i] = 1.0 / (1.0 + static_cast<double>(i));
+    const alias_table table(weights);
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      for (const step_count balls : {step_count{1}, step_count{63}, step_count{20000}}) {
+        const auto reference =
+            kernel_alias_counts(kernel_isa::scalar, lanes, n, snap, table, balls, 99);
+        EXPECT_EQ(std::accumulate(reference.begin(), reference.end(), std::int64_t{0}), balls);
+        for (const kernel_isa isa : isas) {
+          EXPECT_EQ(kernel_alias_counts(isa, lanes, n, snap, table, balls, 99), reference)
+              << kernel_isa_name(isa) << " n=" << n << " lanes=" << lanes << " balls=" << balls;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelAlias, ScalarMatchesDocumentedAliasDrawOrder) {
+  // Per ball and lane: slot1 (Lemire draws), u1, slot2, u2, tie -- the
+  // documented order, auditable from the public RNG API plus the table.
+  const bin_count n = 11;
+  const auto snap = make_snapshot(n);
+  std::vector<double> weights(n, 1.0);
+  weights[3] = 8.0;  // something non-uniform
+  const alias_table table(weights);
+  const std::uint64_t seed = 4242;
+  const std::size_t lanes = 3;
+  const step_count balls = 500;
+
+  std::vector<std::uint32_t> expected(n, 0);
+  std::vector<rng_t> lane_rng;
+  for (std::size_t l = 0; l < lanes; ++l) lane_rng.emplace_back(derive_seed(seed, l));
+  for (step_count t = 0; t < balls; ++t) {
+    rng_t& rng = lane_rng[static_cast<std::size_t>(t) % lanes];
+    const auto slot1 = static_cast<bin_index>(bounded(rng, n));
+    const std::uint64_t u1 = rng.next();
+    const bin_index i1 = u1 < table.thresholds()[slot1] ? slot1 : table.aliases()[slot1];
+    const auto slot2 = static_cast<bin_index>(bounded(rng, n));
+    const std::uint64_t u2 = rng.next();
+    const bin_index i2 = u2 < table.thresholds()[slot2] ? slot2 : table.aliases()[slot2];
+    const std::uint64_t c = rng.next();
+    const bool pick_first = (snap[i1] < snap[i2]) || ((snap[i1] == snap[i2]) && (c >> 63) != 0);
+    ++expected[pick_first ? i1 : i2];
+  }
+  EXPECT_EQ(kernel_alias_counts(kernel_isa::scalar, lanes, n, snap, table, balls, seed),
+            expected);
+}
+
+TEST(KernelAlias, UInt16AndUInt32RowsAgree) {
+  const bin_count n = 53;
+  const auto snap = make_snapshot(n);
+  std::vector<double> weights(n);
+  for (bin_count i = 0; i < n; ++i) weights[i] = static_cast<double>((i % 7) + 1);
+  const alias_table table(weights);
+  for (const kernel_isa isa : supported_backends()) {
+    std::vector<std::uint16_t> row16(n, 0);
+    kernel_run_alias(isa, 8, n, snap.data(), table.thresholds(), table.aliases(), row16.data(),
+                     9999, 5);
+    const auto row32 = kernel_alias_counts(isa, 8, n, snap, table, 9999, 5);
+    for (bin_index i = 0; i < n; ++i) {
+      EXPECT_EQ(row16[i], row32[i]) << kernel_isa_name(isa) << " bin " << i;
+    }
+  }
+}
+
 TEST(Kernel, UInt16AndUInt32RowsAgree) {
   const bin_count n = 53;
   const auto snap = make_snapshot(n);

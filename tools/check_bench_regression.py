@@ -9,11 +9,14 @@ than (1 - tolerance) x its baseline, or when a headline speedup ratio
 (kernel_vs_fused_speedup, shard_vs_fused_speedup) drops below the same
 bound.
 
-Matching is by (kernel, isa class, threads), where the isa class folds all
-SIMD backends together ("none"/"scalar" stay distinct) -- the committed
-baseline may say avx2 while a CI runner reports a different best backend.
-Legs present only in one file are reported and skipped, not failed (e.g. a
-runner without SIMD support never produces the SIMD leg).
+Matching is by (kernel, isa class, threads, weighting, sampler), where the
+isa class folds all SIMD backends together ("none"/"scalar" stay distinct)
+-- the committed baseline may say avx2 while a CI runner reports a
+different best backend -- and the weighting/sampler pair keys the
+generalized-model legs (entries without the fields, from the pre-PR-5
+schema, default to "unit"/"uniform").  Legs present only in one file are
+reported and skipped, not failed (e.g. a runner without SIMD support never
+produces the SIMD leg).
 
 The default tolerance is deliberately generous (40%): the baseline is
 recorded at paper scale on a developer machine while CI runs a reduced
@@ -32,7 +35,8 @@ def isa_class(isa):
 
 
 def leg_key(entry):
-    return (entry["kernel"], isa_class(entry["isa"]), entry["threads"])
+    return (entry["kernel"], isa_class(entry["isa"]), entry["threads"],
+            entry.get("weighting", "unit"), entry.get("sampler", "uniform"))
 
 
 def index_legs(doc):
@@ -69,6 +73,8 @@ def main():
 
     for key, base in sorted(base_legs.items()):
         label = f"kernel={key[0]:<6} isa={key[1]:<6} threads={key[2]}"
+        if key[3] != "unit" or key[4] != "uniform":
+            label += f" weighting={key[3]} sampler={key[4]}"
         if key not in fresh_legs:
             print(f"  SKIP {label}: leg missing from fresh results")
             continue
@@ -82,7 +88,8 @@ def main():
             failures.append(label)
 
     for key in sorted(set(fresh_legs) - set(base_legs)):
-        print(f"  NOTE new leg not in baseline: kernel={key[0]} isa={key[1]} threads={key[2]}")
+        print(f"  NOTE new leg not in baseline: kernel={key[0]} isa={key[1]} threads={key[2]} "
+              f"weighting={key[3]} sampler={key[4]}")
 
     # Headline speedup ratios are machine-independent-ish (same run, same
     # machine, two legs), so they get the same floor.
