@@ -11,14 +11,28 @@
 // (scalar and SIMD backends), and the shard-parallel engine, every leg
 // timed warm with median-of-k reps.  Emits BENCH_throughput.json as an
 // array of per-config entries {kernel, isa, threads, balls_per_sec, ...}.
+//
+// The scaling matrix (--threads-list / --workers-list, both part of
+// --scale) makes multicore throughput a measured, regression-gated
+// property: the shard engine sweeps intra-run worker threads and the
+// campaign orchestrator sweeps cross-run workers over a heterogeneous
+// cell mix, each leg reporting speedup-vs-1-thread, parallel efficiency
+// and hardware perf counters (IPC, LLC misses, stalled cycles -- null on
+// runners without a PMU), and each leg replayed single-threaded for bit
+// (shard) / byte (campaign JSON) parity.  Host metadata (CPU model,
+// cache line, hardware_concurrency) rides along so a committed baseline
+// is interpretable on a different machine.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "util/host_info.hpp"
+#include "util/perf_counters.hpp"
 
 namespace {
 
@@ -165,7 +179,7 @@ scale_measurement scale_observed_run(bin_count n, step_count m, step_count inter
 
 /// One timed leg of the scale benchmark (a row of the JSON results array).
 struct scale_entry {
-  std::string kernel;  // off | scalar | sse2 | avx2 | shard
+  std::string kernel;  // off | scalar | sse2 | avx2 | shard | campaign
   std::string isa;     // resolved backend ("none" for the fused loop)
   std::size_t threads = 1;
   std::string process = "b-batch";   // workload the leg times
@@ -173,45 +187,217 @@ struct scale_entry {
   std::string sampler = "uniform";   // bin-sampler spec (leg key)
   timing_stats timing;
   scale_measurement run;
+  /// Hardware counters over the leg's warmup + timed shots (available ==
+  /// false on runners without a usable PMU; emitted as "perf": null).
+  perf_sample perf;
+  /// Scaling-matrix legs additionally report speedup and efficiency
+  /// against the matrix's 1-thread leg, plus whether the single-threaded
+  /// parity replay passed (it exits on failure, so an emitted leg always
+  /// says true).
+  bool has_scaling = false;
+  double speedup_vs_1t = 0.0;
+  double efficiency = 0.0;
+  bool parity_checked = false;
 };
+
+/// "ipc 1.23, llc 4.5e+07" console tail for a leg, or the explicit
+/// unavailability note.
+std::string perf_note(const perf_sample& p) {
+  if (!p.available) return "perf n/a";
+  char buf[96];
+  if (p.llc_misses >= 0.0) {
+    std::snprintf(buf, sizeof buf, "ipc %.2f, llc %.2e", p.ipc(), p.llc_misses);
+  } else {
+    std::snprintf(buf, sizeof buf, "ipc %.2f", p.ipc());
+  }
+  return buf;
+}
 
 template <typename Move>
 scale_entry time_scale_leg(std::string kernel, std::string isa, std::size_t threads, bin_count n,
                            step_count m, step_count interval, std::uint64_t seed,
-                           const Move& move) {
+                           perf_counter_set& counters, const Move& move) {
   scale_entry entry;
   entry.kernel = std::move(kernel);
   entry.isa = std::move(isa);
   entry.threads = threads;
+  counters.start();
   entry.timing =
       time_median_of(kWarmup, kReps, [&] { entry.run = scale_observed_run(n, m, interval, seed, move); });
+  entry.perf = counters.stop();
   const auto work = static_cast<double>(m);
-  std::printf("  %-10s isa=%-7s t=%zu %12.3e balls/s   (min %.3e, max %.3e, gap %.1f)\n",
+  std::printf("  %-10s isa=%-7s t=%zu %12.3e balls/s   (min %.3e, max %.3e, gap %.1f, %s)\n",
               entry.kernel.c_str(), entry.isa.c_str(), entry.threads,
               entry.timing.rate_median(work), entry.timing.rate_min(work),
-              entry.timing.rate_max(work), entry.run.gap);
+              entry.timing.rate_max(work), entry.run.gap, perf_note(entry.perf).c_str());
   return entry;
+}
+
+// ---------------------------------------------------------------------------
+// Scaling matrix.
+
+/// Intra-run thread sweep: the shard engine at every requested worker
+/// count on the same paper-scale b-Batch observed run.  Each leg is
+/// replayed with 1 worker + the scalar backend and must match bit for bit
+/// (loads AND checkpoint observations) -- the determinism contract is
+/// *verified at paper scale per leg*, not assumed.  `threads_list` must
+/// start with 1 (the caller normalizes): speedup and efficiency are
+/// relative to that leg.
+void run_threads_matrix(bin_count n, step_count m, step_count interval,
+                        const std::vector<std::size_t>& threads_list, std::size_t shards,
+                        std::size_t lanes, std::uint64_t seed,
+                        std::vector<scale_entry>& results) {
+  if (threads_list.empty()) return;
+  const auto work = static_cast<double>(m);
+  std::printf("\n  shard-engine thread scaling (shards = %zu, per-leg 1-thread replay):\n",
+              shards);
+  double rate_1t = 0.0;
+  for (const std::size_t t : threads_list) {
+    // Counters open before the engine so its pool threads, cloned after,
+    // inherit them; the sample then covers the shard work, not just the
+    // master thread.
+    perf_counter_set counters;
+    shard_engine engine(shard_options{.threads = t, .shards = shards, .lanes = lanes});
+    scale_entry entry =
+        time_scale_leg("shard", kernel_isa_name(engine.isa()), t, n, m, interval, seed, counters,
+                       [&engine](b_batch& p, rng_t& rng, step_count chunk) {
+                         step_many_parallel(p, rng, chunk, engine);
+                       });
+    // Per-leg parity replay: 1 worker, scalar backend, same (seed,
+    // shards, lanes) sampling contract.
+    shard_engine replay_engine(shard_options{
+        .threads = 1, .shards = shards, .lanes = lanes, .isa = kernel_isa::scalar});
+    const auto replay = scale_observed_run(
+        n, m, interval, seed, [&replay_engine](b_batch& p, rng_t& rng, step_count chunk) {
+          step_many_parallel(p, rng, chunk, replay_engine);
+        });
+    if (replay.loads != entry.run.loads || replay.sink != entry.run.sink) {
+      std::printf("DETERMINISM FAILURE: %zu-thread %s leg diverged from its 1-thread "
+                  "scalar replay\n",
+                  t, entry.isa.c_str());
+      std::exit(1);
+    }
+    entry.has_scaling = true;
+    entry.parity_checked = true;
+    if (t == 1 && rate_1t == 0.0) rate_1t = entry.timing.rate_median(work);
+    if (rate_1t > 0.0) {
+      entry.speedup_vs_1t = entry.timing.rate_median(work) / rate_1t;
+      entry.efficiency = entry.speedup_vs_1t / static_cast<double>(t);
+    }
+    std::printf("    t=%-3zu %12.3e balls/s   speedup %5.2fx  efficiency %5.1f%%  "
+                "replay ok  (%s)\n",
+                t, entry.timing.rate_median(work), entry.speedup_vs_1t,
+                100.0 * entry.efficiency, perf_note(entry.perf).c_str());
+    results.push_back(std::move(entry));
+  }
+}
+
+/// Cross-run worker sweep: the campaign orchestrator's work-stealing
+/// scheduler over a deliberately heterogeneous cell mix -- kernel-path
+/// b-Batch cells alternating with fused-loop zipf two-choice cells, the
+/// straggler pattern stealing exists for.  Every leg's aggregate JSON
+/// must be byte-identical to the 1-worker leg's (the orchestrator's
+/// determinism contract under stealing).
+void run_workers_matrix(bin_count n, step_count total_m,
+                        const std::vector<std::size_t>& workers_list, std::size_t lanes,
+                        std::uint64_t seed, std::vector<scale_entry>& results) {
+  if (workers_list.empty()) return;
+  constexpr std::size_t kCells = 8;
+  const step_count m_cell = std::max<step_count>(1, total_m / kCells);
+  std::vector<campaign_config> configs;
+  for (std::size_t c = 0; c < kCells; ++c) {
+    campaign_config config;
+    config.m = m_cell;
+    if (c % 2 == 0) {
+      config.label = "b-batch-" + std::to_string(c);
+      config.factory = [n] { return any_process(b_batch(n, static_cast<step_count>(n))); };
+    } else {
+      config.label = "two-choice-zipf-" + std::to_string(c);
+      config.factory = [n] {
+        two_choice p(n);
+        p.set_model(make_model("unit", "zipf:1", n));
+        return any_process(std::move(p));
+      };
+    }
+    configs.push_back(std::move(config));
+  }
+  const auto work = static_cast<double>(m_cell) * static_cast<double>(kCells);
+  std::printf("\n  campaign worker scaling (%zu mixed cells x %lld balls, work stealing, "
+              "byte-parity vs 1 worker):\n",
+              kCells, static_cast<long long>(m_cell));
+  std::string reference_json;
+  double rate_1w = 0.0;
+  for (const std::size_t w : workers_list) {
+    campaign_options opt;
+    opt.repeats = 1;
+    opt.seed = seed;
+    opt.threads = w;
+    opt.use_kernel = true;
+    opt.lanes = lanes;
+    perf_counter_set counters;
+    counters.start();
+    scale_entry entry;
+    entry.kernel = "campaign";
+    entry.isa = kernel_isa_name(resolve_kernel_isa(kernel_isa::auto_detect));
+    entry.threads = w;
+    entry.process = "mixed";
+    std::string json;
+    entry.timing = time_median_of(kWarmup, kReps, [&] {
+      const auto campaign = run_campaign(configs, opt);
+      json = campaign.to_json();
+    });
+    entry.perf = counters.stop();
+    if (reference_json.empty()) {
+      reference_json = json;  // workers_list starts with 1 (normalized)
+    } else if (json != reference_json) {
+      std::printf("DETERMINISM FAILURE: %zu-worker campaign aggregate JSON diverged from "
+                  "the 1-worker reference\n",
+                  w);
+      std::exit(1);
+    }
+    entry.has_scaling = true;
+    entry.parity_checked = true;
+    if (w == 1 && rate_1w == 0.0) rate_1w = entry.timing.rate_median(work);
+    if (rate_1w > 0.0) {
+      entry.speedup_vs_1t = entry.timing.rate_median(work) / rate_1w;
+      entry.efficiency = entry.speedup_vs_1t / static_cast<double>(w);
+    }
+    std::printf("    w=%-3zu %12.3e balls/s   speedup %5.2fx  efficiency %5.1f%%  "
+                "json ok  (%s)\n",
+                w, entry.timing.rate_median(work), entry.speedup_vs_1t,
+                100.0 * entry.efficiency, perf_note(entry.perf).c_str());
+    results.push_back(std::move(entry));
+  }
 }
 
 void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::size_t shards,
                          std::size_t lanes, const std::string& kernel_flag, std::uint64_t seed,
                          bool verify, const std::string& alias_spec,
+                         const std::vector<std::size_t>& threads_list,
+                         const std::vector<std::size_t>& workers_list,
                          const std::string& json_path) {
   const auto interval = static_cast<step_count>(n);
   const auto work = static_cast<double>(m);
   const kernel_isa best = detect_kernel_isa();
+  const host_info host = detect_host_info();
   std::printf("\nscale benchmark: b-batch b=n observed run, n = %u, m = %lld, lanes = %zu\n", n,
               static_cast<long long>(m), lanes);
   std::printf("  warm median of %d reps (+%d warmup); CPU's best backend: %s\n", kReps, kWarmup,
               kernel_isa_name(best));
+  std::printf("  host: %s (%u hardware threads, %zu-byte cache lines)\n",
+              host.cpu_model.empty() ? "unknown CPU" : host.cpu_model.c_str(),
+              host.hardware_concurrency, host.cache_line_size);
 
   std::vector<scale_entry> results;
 
   // Leg 1: the serial fused loop -- the scalar one-ball-at-a-time
   // baseline every kernel leg is measured against.
-  results.push_back(time_scale_leg(
-      "off", "none", 1, n, m, interval, seed,
-      [](b_batch& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); }));
+  {
+    perf_counter_set counters;
+    results.push_back(time_scale_leg(
+        "off", "none", 1, n, m, interval, seed, counters,
+        [](b_batch& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); }));
+  }
   const double fused_rate = results.front().timing.rate_median(work);
 
   // Legs 2..: the serial kernel engine per requested backend.  --kernel
@@ -226,9 +412,10 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     if (best != kernel_isa::scalar) backends.push_back(best);
   }
   for (const kernel_isa isa : backends) {
+    perf_counter_set counters;
     kernel_engine engine(kernel_options{.lanes = lanes, .isa = isa});
     results.push_back(time_scale_leg(
-        "kernel", kernel_isa_name(engine.isa()), 1, n, m, interval, seed,
+        "kernel", kernel_isa_name(engine.isa()), 1, n, m, interval, seed, counters,
         [&engine](b_batch& p, rng_t& rng, step_count chunk) {
           step_many_kernel(p, rng, chunk, engine);
         }));
@@ -256,11 +443,14 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
   std::printf("  kernel vs fused       %14.2fx (%s, 1 thread)\n", kernel_speedup,
               results.back().isa.c_str());
 
-  // Last leg: the shard-parallel engine with the kernel inside each shard.
+  // Shard leg: the shard-parallel engine with the kernel inside each
+  // shard (counters before the engine so pool threads are inherited).
+  perf_counter_set shard_counters;
   shard_engine engine(
       shard_options{.threads = threads, .shards = shards, .lanes = lanes});
   results.push_back(time_scale_leg(
       "shard", kernel_isa_name(engine.isa()), engine.threads(), n, m, interval, seed,
+      shard_counters,
       [&engine](b_batch& p, rng_t& rng, step_count chunk) {
         step_many_parallel(p, rng, chunk, engine);
       }));
@@ -284,11 +474,14 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
       p.set_model(make_model("unit", alias_spec, n));
       return p;
     };
+    perf_counter_set counters;
+    counters.start();
     alias_leg.timing = time_median_of(kWarmup, kReps, [&] {
       alias_leg.run = scale_observed_run_with(
           make_alias_two_choice, m, interval, seed,
           [](two_choice& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); });
     });
+    alias_leg.perf = counters.stop();
     std::printf("  %-10s sampler=%-9s t=1 %12.3e balls/s   (two-choice, gap %.1f)\n", "off",
                 alias_spec.c_str(), alias_leg.timing.rate_median(work), alias_leg.run.gap);
     results.push_back(std::move(alias_leg));
@@ -314,33 +507,80 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     std::printf("  determinism           1-thread scalar replay bit-identical\n");
   }
 
+  // The scaling matrix: intra-run threads x cross-run campaign workers.
+  run_threads_matrix(n, m, interval, threads_list, shards, lanes, seed, results);
+  // Campaign legs split a half-size total over 8 heterogeneous cells;
+  // scheduling overhead, not per-ball throughput, is what they measure.
+  run_workers_matrix(n, m / 2, workers_list, lanes, seed, results);
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     NB_REQUIRE(f != nullptr, "cannot open --json output path");
+    // CPU model strings are plain ASCII in practice; neutralize the two
+    // characters that could still break the JSON literal.
+    std::string cpu_model = host.cpu_model;
+    for (char& c : cpu_model) {
+      if (c == '"' || c == '\\') c = ' ';
+    }
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"throughput_scale\",\n"
                  "  \"process\": \"b-batch\",\n"
                  "  \"n\": %u,\n  \"m\": %lld,\n  \"b\": %u,\n  \"interval\": %lld,\n"
                  "  \"seed\": %llu,\n  \"shards\": %zu,\n  \"lanes\": %zu,\n"
+                 "  \"cpu_model\": \"%s\",\n"
                  "  \"hardware_concurrency\": %u,\n"
+                 "  \"cache_line\": %zu,\n"
                  "  \"timing\": {\"warmup\": %d, \"reps\": %d, \"statistic\": \"median\"},\n"
                  "  \"results\": [\n",
                  n, static_cast<long long>(m), n, static_cast<long long>(interval),
-                 static_cast<unsigned long long>(seed), shards, lanes,
-                 std::thread::hardware_concurrency(), kWarmup, kReps);
+                 static_cast<unsigned long long>(seed), shards, lanes, cpu_model.c_str(),
+                 host.hardware_concurrency, host.cache_line_size, kWarmup, kReps);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const scale_entry& e = results[i];
+      // Campaign legs split the work over half the balls (see above);
+      // their rates must use their own work term (mirrors m_cell * kCells
+      // in run_workers_matrix).
+      const double leg_work =
+          e.kernel == "campaign" ? static_cast<double>(std::max<step_count>(1, m / 2 / 8)) * 8.0
+                                 : work;
       std::fprintf(f,
                    "    {\"kernel\": \"%s\", \"isa\": \"%s\", \"threads\": %zu,\n"
                    "     \"process\": \"%s\", \"weighting\": \"%s\", \"sampler\": \"%s\",\n"
                    "     \"balls_per_sec\": %.6e, \"balls_per_sec_min\": %.6e,\n"
                    "     \"balls_per_sec_max\": %.6e, \"seconds_median\": %.6f,\n"
-                   "     \"gap\": %.2f}%s\n",
+                   "     \"gap\": %.2f",
                    e.kernel.c_str(), e.isa.c_str(), e.threads, e.process.c_str(),
-                   e.weighting.c_str(), e.sampler.c_str(), e.timing.rate_median(work),
-                   e.timing.rate_min(work), e.timing.rate_max(work), e.timing.median_s,
-                   e.run.gap, i + 1 < results.size() ? "," : "");
+                   e.weighting.c_str(), e.sampler.c_str(), e.timing.rate_median(leg_work),
+                   e.timing.rate_min(leg_work), e.timing.rate_max(leg_work), e.timing.median_s,
+                   e.run.gap);
+      if (e.has_scaling) {
+        std::fprintf(f,
+                     ",\n     \"speedup_vs_1thread\": %.4f, \"parallel_efficiency\": %.4f,\n"
+                     "     \"bit_identical_to_1thread\": %s",
+                     e.speedup_vs_1t, e.efficiency, e.parity_checked ? "true" : "false");
+      }
+      if (e.perf.available) {
+        std::fprintf(f, ",\n     \"perf\": {\"cycles\": %.6e, \"instructions\": %.6e, "
+                        "\"ipc\": %.4f, ",
+                     e.perf.cycles, e.perf.instructions, e.perf.ipc());
+        if (e.perf.llc_misses >= 0.0) {
+          std::fprintf(f, "\"llc_misses\": %.6e, ", e.perf.llc_misses);
+        } else {
+          std::fprintf(f, "\"llc_misses\": null, ");
+        }
+        if (e.perf.stalled_cycles >= 0.0) {
+          std::fprintf(f, "\"stalled_cycles\": %.6e, \"stalled_frac\": %.4f}",
+                       e.perf.stalled_cycles, e.perf.stalled_frac());
+        } else {
+          std::fprintf(f, "\"stalled_cycles\": null, \"stalled_frac\": null}");
+        }
+      } else {
+        // Explicitly unavailable (no usable PMU on this runner), never
+        // silently absent.
+        std::fprintf(f, ",\n     \"perf\": null");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f,
                  "  ],\n"
@@ -354,6 +594,33 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     std::fclose(f);
     std::printf("  wrote %s\n", json_path.c_str());
   }
+}
+
+/// Parses a comma-separated list of positive thread counts ("1,2,4").
+/// Normalized for the scaling matrix: sorted ascending, deduplicated, and
+/// 1 prepended when missing (speedup/parity legs need the 1-thread
+/// reference first).  Empty spec = matrix off.
+std::vector<std::size_t> parse_count_list(const std::string& flag, const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string token = spec.substr(pos, next - pos);
+    if (!token.empty()) {
+      NB_REQUIRE(token.find_first_not_of("0123456789") == std::string::npos,
+                 "--" + flag + " entries must be positive integers");
+      const unsigned long value = std::strtoul(token.c_str(), nullptr, 10);
+      NB_REQUIRE(value >= 1 && value <= 1024, "--" + flag + " entries must be in [1, 1024]");
+      out.push_back(static_cast<std::size_t>(value));
+    }
+    pos = next + 1;
+  }
+  if (out.empty()) return out;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.front() != 1) out.insert(out.begin(), 1);
+  return out;
 }
 
 }  // namespace
@@ -380,6 +647,12 @@ int main(int argc, char** argv) {
   cli.add_string("alias-sampler", "zipf:1",
                  "bin-sampler spec for the alias-sampled two-choice scale leg "
                  "(\"\" = skip the leg)");
+  cli.add_string("threads-list", "1,2,4",
+                 "scaling matrix: comma-separated shard-engine worker counts to sweep "
+                 "(normalized to include 1; \"\" = skip the thread matrix)");
+  cli.add_string("workers-list", "1,2,4",
+                 "scaling matrix: comma-separated campaign worker counts to sweep over a "
+                 "heterogeneous cell mix (\"\" = skip the campaign matrix)");
   cli.add_string("json", "BENCH_throughput.json", "scale-result JSON path (\"\" = skip)");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -440,6 +713,8 @@ int main(int argc, char** argv) {
                         static_cast<std::size_t>(cli.get_int("shards")),
                         static_cast<std::size_t>(cli.get_int("lanes")), kernel_flag, seed,
                         cli.get_bool("scale-verify"), cli.get_string("alias-sampler"),
+                        parse_count_list("threads-list", cli.get_string("threads-list")),
+                        parse_count_list("workers-list", cli.get_string("workers-list")),
                         cli.get_string("json"));
   }
   return 0;

@@ -45,7 +45,15 @@ void shard_deltas::reset(std::size_t shards, bin_count n) {
   NB_REQUIRE(shards >= 1 && n >= 1, "shard_deltas needs at least one shard and one bin");
   shards_ = shards;
   n_ = n;
-  counts_.assign(shards * static_cast<std::size_t>(n), 0);
+  // Pad the stride to whole cache lines and over-allocate one line of
+  // slack so row 0 can be skewed onto a line boundary regardless of where
+  // the vector's buffer lands (the allocator only guarantees
+  // alignof(std::uint16_t)).
+  constexpr std::size_t line_entries = row_align_bytes / sizeof(std::uint16_t);
+  stride_ = (static_cast<std::size_t>(n) + line_entries - 1) / line_entries * line_entries;
+  counts_.assign(shards * stride_ + line_entries, 0);
+  const auto addr = reinterpret_cast<std::uintptr_t>(counts_.data());
+  base_ = (row_align_bytes - addr % row_align_bytes) % row_align_bytes / sizeof(std::uint16_t);
 }
 
 void shard_deltas::sum_rows(std::vector<std::uint32_t>& out, bin_index lo, bin_index hi) const {

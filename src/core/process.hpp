@@ -191,11 +191,15 @@ namespace engine_detail {
 /// (below `min_window` or shorter than n/4 balls, where the per-window
 /// O(n) work would not amortize) and span-saturated snapshots to the
 /// serial fused loop on the master stream, and hands every remaining
-/// window to `fast(k)` with `snapshot` freshly assigned.  Keeping the
-/// routing in one place keeps both engines' window selection identical.
-template <window_probed P, typename Fast>
+/// window to `fast(k, snapshot)` with the snapshot freshly assigned.
+/// `acquire()` hands out the compact_snapshot to assign into -- the shard
+/// engine alternates two buffers so assigning window k+1 never overwrites
+/// the buffer window k's shards may still be reading, the kernel engine
+/// reuses one.  Keeping the routing in one place keeps both engines'
+/// window selection identical.
+template <window_probed P, typename Acquire, typename Fast>
 void walk_windows(P& process, rng_t& rng, step_count count, step_count cap,
-                  step_count min_window, compact_snapshot& snapshot, const Fast& fast) {
+                  step_count min_window, const Acquire& acquire, const Fast& fast) {
   while (count > 0) {
     const step_count window = process.snapshot_window();
     if (window <= 0) {  // no frozen window: serial for the whole rest
@@ -205,10 +209,15 @@ void walk_windows(P& process, rng_t& rng, step_count count, step_count cap,
     step_count k = window < count ? window : count;
     if (k > cap) k = cap;
     const auto n = static_cast<step_count>(process.state().n());
-    if (k < min_window || k * 4 < n || !snapshot.assign(process.window_snapshot())) {
+    if (k < min_window || k * 4 < n) {
       nb::step_many(process, rng, k);
     } else {
-      fast(k);
+      compact_snapshot& snapshot = acquire();
+      if (!snapshot.assign(process.window_snapshot())) {
+        nb::step_many(process, rng, k);
+      } else {
+        fast(k, snapshot);
+      }
     }
     count -= k;
   }
@@ -252,7 +261,16 @@ class shard_engine {
     NB_REQUIRE(opt.min_window >= 1, "min_window must be positive");
     NB_REQUIRE(opt.lanes >= 1 && opt.lanes <= kernel_max_lanes,
                "kernel lanes must be in [1, kernel_max_lanes]");
+    // More workers than hardware threads only time-slices (results are
+    // thread-count-independent by contract, so oversubscribing buys
+    // nothing); this is the threads_per_run > cores trap, say so once.
+    warn_if_oversubscribed(pool_.size(), "shard-engine threads_per_run");
   }
+
+  /// Deferred row clears may still be queued on the pool; they touch
+  /// deltas_, which is destroyed before pool_ (reverse declaration
+  /// order), so join them first.
+  ~shard_engine() { pool_.wait_idle(); }
 
   [[nodiscard]] const shard_options& options() const noexcept { return opt_; }
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
@@ -298,15 +316,36 @@ class shard_engine {
       // on the shard count, never on threads).
       const step_count cap =
           static_cast<step_count>(opt_.shards) * shard_deltas::max_row_count;
-      engine_detail::walk_windows(process, rng, count, cap, opt_.min_window, snapshot_,
-                                  [&](step_count k) { run_window(process, rng, k); });
+      engine_detail::walk_windows(
+          process, rng, count, cap, opt_.min_window,
+          // Double-buffered snapshot: alternate buffers so assigning the
+          // next window's snapshot on the master thread never races the
+          // pool work still in flight from the previous window (today the
+          // deferred row clears; the buffer swap is what makes any such
+          // overlap safe by construction).
+          [&]() -> compact_snapshot& {
+            snapshot_index_ ^= 1;
+            return snapshots_[snapshot_index_];
+          },
+          [&](step_count k, const compact_snapshot& snapshot) {
+            run_window(process, rng, k, snapshot);
+          });
     }
   }
 
  private:
-  /// One parallel window of `k` balls, all decided against snapshot_.
+  /// Per-shard scratch that outlives one window: the generic (non-kernel)
+  /// decide loop's index block.  Engine-owned and cache-line-aligned so a
+  /// shard task allocates nothing per window and two shards' scratch
+  /// never false-shares; 16 KiB per shard keeps each block L1-resident.
+  static constexpr std::size_t kGenericBlock = 2048;
+  struct alignas(64) shard_arena {
+    std::array<bin_index, 2 * kGenericBlock> idx;
+  };
+
+  /// One parallel window of `k` balls, all decided against `snapshot`.
   template <window_parallel P>
-  void run_window(P& process, rng_t& rng, step_count k) {
+  void run_window(P& process, rng_t& rng, step_count k, const compact_snapshot& snapshot) {
     const bin_count n = process.state().n();
     const std::size_t shards = opt_.shards;
     // Non-uniform bin sampling rides the same window machinery: shards
@@ -317,14 +356,22 @@ class shard_engine {
     if constexpr (modeled_process<P>) {
       if (!process.model().sampler.is_uniform()) table = &process.model().sampler.table();
     }
-    // Geometry changes are rare (once per run); per window each shard task
-    // zeroes its own row, keeping the shards*n*4-byte clear off the serial
-    // path (at n = 10^6 and 16 shards that clear is 64 MB per window).
-    if (deltas_.shards() != shards || deltas_.bins() != n) deltas_.reset(shards, n);
+    // The previous window's deferred row clears may still be running on
+    // the pool; everything below touches the delta rows, so drain first.
+    drain_deferred_clears();
+    if (deltas_.shards() != shards || deltas_.bins() != n) {
+      deltas_.reset(shards, n);
+      rows_clean_ = true;
+    }
+    if (arenas_.size() != shards) arenas_ = std::vector<shard_arena>(shards);
     // One draw from the master stream per window; every shard substream
     // derives from this token, so shard results cannot depend on threads.
     const std::uint64_t window_token = rng.next();
-    const std::uint8_t* snap = snapshot_.data();
+    const std::uint8_t* snap = snapshot.data();
+    // rows_clean_: the previous window's clears already zeroed every row
+    // (the steady state), so shard tasks skip the redundant re-clear; the
+    // first window after a geometry change is clean via reset().
+    const bool clean = rows_clean_;
     for (std::size_t s = 0; s < shards; ++s) {
       const step_count shard_balls =
           k / static_cast<step_count>(shards) +
@@ -332,17 +379,19 @@ class shard_engine {
       std::uint16_t* row = deltas_.row(s);
       if (shard_balls == 0) {
         // Ball-less shard (k < shards): its row still feeds the merge, so
-        // clear the counts left over from the previous window.
-        std::fill_n(row, n, std::uint16_t{0});
+        // make sure no counts linger from the previous window.
+        if (!clean) deltas_.clear_row(s);
         continue;
       }
-      pool_.submit([n, snap, row, shard_balls, seed = shard_stream_seed(window_token, s),
-                    lanes = opt_.lanes, isa = isa_, table] {
-        std::fill_n(row, n, std::uint16_t{0});
-        run_shard<P>(n, snap, row, shard_balls, seed, lanes, isa, table);
+      pool_.submit([n, snap, row, shard_balls, clean,
+                    seed = shard_stream_seed(window_token, s), lanes = opt_.lanes, isa = isa_,
+                    table, arena = &arenas_[s]] {
+        if (!clean) std::fill_n(row, n, std::uint16_t{0});
+        run_shard<P>(n, snap, row, shard_balls, seed, lanes, isa, table, arena->idx.data());
       });
     }
     pool_.wait_idle();
+    rows_clean_ = false;
     // Merge: fixed shard order per bin, bin ranges summed concurrently
     // (disjoint, so still deterministic).
     merged_.resize(n);
@@ -352,7 +401,26 @@ class shard_engine {
       pool_.submit([this, lo, hi] { deltas_.sum_rows(merged_, lo, hi); });
     }
     pool_.wait_idle();
+    // Overlap the next window's row clears (pool) with this window's
+    // commit (master thread): the clears touch only the delta rows, the
+    // commit only merged_ + the process state, so the two are disjoint.
+    // At n = 10^6 and 16 shards the clears are ~32 MB of stores per
+    // window -- off the serial path entirely in the steady state.
+    for (std::size_t s = 0; s < shards; ++s) {
+      pool_.submit([this, s] { deltas_.clear_row(s); });
+    }
+    clears_pending_ = true;
     process.commit_window(merged_, k);
+  }
+
+  /// Joins the deferred row clears of the previous window (no-op in the
+  /// common case where the pool already drained them while the master
+  /// thread was busy committing / assigning the next snapshot).
+  void drain_deferred_clears() {
+    if (!clears_pending_) return;
+    pool_.wait_idle();
+    clears_pending_ = false;
+    rows_clean_ = true;
   }
 
   /// Shard body.  Min-select processes run the lane-interleaved SIMD
@@ -362,11 +430,12 @@ class shard_engine {
   /// sampling contract stays (seed, shards, lanes) and never sees threads
   /// or the ISA backend.  Processes with a bespoke snapshot_decide keep
   /// the generic block-sampled loop (uniform Lemire blocks or alias
-  /// blocks, per the model).
+  /// blocks, per the model) over `idx_block`, this shard's arena scratch
+  /// (2 * kGenericBlock entries).
   template <window_parallel P>
   static void run_shard(bin_count n, const std::uint8_t* snap, std::uint16_t* row,
                         step_count shard_balls, std::uint64_t seed, std::size_t lanes,
-                        kernel_isa isa, const alias_table* table) {
+                        kernel_isa isa, const alias_table* table, bin_index* idx_block) {
     if constexpr (kernel_window_parallel<P>) {
       if (table != nullptr) {
         kernel_run_alias(isa, lanes, n, snap, table->thresholds(), table->aliases(), row,
@@ -375,20 +444,19 @@ class shard_engine {
         kernel_run(isa, lanes, n, snap, row, shard_balls, seed);
       }
     } else {
-      static constexpr std::size_t kBlock = 2048;  // 16 KiB of indices: L1-resident
-      alignas(64) std::array<bin_index, 2 * kBlock> idx;
       rng_t srng(seed);
       while (shard_balls > 0) {
-        const std::size_t chunk =
-            shard_balls < static_cast<step_count>(kBlock) ? static_cast<std::size_t>(shard_balls)
-                                                          : kBlock;
+        const std::size_t chunk = shard_balls < static_cast<step_count>(kGenericBlock)
+                                      ? static_cast<std::size_t>(shard_balls)
+                                      : kGenericBlock;
         if (table != nullptr) {
-          table->sample_block(srng, idx.data(), 2 * chunk);
+          table->sample_block(srng, idx_block, 2 * chunk);
         } else {
-          bounded_block(srng, n, idx.data(), 2 * chunk);
+          bounded_block(srng, n, idx_block, 2 * chunk);
         }
         for (std::size_t t = 0; t < chunk; ++t) {
-          const bin_index chosen = P::snapshot_decide(snap, idx[2 * t], idx[2 * t + 1], srng);
+          const bin_index chosen =
+              P::snapshot_decide(snap, idx_block[2 * t], idx_block[2 * t + 1], srng);
           ++row[chosen];
         }
         shard_balls -= static_cast<step_count>(chunk);
@@ -399,9 +467,17 @@ class shard_engine {
   shard_options opt_;
   kernel_isa isa_;
   thread_pool pool_;
-  compact_snapshot snapshot_;
+  /// Two snapshot buffers, alternated per parallel window (see the
+  /// acquire lambda in step_many).
+  compact_snapshot snapshots_[2];
+  std::size_t snapshot_index_ = 0;
   shard_deltas deltas_;
+  std::vector<shard_arena> arenas_;
   std::vector<std::uint32_t> merged_;
+  /// Deferred-clear state: true while the previous window's row-clear
+  /// tasks may still be on the pool / once they finished, respectively.
+  bool clears_pending_ = false;
+  bool rows_clean_ = false;
 };
 
 /// Configuration of the serial kernel engine.  `lanes` is part of the
@@ -469,9 +545,13 @@ class kernel_engine {
         }
       }
       // No row-width cap needed: whole windows accumulate into uint32
-      // counters and a run is bounded by max_run_balls anyway.
+      // counters and a run is bounded by max_run_balls anyway.  Serial
+      // engine, so a single snapshot buffer suffices (nothing outlives
+      // the window that could race the next assign).
       engine_detail::walk_windows(
-          process, rng, count, max_run_balls, opt_.min_window, snapshot_, [&](step_count k) {
+          process, rng, count, max_run_balls, opt_.min_window,
+          [&]() -> compact_snapshot& { return snapshot_; },
+          [&](step_count k, const compact_snapshot& snapshot) {
             // One master-stream draw per window (same cadence as the
             // shard engine), then the whole window decides in the kernel
             // -- the alias lane path when the model samples non-uniformly.
@@ -485,10 +565,10 @@ class kernel_engine {
               }
             }
             if (table != nullptr) {
-              kernel_run_alias(isa_, opt_.lanes, n, snapshot_.data(), table->thresholds(),
+              kernel_run_alias(isa_, opt_.lanes, n, snapshot.data(), table->thresholds(),
                                table->aliases(), inc_.data(), k, token);
             } else {
-              kernel_run(isa_, opt_.lanes, n, snapshot_.data(), inc_.data(), k, token);
+              kernel_run(isa_, opt_.lanes, n, snapshot.data(), inc_.data(), k, token);
             }
             process.commit_window(inc_, k);
           });

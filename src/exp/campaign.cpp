@@ -1,11 +1,13 @@
 #include "exp/campaign.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <mutex>
+#include <thread>
 
 #include "exp/journal.hpp"
 #include "util/csv.hpp"
@@ -170,14 +172,37 @@ campaign_result run_campaign(const std::vector<campaign_config>& configs,
   out.cells_resumed = total - pending.size();
   out.cells_executed = pending.size();
 
+  // Worker-count policy.  Explicit requests are honored (warned when
+  // they oversubscribe); the *default* (threads == 0) used to mean "one
+  // worker per core" even when every cell also runs threads_per_run
+  // intra-run shard workers -- workers x threads_per_run threads on
+  // hardware_concurrency cores, silent time-slicing.  Clamp the default
+  // so the product fits the machine.
+  std::size_t workers = opt.threads;
+  const std::size_t per_run = std::max<std::size_t>(1, opt.threads_per_run);
+  const auto cores =
+      static_cast<std::size_t>(std::max(1u, std::thread::hardware_concurrency()));
+  if (workers == 0 && per_run > 1) {
+    workers = std::max<std::size_t>(1, cores / per_run);
+  }
+  warn_if_oversubscribed(resolve_workers(workers) * per_run, "campaign workers x threads_per_run");
+
   // Pool tasks are noexcept by contract, but weighted cells can fail at
   // runtime (e.g. a fixed-weight config whose per-bin loads overflow the
   // guarded 32-bit representation mid-run).  Capture the first error and
   // rethrow it on the caller's thread instead of terminating; the journal
   // keeps every cell that completed, so --resume picks up after a fix.
+  //
+  // Scheduling is parallel_for's chunked work stealing: heterogeneous
+  // cells (zipf vs uniform, kernel vs fused, different m) rebalance onto
+  // idle workers instead of straggling behind a fixed hand-out order.
+  // Determinism is untouched -- cell seeds derive from the cell *index*
+  // and the aggregation below folds in index order, so the JSON is
+  // byte-identical for any worker count and any steal pattern (enforced
+  // by tests/test_orchestrator.cpp and tests/test_multicore.cpp).
   std::mutex error_mutex;
   std::exception_ptr first_error;
-  parallel_for(pending.size(), opt.threads, [&](std::size_t job) {
+  parallel_for(pending.size(), workers, [&](std::size_t job) {
     {
       const std::lock_guard<std::mutex> lock(error_mutex);
       if (first_error) return;  // fail fast: stop starting new cells

@@ -15,6 +15,12 @@
 // engages the intra-run shard engine, use_kernel the serial SIMD kernel
 // engine, anything else the serial fused loop.
 //
+// Cells are scheduled by parallel_for's chunked work-stealing distributor
+// (util/thread_pool.hpp): heterogeneous cells rebalance onto idle workers
+// instead of straggling behind a fixed hand-out order, and because the
+// schedule never feeds into sampling or fold order, stealing cannot
+// perturb results.
+//
 // Aggregation is streaming: per configuration the campaign keeps a
 // cell_aggregator (Welford gap/underload/max-load stats + an integer gap
 // histogram for quantiles), so memory stays O(cells) regardless of m.
@@ -65,7 +71,10 @@ using cell = campaign_config;
 struct campaign_options {
   std::size_t repeats = 10;
   std::uint64_t seed = 1;
-  /// Scheduler workers over cells; 0 = one per hardware core.
+  /// Scheduler workers over cells; 0 = one per hardware core, clamped to
+  /// cores / threads_per_run when intra-run parallelism is also on (the
+  /// product is what actually lands on the machine).  Explicit values are
+  /// honored but warn_once when they oversubscribe.
   std::size_t threads = 0;
   /// > 0: every cell runs through the intra-run shard engine with this
   /// many workers (stale-snapshot windows go shard-parallel).

@@ -1,0 +1,60 @@
+#include "util/host_info.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace nb {
+
+namespace {
+
+std::string detect_cpu_model() {
+#if defined(__linux__)
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    // x86 says "model name", some ARM kernels say "Processor"/"model name";
+    // take the first match either way.
+    const auto key_end = line.find(':');
+    if (key_end == std::string::npos) continue;
+    std::string key = line.substr(0, key_end);
+    key.erase(std::remove(key.begin(), key.end(), '\t'), key.end());
+    while (!key.empty() && key.back() == ' ') key.pop_back();
+    if (key != "model name" && key != "Processor") continue;
+    std::string value = line.substr(key_end + 1);
+    const auto first = value.find_first_not_of(' ');
+    return first == std::string::npos ? std::string{} : value.substr(first);
+  }
+#endif
+  return {};
+}
+
+std::size_t detect_cache_line_size() {
+#if defined(_SC_LEVEL1_DCACHE_LINESIZE)
+  const long line = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (line > 0) return static_cast<std::size_t>(line);
+#endif
+#if defined(__linux__)
+  // Some kernels report 0 through sysconf but still populate sysfs.
+  std::ifstream sysfs("/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size");
+  std::size_t line_size = 0;
+  if (sysfs >> line_size && line_size > 0) return line_size;
+#endif
+  return 64;
+}
+
+}  // namespace
+
+host_info detect_host_info() {
+  host_info info;
+  info.cpu_model = detect_cpu_model();
+  info.hardware_concurrency = std::max(1u, std::thread::hardware_concurrency());
+  info.cache_line_size = detect_cache_line_size();
+  return info;
+}
+
+}  // namespace nb

@@ -1,0 +1,131 @@
+#include "util/perf_counters.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define NB_HAVE_PERF_EVENTS 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#else
+#define NB_HAVE_PERF_EVENTS 0
+#endif
+
+namespace nb {
+
+#if NB_HAVE_PERF_EVENTS
+
+namespace {
+
+struct read_triple {
+  std::uint64_t count = 0;
+  std::uint64_t enabled = 0;
+  std::uint64_t running = 0;
+};
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  // Counting starts at open (disabled = 0) on purpose: inherited child
+  // events copy the enable state at clone time, and a later ioctl(ENABLE)
+  // on the parent fd does NOT propagate to already-cloned children.
+  // Regions are measured as read() deltas instead.
+  attr.disabled = 0;
+  attr.inherit = 1;  // aggregate pool threads spawned after open
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // inherit=1 forbids PERF_FORMAT_GROUP, hence one fd per event; the
+  // enabled/running times let us scale counts under multiplexing.
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+bool read_counter(int fd, read_triple& out) {
+  std::uint64_t buf[3] = {0, 0, 0};
+  if (fd < 0) return false;
+  const ssize_t got = read(fd, buf, sizeof buf);
+  if (got != static_cast<ssize_t>(sizeof buf)) return false;
+  out.count = buf[0];
+  out.enabled = buf[1];
+  out.running = buf[2];
+  return true;
+}
+
+/// Multiplex-scaled delta between two snapshots of one counter.
+double scaled_delta(const read_triple& before, const read_triple& after) {
+  const double count = static_cast<double>(after.count - before.count);
+  const double enabled = static_cast<double>(after.enabled - before.enabled);
+  const double running = static_cast<double>(after.running - before.running);
+  if (running <= 0.0) return 0.0;
+  return count * (enabled / running);
+}
+
+}  // namespace
+
+perf_counter_set::perf_counter_set() {
+  events_[0].fd = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  events_[1].fd = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  events_[2].fd = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  events_[3].fd = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND);
+  // The core pair is all-or-nothing: an IPC built from one working and one
+  // refused counter would be garbage.
+  if (events_[0].fd < 0 || events_[1].fd < 0) {
+    for (event& e : events_) {
+      if (e.fd >= 0) close(e.fd);
+      e.fd = -1;
+    }
+  }
+}
+
+perf_counter_set::~perf_counter_set() {
+  for (event& e : events_) {
+    if (e.fd >= 0) close(e.fd);
+  }
+}
+
+bool perf_counter_set::available() const noexcept { return events_[0].fd >= 0; }
+
+void perf_counter_set::start() {
+  for (event& e : events_) {
+    read_triple now;
+    if (!read_counter(e.fd, now)) continue;
+    e.count = now.count;
+    e.enabled = now.enabled;
+    e.running = now.running;
+  }
+}
+
+perf_sample perf_counter_set::stop() {
+  perf_sample sample;
+  if (!available()) return sample;
+  double values[4] = {0.0, 0.0, -1.0, -1.0};
+  for (int i = 0; i < 4; ++i) {
+    read_triple now;
+    if (!read_counter(events_[i].fd, now)) continue;
+    const read_triple before{events_[i].count, events_[i].enabled, events_[i].running};
+    values[i] = scaled_delta(before, now);
+  }
+  sample.available = true;
+  sample.cycles = values[0];
+  sample.instructions = values[1];
+  sample.llc_misses = events_[2].fd >= 0 ? values[2] : -1.0;
+  sample.stalled_cycles = events_[3].fd >= 0 ? values[3] : -1.0;
+  return sample;
+}
+
+#else  // !NB_HAVE_PERF_EVENTS: every call is a defined no-op.
+
+perf_counter_set::perf_counter_set() = default;
+perf_counter_set::~perf_counter_set() = default;
+bool perf_counter_set::available() const noexcept { return false; }
+void perf_counter_set::start() {}
+perf_sample perf_counter_set::stop() { return {}; }
+
+#endif
+
+}  // namespace nb

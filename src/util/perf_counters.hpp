@@ -1,0 +1,78 @@
+// Hardware performance counters for the bench legs, via Linux
+// perf_event_open, with a graceful no-op fallback everywhere else.
+//
+// The scaling matrix wants to record *why* a flat spot is flat, not just
+// that it is: a leg that stops scaling because it is memory-bound shows
+// up as rising LLC misses and stalled cycles at constant IPC, while a
+// scheduling problem shows up as falling IPC with flat misses.  Each
+// bench leg wraps its timed region in start()/stop() and writes the
+// sample into its JSON entry.
+//
+// Availability is a property of the runner, not the build: containers and
+// VMs routinely ship the header but refuse the syscall (no PMU, or
+// perf_event_paranoid locked down).  Every refusal degrades to
+// available() == false and samples that say so explicitly -- the bench
+// then emits "perf": null rather than zeros masquerading as measurements.
+//
+// Threading: events are opened with inherit=1, so worker threads spawned
+// AFTER construction (the shard engine's pool, campaign workers) are
+// aggregated into the parent's counts.  Construct the counter set before
+// the engine whose threads you want counted.  Counters run from
+// construction; start()/stop() bracket a region by snapshotting, so
+// multiplexed events are time-scaled per region.
+#pragma once
+
+#include <cstdint>
+
+namespace nb {
+
+/// One measured region.  Counts are multiplex-scaled (count *
+/// time_enabled / time_running) and therefore doubles.  A negative value
+/// for llc_misses / stalled_cycles means that single event could not be
+/// opened on this CPU (common for the stalled-cycles event); `available`
+/// covers the core pair (cycles + instructions).
+struct perf_sample {
+  bool available = false;
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double llc_misses = -1.0;
+  double stalled_cycles = -1.0;
+
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0.0 ? instructions / cycles : 0.0;
+  }
+  [[nodiscard]] double stalled_frac() const noexcept {
+    return (cycles > 0.0 && stalled_cycles >= 0.0) ? stalled_cycles / cycles : -1.0;
+  }
+};
+
+/// A fixed set of per-thread-inherited hardware counters: CPU cycles,
+/// retired instructions, LLC misses, backend-stalled cycles.  Copying is
+/// disabled (each instance owns kernel fds on Linux).
+class perf_counter_set {
+ public:
+  perf_counter_set();
+  ~perf_counter_set();
+  perf_counter_set(const perf_counter_set&) = delete;
+  perf_counter_set& operator=(const perf_counter_set&) = delete;
+
+  /// True when at least cycles + instructions opened successfully.
+  [[nodiscard]] bool available() const noexcept;
+
+  /// Marks the start of a measured region (snapshots all counters).
+  void start();
+  /// Ends the region and returns the scaled deltas since start().
+  perf_sample stop();
+
+ private:
+  struct event {
+    int fd = -1;
+    std::uint64_t count = 0;    // baseline at start()
+    std::uint64_t enabled = 0;  // time_enabled at start()
+    std::uint64_t running = 0;  // time_running at start()
+  };
+  // Order: cycles, instructions, llc_misses, stalled_cycles.
+  event events_[4];
+};
+
+}  // namespace nb

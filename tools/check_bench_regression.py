@@ -23,6 +23,12 @@ recorded at paper scale on a developer machine while CI runs a reduced
 smoke scale on shared runners, so the gate is meant to catch real
 regressions (a broken fast path, an accidental serial fallback), not
 machine-to-machine noise.
+
+Multi-thread scaling legs (threads > 1) are only meaningful when the
+runner actually has that many cores: on a smaller machine the leg
+time-slices and its rate says nothing about the code.  The fresh JSON
+carries the runner's `hardware_concurrency`; legs whose thread count
+exceeds it are skipped with a notice instead of gated.
 """
 
 import argparse
@@ -67,9 +73,15 @@ def main():
     base_legs = index_legs(baseline)
     fresh_legs = index_legs(fresh)
     floor = 1.0 - args.tolerance
+    # The fresh file knows the runner it ran on; older baselines may
+    # predate the host-metadata fields.
+    runner_cores = fresh.get("hardware_concurrency", 0)
     failures = []
     print(f"bench-regression gate: tolerance {args.tolerance:.0%} "
           f"(fail below {floor:.0%} of baseline)")
+    if runner_cores:
+        print(f"  runner: {fresh.get('cpu_model', 'unknown CPU')} "
+              f"({runner_cores} hardware threads)")
 
     for key, base in sorted(base_legs.items()):
         label = f"kernel={key[0]:<6} isa={key[1]:<6} threads={key[2]}"
@@ -77,6 +89,10 @@ def main():
             label += f" weighting={key[3]} sampler={key[4]}"
         if key not in fresh_legs:
             print(f"  SKIP {label}: leg missing from fresh results")
+            continue
+        if runner_cores and key[2] > runner_cores:
+            print(f"  SKIP {label}: leg needs {key[2]} threads but the runner "
+                  f"has {runner_cores}; oversubscribed timings are not gateable")
             continue
         base_rate = base["balls_per_sec"]
         fresh_rate = fresh_legs[key]["balls_per_sec"]
