@@ -370,9 +370,46 @@ void run_workers_matrix(bin_count n, step_count total_m,
   }
 }
 
+/// The price of kill-safety: the serial fused b-batch run re-timed with
+/// real (encoded, CRC'd, fsync'd) checkpoint files written about every
+/// `every` balls, against the same run without.  Returns the relative
+/// slowdown; exits if checkpointing perturbed the loads at all.
+double measure_checkpoint_overhead(bin_count n, step_count m, step_count every,
+                                   std::uint64_t seed) {
+  const std::string path = "BENCH_checkpoint.ckpt";
+  const process_spec spec{"b-batch", n, static_cast<double>(n)};
+  std::vector<load_t> plain_loads;
+  std::vector<load_t> ckpt_loads;
+  const auto timed_run = [&](step_count cadence, std::vector<load_t>& loads_out) {
+    return time_median_of(kWarmup, kReps, [&] {
+      any_process process = make_process(spec);
+      rng_t rng(seed);
+      run_engine engine((engine_options{}));
+      (void)run_checkpointed(process, m, rng, engine, cadence, [&](step_count) {
+        write_checkpoint_file(path,
+                              capture_checkpoint(process, rng, engine.fingerprint(), 0, seed));
+      });
+      loads_out = process.state().loads();
+    });
+  };
+  const timing_stats t_plain = timed_run(0, plain_loads);
+  const timing_stats t_ckpt = timed_run(every, ckpt_loads);
+  std::remove(path.c_str());
+  if (plain_loads != ckpt_loads) {
+    std::printf("CHECKPOINT PERTURBATION FAILURE: checkpointed run diverged from plain run\n");
+    std::exit(1);
+  }
+  const double overhead = t_ckpt.median_s / t_plain.median_s - 1.0;
+  const auto marks = static_cast<long long>(every > 0 ? (m - 1) / every : 0);
+  std::printf("  checkpoint overhead   %+13.2f%% (every %lld balls: %lld fsync'd "
+              "checkpoint file(s), loads unperturbed)\n",
+              overhead * 100.0, static_cast<long long>(every), marks);
+  return overhead;
+}
+
 void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::size_t shards,
                          std::size_t lanes, const std::string& kernel_flag, std::uint64_t seed,
-                         bool verify, const std::string& alias_spec,
+                         bool verify, const std::string& alias_spec, step_count checkpoint_every,
                          const std::vector<std::size_t>& threads_list,
                          const std::vector<std::size_t>& workers_list,
                          const std::string& json_path) {
@@ -487,6 +524,13 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     results.push_back(std::move(alias_leg));
   }
 
+  // Checkpoint-overhead leg: recorded (not speed-gated) so the cost of
+  // making a run preemptible stays visible next to the throughput it taxes.
+  double ckpt_overhead = -1.0;
+  if (checkpoint_every > 0) {
+    ckpt_overhead = measure_checkpoint_overhead(n, m, checkpoint_every, seed);
+  }
+
   bool identical = true;
   if (verify) {
     // Determinism contract: same seed + same (shards, lanes) under ONE
@@ -585,11 +629,19 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     std::fprintf(f,
                  "  ],\n"
                  "  \"kernel_vs_fused_speedup\": %.4f,\n"
-                 "  \"shard_vs_fused_speedup\": %.4f,\n"
+                 "  \"shard_vs_fused_speedup\": %.4f,\n",
+                 kernel_speedup, shard.timing.rate_median(work) / fused_rate);
+    if (ckpt_overhead >= -0.5) {
+      std::fprintf(f,
+                   "  \"checkpoint_every\": %lld,\n  \"checkpoint_overhead_frac\": %.4f,\n",
+                   static_cast<long long>(checkpoint_every), ckpt_overhead);
+    } else {
+      std::fprintf(f, "  \"checkpoint_every\": 0,\n  \"checkpoint_overhead_frac\": null,\n");
+    }
+    std::fprintf(f,
                  "  \"identical_across_isa_backends\": %s,\n"
                  "  \"identical_across_thread_counts\": %s\n"
                  "}\n",
-                 kernel_speedup, shard.timing.rate_median(work) / fused_rate,
                  isa_verified ? "true" : "null", verify ? "true" : "null");
     std::fclose(f);
     std::printf("  wrote %s\n", json_path.c_str());
@@ -647,6 +699,9 @@ int main(int argc, char** argv) {
   cli.add_string("alias-sampler", "zipf:1",
                  "bin-sampler spec for the alias-sampled two-choice scale leg "
                  "(\"\" = skip the leg)");
+  cli.add_int("checkpoint-every", 10000000,
+              "scale benchmark: also time the fused leg with fsync'd mid-run checkpoint "
+              "files about every N balls and record the overhead (0 = skip the leg)");
   cli.add_string("threads-list", "1,2,4",
                  "scaling matrix: comma-separated shard-engine worker counts to sweep "
                  "(normalized to include 1; \"\" = skip the thread matrix)");
@@ -707,12 +762,14 @@ int main(int argc, char** argv) {
     const std::string kernel_flag = cli.get_string("kernel");
     NB_REQUIRE(kernel_flag == "scalar" || kernel_flag == "simd" || kernel_flag == "auto",
                "--kernel must be scalar, simd or auto");
+    NB_REQUIRE(cli.get_int("checkpoint-every") >= 0, "--checkpoint-every must be >= 0");
     run_scale_benchmark(static_cast<bin_count>(cli.get_int("scale-n")),
                         static_cast<step_count>(cli.get_int("scale-m")),
                         static_cast<std::size_t>(cli.get_int("scale-threads")),
                         static_cast<std::size_t>(cli.get_int("shards")),
                         static_cast<std::size_t>(cli.get_int("lanes")), kernel_flag, seed,
                         cli.get_bool("scale-verify"), cli.get_string("alias-sampler"),
+                        static_cast<step_count>(cli.get_int("checkpoint-every")),
                         parse_count_list("threads-list", cli.get_string("threads-list")),
                         parse_count_list("workers-list", cli.get_string("workers-list")),
                         cli.get_string("json"));

@@ -31,6 +31,15 @@ int main(int argc, char** argv) {
     cli.add_int("threads", 0, "scheduler workers (0 = hardware cores; never affects results)");
     cli.add_string("journal", "", "append-only JSONL cell journal (enables --resume)");
     cli.add_bool("resume", false, "replay --journal and run only the missing cells");
+    cli.add_int("checkpoint-every", 0,
+                "checkpoint each cell's mid-run state about every N balls next to --journal "
+                "(0 = off; --resume then picks cells up mid-run; never affects results)");
+    cli.add_int("threads-per-run", 0,
+                "intra-run shard-engine workers per cell (0 = serial; sampling depends on "
+                "--shards, never on this)");
+    cli.add_int("shards", 16, "shard count for the intra-run engine (sampling contract)");
+    cli.add_bool("kernel", false, "route serial cells through the lane-interleaved SIMD kernel");
+    cli.add_int("lanes", 8, "kernel lanes for both engines (sampling contract)");
     cli.add_string("json", "", "write the aggregate JSON archive here");
     cli.add_string("csv", "", "write the per-config CSV here");
     if (!cli.parse(argc, argv)) return 0;
@@ -65,14 +74,20 @@ int main(int argc, char** argv) {
     opt.threads = static_cast<std::size_t>(cli.get_int("threads"));
     opt.journal_path = cli.get_string("journal");
     opt.resume = cli.get_bool("resume");
+    NB_REQUIRE(cli.get_int("checkpoint-every") >= 0, "--checkpoint-every must be non-negative");
+    opt.checkpoint_every = static_cast<step_count>(cli.get_int("checkpoint-every"));
+    opt.threads_per_run = static_cast<std::size_t>(cli.get_int("threads-per-run"));
+    opt.shards = static_cast<std::size_t>(cli.get_int("shards"));
+    opt.use_kernel = cli.get_bool("kernel");
+    opt.lanes = static_cast<std::size_t>(cli.get_int("lanes"));
 
     const auto campaign = run_campaign(configs, opt);
 
     std::printf("campaign: %zu configs x %zu repeats = %zu cells "
-                "(%zu executed, %zu resumed from journal)\n\n",
+                "(%zu executed, %zu resumed from journal, %zu restored mid-run)\n\n",
                 campaign.configs.size(), campaign.repeats,
                 campaign.configs.size() * campaign.repeats, campaign.cells_executed,
-                campaign.cells_resumed);
+                campaign.cells_resumed, campaign.cells_restored);
     text_table table({"config", "runs", "mean gap", "stddev", "median", "max"});
     for (const auto& cr : campaign.configs) {
       const auto& agg = cr.aggregate;

@@ -1,0 +1,152 @@
+// Little-endian binary state codec for mid-run checkpoints.
+//
+// `state_writer` appends fixed-width primitives to a growable byte buffer;
+// `state_reader` consumes the same encoding with hard bounds checks -- every
+// malformed read (truncation, oversized length prefix) throws
+// nb::contract_error instead of reading past the end or allocating an
+// attacker-controlled amount of memory.  The encoding is explicitly
+// little-endian and width-stable, so a checkpoint written on one host is a
+// byte-identical function of the simulation state on any other.
+//
+// The codec is deliberately dumb: no tags, no schema evolution.  Versioning
+// lives one level up, in the checkpoint file header (exp/checkpoint.hpp);
+// a version bump rewrites the payload layout wholesale.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nb {
+
+class state_writer {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_double(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  /// u64 byte count + raw bytes.
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// u64 element count + elements.  T must be a fixed-width integral type.
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    static_assert(std::is_integral_v<T> && (sizeof(T) == 1 || sizeof(T) == 2 ||
+                                            sizeof(T) == 4 || sizeof(T) == 8));
+    put_u64(v.size());
+    if constexpr (std::endian::native == std::endian::little) {
+      // Bulk copy: checkpoints carry n-sized vectors (the load array is
+      // 4 MB at paper scale) and a per-element loop shows up in the
+      // checkpoint-overhead bench.
+      const std::size_t bytes = v.size() * sizeof(T);
+      const std::size_t at = buf_.size();
+      buf_.resize(at + bytes);
+      if (bytes > 0) std::memcpy(buf_.data() + at, v.data(), bytes);
+    } else {
+      for (const T x : v) put_le(static_cast<std::make_unsigned_t<T>>(x));
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  template <typename U>
+  void put_le(U v) {
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class state_reader {
+ public:
+  state_reader(const std::uint8_t* data, std::size_t size) noexcept : data_(data), size_(size) {}
+  explicit state_reader(const std::vector<std::uint8_t>& bytes) noexcept
+      : state_reader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] std::uint8_t get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint32_t get_u32() { return get_le<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t get_u64() { return get_le<std::uint64_t>(); }
+  [[nodiscard]] std::int32_t get_i32() { return static_cast<std::int32_t>(get_le<std::uint32_t>()); }
+  [[nodiscard]] std::int64_t get_i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
+  [[nodiscard]] bool get_bool() { return get_u8() != 0; }
+  [[nodiscard]] double get_double() { return std::bit_cast<double>(get_le<std::uint64_t>()); }
+
+  [[nodiscard]] std::string get_string() {
+    const std::uint64_t len = get_u64();
+    need_count(len, 1);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> get_vec() {
+    static_assert(std::is_integral_v<T> && (sizeof(T) == 1 || sizeof(T) == 2 ||
+                                            sizeof(T) == 4 || sizeof(T) == 8));
+    const std::uint64_t count = get_u64();
+    // Reject the length prefix BEFORE allocating: a corrupt count must
+    // produce a clean diagnostic, not a multi-gigabyte bad_alloc.
+    need_count(count, sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(count));
+    if constexpr (std::endian::native == std::endian::little) {
+      if (count > 0) std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(T));
+      pos_ += v.size() * sizeof(T);
+    } else {
+      for (auto& x : v) x = static_cast<T>(get_le<std::make_unsigned_t<T>>());
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+  /// Trailing bytes after the last field mean writer/reader disagree on the
+  /// layout -- reject rather than silently ignore.
+  void expect_end() const {
+    NB_REQUIRE(pos_ == size_, "checkpoint payload has trailing bytes (layout mismatch)");
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    NB_REQUIRE(bytes <= size_ - pos_, "checkpoint payload truncated");
+  }
+  void need_count(std::uint64_t count, std::size_t elem_size) const {
+    NB_REQUIRE(count <= (size_ - pos_) / elem_size,
+               "checkpoint payload length prefix exceeds remaining bytes");
+  }
+
+  template <typename U>
+  [[nodiscard]] U get_le() {
+    need(sizeof(U));
+    U v = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<U>(static_cast<U>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(U);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nb

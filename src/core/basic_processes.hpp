@@ -47,6 +47,11 @@ class one_choice {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract: the load state is the only mutable member
+  /// (parameters and model are configuration, rebuilt from the spec).
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     deposit(state_, model_.weighting, model_.sampler.sample(rng, n), rng);
@@ -80,6 +85,11 @@ class two_choice {
     model_ = std::move(m);
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// Checkpoint contract: the load state is the only mutable member
+  /// (parameters and model are configuration, rebuilt from the spec).
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
 
  private:
   void step_one(rng_t& rng, bin_count n) {
@@ -132,6 +142,11 @@ class d_choice {
     model_ = std::move(m);
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// Checkpoint contract: the load state is the only mutable member
+  /// (parameters and model are configuration, rebuilt from the spec).
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
 
  private:
   void step_one(rng_t& rng, bin_count n) {
@@ -188,6 +203,11 @@ class one_plus_beta {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract: the load state is the only mutable member
+  /// (parameters and model are configuration, rebuilt from the spec).
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i1 = model_.sampler.sample(rng, n);
@@ -222,5 +242,9 @@ static_assert(modeled_process<one_choice>);
 static_assert(modeled_process<two_choice>);
 static_assert(modeled_process<d_choice>);
 static_assert(modeled_process<one_plus_beta>);
+static_assert(checkpointable_process<one_choice>);
+static_assert(checkpointable_process<two_choice>);
+static_assert(checkpointable_process<d_choice>);
+static_assert(checkpointable_process<one_plus_beta>);
 
 }  // namespace nb

@@ -111,6 +111,33 @@ void load_state::apply_increments(const std::vector<std::uint32_t>& add,
   levels_ok_ = levels_.rebuild(loads_);
 }
 
+void load_state::save(state_writer& w) const {
+  NB_REQUIRE(!bulk_, "cannot checkpoint a load_state inside an open bulk window");
+  w.put_vec(loads_);
+  w.put_i64(balls_);
+  w.put_i64(extra_weight_);
+}
+
+void load_state::restore(state_reader& r) {
+  auto loads = r.get_vec<load_t>();
+  const std::int64_t balls = r.get_i64();
+  const std::int64_t extra = r.get_i64();
+  NB_REQUIRE(loads.size() == loads_.size(), "checkpoint bin count does not match this run");
+  NB_REQUIRE(balls >= 0 && balls <= max_run_balls, "checkpoint ball count out of range");
+  NB_REQUIRE(extra >= 0, "checkpoint extra weight must be non-negative");
+  weight_t total = 0;
+  for (const load_t x : loads) {
+    NB_REQUIRE(x >= 0, "checkpoint loads must be non-negative");
+    total += x;
+  }
+  NB_REQUIRE(total == balls + extra, "checkpoint loads do not sum to the recorded total weight");
+  loads_ = std::move(loads);
+  balls_ = balls;
+  extra_weight_ = extra;
+  bulk_ = false;
+  levels_ok_ = levels_.rebuild(loads_);
+}
+
 std::vector<double> load_state::normalized() const {
   const double avg = average_load();
   std::vector<double> y(loads_.size());

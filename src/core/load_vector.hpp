@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace nb {
@@ -422,6 +423,18 @@ class load_state {
   /// Number of overloaded bins |B+| = |{i : y_i >= 0}|.  O(span) via the
   /// level index while dense, O(n) scan otherwise.
   [[nodiscard]] bin_count overloaded_count() const noexcept;
+
+  /// Serializes the full load state (raw loads + ball/weight totals).  The
+  /// level index is NOT written: it is a pure function of the loads and
+  /// restore() rebuilds it, which by construction yields a state
+  /// query-identical to incremental maintenance (same contract as
+  /// end_bulk()).  Must not be called inside a bulk window.
+  void save(state_writer& w) const;
+
+  /// Inverse of save().  Validates bin count, non-negative loads and the
+  /// loads-vs-totals consistency sum before touching *this; throws
+  /// contract_error on any mismatch.
+  void restore(state_reader& r);
 
  private:
   void begin_bulk() noexcept {

@@ -51,6 +51,11 @@ class g_adv_comp {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract: the strategy and parameters are configuration,
+  /// the load state is the only mutable member.
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i1 = model_.sampler.sample(rng, n);
@@ -84,5 +89,7 @@ static_assert(modeled_process<g_bounded>);
 static_assert(allocation_process<g_adv_comp<always_correct>>);
 static_assert(allocation_process<g_adv_comp<overload_booster>>);
 static_assert(allocation_process<g_adv_comp<index_bias>>);
+static_assert(checkpointable_process<g_bounded>);
+static_assert(checkpointable_process<g_myopic_comp>);
 
 }  // namespace nb

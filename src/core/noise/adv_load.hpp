@@ -81,6 +81,11 @@ class g_adv_load {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract: the strategy and parameters are configuration,
+  /// the load state is the only mutable member.
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i1 = model_.sampler.sample(rng, n);
@@ -108,5 +113,7 @@ static_assert(allocation_process<g_adv_load<inverting_estimates>>);
 static_assert(allocation_process<g_adv_load<uniform_noise_estimates>>);
 static_assert(allocation_process<g_adv_load<truthful_estimates>>);
 static_assert(modeled_process<g_adv_load<inverting_estimates>>);
+static_assert(checkpointable_process<g_adv_load<inverting_estimates>>);
+static_assert(checkpointable_process<g_adv_load<uniform_noise_estimates>>);
 
 }  // namespace nb

@@ -69,6 +69,30 @@ class b_batch {
   /// The load of bin i as reported during the current batch (for tests).
   [[nodiscard]] load_t reported_load(bin_index i) const { return stale_[i]; }
 
+  /// Checkpoint contract.  The stale snapshot is real mid-run state (it
+  /// froze at the last batch boundary, which the current loads cannot
+  /// reconstruct), so it is serialized along with the touched list.
+  void save_checkpoint(state_writer& w) const {
+    state_.save(w);
+    w.put_vec(stale_);
+    w.put_vec(touched_);
+  }
+  void restore_checkpoint(state_reader& r) {
+    state_.restore(r);
+    auto stale = r.get_vec<load_t>();
+    auto touched = r.get_vec<bin_index>();
+    NB_REQUIRE(stale.size() == stale_.size(), "checkpoint snapshot size does not match this run");
+    const auto n = static_cast<bin_index>(state_.n());
+    for (const load_t x : stale) {
+      NB_REQUIRE(x >= 0, "checkpoint snapshot loads must be non-negative");
+    }
+    for (const bin_index i : touched) {
+      NB_REQUIRE(i < n, "checkpoint touched-bin index out of range");
+    }
+    stale_ = std::move(stale);
+    touched_ = std::move(touched);
+  }
+
   // --- window-parallel contract (see process.hpp) ------------------------
   // b-Batch is the fully synchronized batched model: every ball until the
   // next batch boundary decides against the snapshot taken at the batch
@@ -157,5 +181,6 @@ class b_batch {
 static_assert(allocation_process<b_batch>);
 static_assert(window_parallel<b_batch>);
 static_assert(modeled_process<b_batch>);
+static_assert(checkpointable_process<b_batch>);
 
 }  // namespace nb

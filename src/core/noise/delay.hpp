@@ -155,6 +155,48 @@ class tau_delay {
   /// Oldest legal estimate of bin i, i.e. x^{t-tau}_i (exposed for tests).
   [[nodiscard]] load_t stale_load(bin_index i) const { return state_.load(i) - in_window_[i]; }
 
+  /// Checkpoint contract.  The ring of in-flight allocations (targets +
+  /// weights + cursors) is the delay state proper; the per-bin hidden
+  /// weight `in_window_` is a pure function of the valid ring entries and
+  /// is rebuilt on restore rather than serialized (n entries saved, and
+  /// the rebuild doubles as a consistency check on the ring).
+  void save_checkpoint(state_writer& w) const {
+    state_.save(w);
+    w.put_vec(window_);
+    w.put_vec(window_weights_);
+    w.put_u64(window_size_);
+    w.put_u64(window_pos_);
+  }
+  void restore_checkpoint(state_reader& r) {
+    state_.restore(r);
+    auto ring = r.get_vec<bin_index>();
+    auto weights = r.get_vec<load_t>();
+    const std::uint64_t size = r.get_u64();
+    const std::uint64_t pos = r.get_u64();
+    NB_REQUIRE(ring.size() == window_.size() && weights.size() == window_weights_.size(),
+               "checkpoint delay-ring capacity does not match this run's tau");
+    NB_REQUIRE(size <= ring.size(), "checkpoint delay-ring fill exceeds its capacity");
+    if (size < ring.size()) {
+      // Fill phase: entries [0, size) are valid and the cursor trails them.
+      NB_REQUIRE(pos == size, "checkpoint delay-ring cursor inconsistent with its fill");
+    } else {
+      NB_REQUIRE(ring.empty() ? pos == 0 : pos < ring.size(),
+                 "checkpoint delay-ring cursor out of range");
+    }
+    const auto n = static_cast<bin_index>(state_.n());
+    std::fill(in_window_.begin(), in_window_.end(), 0);
+    const std::size_t valid = size < ring.size() ? static_cast<std::size_t>(size) : ring.size();
+    for (std::size_t idx = 0; idx < valid; ++idx) {
+      NB_REQUIRE(ring[idx] < n, "checkpoint delay-ring target out of range");
+      NB_REQUIRE(weights[idx] >= 1, "checkpoint delay-ring weight must be positive");
+      in_window_[ring[idx]] += weights[idx];
+    }
+    window_ = std::move(ring);
+    window_weights_ = std::move(weights);
+    window_size_ = static_cast<std::size_t>(size);
+    window_pos_ = static_cast<std::size_t>(pos);
+  }
+
  private:
   bin_index decide_one(rng_t& rng, bin_count n) {
     const bin_index i1 = model_.sampler.sample(rng, n);
@@ -199,5 +241,8 @@ static_assert(allocation_process<tau_delay<delay_random>>);
 static_assert(window_probed<tau_delay<delay_oldest>>);
 static_assert(!window_parallel<tau_delay<delay_oldest>>);
 static_assert(modeled_process<tau_delay<delay_oldest>>);
+static_assert(checkpointable_process<tau_delay<delay_oldest>>);
+static_assert(checkpointable_process<tau_delay<delay_adversarial>>);
+static_assert(checkpointable_process<tau_delay<delay_random>>);
 
 }  // namespace nb

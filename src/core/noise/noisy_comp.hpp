@@ -107,6 +107,11 @@ class rho_noisy_comp {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract: rho is configuration, the load state is the only
+  /// mutable member.
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i1 = model_.sampler.sample(rng, n);
@@ -167,6 +172,21 @@ class sigma_noisy_load_gaussian {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract.  Box-Muller draws Gaussians in pairs, so the
+  /// sampler's cached second half is genuine mid-stream state: dropping it
+  /// would shift every later Gaussian draw by one.
+  void save_checkpoint(state_writer& w) const {
+    state_.save(w);
+    w.put_bool(gauss_.has_cached());
+    w.put_double(gauss_.cached_value());
+  }
+  void restore_checkpoint(state_reader& r) {
+    state_.restore(r);
+    const bool has_cached = r.get_bool();
+    const double cached = r.get_double();
+    gauss_.set_cache(has_cached, cached);
+  }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i1 = model_.sampler.sample(rng, n);
@@ -196,5 +216,9 @@ static_assert(allocation_process<rho_noisy_comp<rho_step>>);
 static_assert(allocation_process<sigma_noisy_load_gaussian>);
 static_assert(modeled_process<sigma_noisy_load>);
 static_assert(modeled_process<sigma_noisy_load_gaussian>);
+static_assert(checkpointable_process<sigma_noisy_load>);
+static_assert(checkpointable_process<rho_noisy_comp<rho_constant>>);
+static_assert(checkpointable_process<rho_noisy_comp<rho_step>>);
+static_assert(checkpointable_process<sigma_noisy_load_gaussian>);
 
 }  // namespace nb

@@ -85,6 +85,11 @@ class noisy_mean_thinning {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract: the strategy and parameters are configuration,
+  /// the load state is the only mutable member.
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i = model_.sampler.sample(rng, n);
@@ -140,6 +145,11 @@ class noisy_one_plus_beta {
   }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
+  /// Checkpoint contract: the strategy and parameters are configuration,
+  /// the load state is the only mutable member.
+  void save_checkpoint(state_writer& w) const { state_.save(w); }
+  void restore_checkpoint(state_reader& r) { state_.restore(r); }
+
  private:
   void step_one(rng_t& rng, bin_count n) {
     const bin_index i1 = model_.sampler.sample(rng, n);
@@ -177,5 +187,7 @@ static_assert(allocation_process<noisy_one_plus_beta<greedy_reverser>>);
 static_assert(allocation_process<noisy_one_plus_beta<random_decision>>);
 static_assert(modeled_process<mean_thinning>);
 static_assert(modeled_process<noisy_one_plus_beta<greedy_reverser>>);
+static_assert(checkpointable_process<mean_thinning>);
+static_assert(checkpointable_process<noisy_one_plus_beta<greedy_reverser>>);
 
 }  // namespace nb

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "core/alloc_model.hpp"
 #include "core/kernel/kernel.hpp"
 #include "core/load_vector.hpp"
@@ -74,6 +75,29 @@ concept allocation_process = single_steppable<P> &&
       { cp.state() } -> std::convertible_to<const load_state&>;
       { p.reset() } -> std::same_as<void>;
       { cp.name() } -> std::convertible_to<std::string>;
+    };
+
+/// A process whose full mid-run state can be serialized and restored.
+/// Contract (the whole-simulation generalization of the RNG
+/// save/draw/restore/identical-next-draw contract): after
+///
+///   p.save_checkpoint(w);  ...arbitrary further stepping of p...
+///   q.restore_checkpoint(r)   // q freshly constructed with the SAME
+///                             // configuration (n, params, model)
+///
+/// q is indistinguishable from p at the moment of the save -- stepping q
+/// and the saved-state p with identical randomness produces bit-identical
+/// results.  save_checkpoint must capture every mutable member (loads,
+/// ball counts, delay rings, batch snapshots, cached Gaussian halves);
+/// configuration (n, process parameters, the alloc_model) is NOT written
+/// -- it is the caller's job to rebuild the process from its spec first,
+/// and restore_checkpoint must validate sizes against it (throwing
+/// nb::contract_error on mismatch, never reading out of bounds).
+template <typename P>
+concept checkpointable_process = allocation_process<P> &&
+    requires(P p, const P cp, state_writer& w, state_reader& r) {
+      { cp.save_checkpoint(w) } -> std::same_as<void>;
+      { p.restore_checkpoint(r) } -> std::same_as<void>;
     };
 
 /// Samples one bin uniformly at random (One-Choice primitive).
@@ -622,6 +646,18 @@ class any_process {
   /// error the caller must hear about).
   void set_model(alloc_model m) { impl_->set_model(std::move(m)); }
   [[nodiscard]] const alloc_model& model() const { return impl_->model(); }
+  /// Checkpoint plumbing behind the erasure.  checkpointable() probes the
+  /// wrapped type; save/restore on a non-checkpointable process throws
+  /// contract_error (drivers probe first and degrade to checkpoint-free
+  /// execution with a diagnostic).
+  [[nodiscard]] bool checkpointable() const noexcept { return impl_->checkpointable(); }
+  void save_checkpoint(state_writer& w) const { impl_->save_checkpoint(w); }
+  void restore_checkpoint(state_reader& r) { impl_->restore_checkpoint(r); }
+  /// Window probe for checkpoint cadence: balls until the wrapped
+  /// process's next stale-snapshot window boundary (0 = no frozen window,
+  /// any cut is a boundary).  Checkpoint cuts aligned to this leave the
+  /// engines' window sequence -- and therefore the results -- unchanged.
+  [[nodiscard]] step_count snapshot_window() const { return impl_->snapshot_window(); }
 
  private:
   struct base {
@@ -635,6 +671,10 @@ class any_process {
     [[nodiscard]] virtual std::string name() const = 0;
     virtual void set_model(alloc_model) = 0;
     [[nodiscard]] virtual const alloc_model& model() const = 0;
+    [[nodiscard]] virtual bool checkpointable() const noexcept = 0;
+    virtual void save_checkpoint(state_writer&) const = 0;
+    virtual void restore_checkpoint(state_reader&) = 0;
+    [[nodiscard]] virtual step_count snapshot_window() const = 0;
     [[nodiscard]] virtual std::unique_ptr<base> clone() const = 0;
   };
 
@@ -668,6 +708,32 @@ class any_process {
       } else {
         static const alloc_model default_model{};
         return default_model;
+      }
+    }
+    [[nodiscard]] bool checkpointable() const noexcept override {
+      return checkpointable_process<P>;
+    }
+    void save_checkpoint(state_writer& w) const override {
+      if constexpr (checkpointable_process<P>) {
+        process.save_checkpoint(w);
+      } else {
+        throw contract_error("checkpoint save/restore is not supported by process " +
+                             process.name());
+      }
+    }
+    void restore_checkpoint(state_reader& r) override {
+      if constexpr (checkpointable_process<P>) {
+        process.restore_checkpoint(r);
+      } else {
+        throw contract_error("checkpoint save/restore is not supported by process " +
+                             process.name());
+      }
+    }
+    [[nodiscard]] step_count snapshot_window() const override {
+      if constexpr (window_probed<P>) {
+        return process.snapshot_window();
+      } else {
+        return 0;
       }
     }
     [[nodiscard]] std::unique_ptr<base> clone() const override {

@@ -1,6 +1,7 @@
 #include "exp/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "exp/checkpoint.hpp"
 #include "exp/journal.hpp"
 #include "util/csv.hpp"
 
@@ -88,24 +90,45 @@ std::uint64_t grid_fingerprint(const std::vector<campaign_config>& configs) {
   return h;
 }
 
-run_result run_cell(const campaign_config& config, std::uint64_t seed,
-                    const campaign_options& opt) {
+run_result run_cell(const campaign_config& config, std::size_t index, std::uint64_t seed,
+                    const campaign_options& opt, bool* restored) {
   any_process process = config.factory ? config.factory() : make_process(config.process);
   rng_t rng(seed);
+  // Engine + scratch are per cell: intra-run parallelism targets few,
+  // huge runs, where one run dwarfs the shard engine's ~ms startup.
+  run_engine engine(opt.engine());
+
+  bool checkpointing = opt.checkpoint_every > 0;
+  if (checkpointing && !process.checkpointable()) {
+    // Accepted-but-ineffective, like the engines' unsupported-process
+    // traps: the run still completes, it is just not preemptible.
+    warn_once("checkpoint/" + process.name(),
+              "process '" + process.name() +
+                  "' does not support mid-run checkpointing; cell runs checkpoint-free "
+                  "(journal-level resume still applies)");
+    checkpointing = false;
+  }
+
   run_result r;
-  if (opt.threads_per_run > 0) {
-    // Engine + scratch are per cell: intra-run parallelism targets few,
-    // huge runs, where one run dwarfs the engine's ~ms startup.
-    shard_engine engine(shard_options{.threads = opt.threads_per_run,
-                                      .shards = opt.shards,
-                                      .lanes = opt.lanes,
-                                      .isa = opt.isa});
-    r = simulate_parallel(process, config.m, rng, engine);
-  } else if (opt.use_kernel) {
-    kernel_engine engine(kernel_options{.lanes = opt.lanes, .isa = opt.isa});
-    r = simulate_kernel(process, config.m, rng, engine);
+  if (checkpointing) {
+    const std::string ckpt_path = checkpoint_cell_path(opt.journal_path, index);
+    if (opt.resume) {
+      if (const auto ckpt = try_read_checkpoint_file(ckpt_path)) {
+        restore_from_checkpoint(process, rng, *ckpt, engine.fingerprint(), index, seed, config.m);
+        *restored = true;
+      }
+    }
+    r = run_checkpointed(process, config.m, rng, engine, opt.checkpoint_every,
+                         [&](step_count /*balls_done*/) {
+                           write_checkpoint_file(
+                               ckpt_path,
+                               capture_checkpoint(process, rng, engine.fingerprint(), index, seed));
+                         });
+    // The journal line the caller appends supersedes the checkpoint; a
+    // stale file would only confuse the next resume.
+    std::remove(ckpt_path.c_str());
   } else {
-    r = simulate(process, config.m, rng);
+    r = simulate_with(process, config.m, rng, engine);
   }
   r.seed = seed;
   return r;
@@ -113,10 +136,17 @@ run_result run_cell(const campaign_config& config, std::uint64_t seed,
 
 }  // namespace
 
+std::string checkpoint_cell_path(const std::string& journal_path, std::size_t cell) {
+  return journal_path + ".cell" + std::to_string(cell) + ".ckpt";
+}
+
 campaign_result run_campaign(const std::vector<campaign_config>& configs,
                              const campaign_options& opt) {
   NB_REQUIRE(!configs.empty(), "campaign needs at least one configuration");
   NB_REQUIRE(opt.repeats >= 1, "campaign needs at least one repetition per configuration");
+  NB_REQUIRE(opt.checkpoint_every >= 0, "checkpoint cadence must be non-negative");
+  NB_REQUIRE(opt.checkpoint_every == 0 || !opt.journal_path.empty(),
+             "intra-cell checkpointing needs a journal path (checkpoint files live beside it)");
   for (const auto& config : configs) {
     NB_REQUIRE(config.factory != nullptr || !config.process.kind.empty(),
                "campaign config '" + config.label + "' needs a factory or a registry spec");
@@ -167,7 +197,14 @@ campaign_result run_campaign(const std::vector<campaign_config>& configs,
   std::vector<std::size_t> pending;
   pending.reserve(total);
   for (std::size_t index = 0; index < total; ++index) {
-    if (!done[index]) pending.push_back(index);
+    if (!done[index]) {
+      pending.push_back(index);
+    } else if (opt.checkpoint_every > 0) {
+      // Journal-completed cell: any leftover mid-run checkpoint (e.g. the
+      // kill landed between the journal append and the file removal) is
+      // superseded -- drop it so nothing stale survives the campaign.
+      std::remove(checkpoint_cell_path(opt.journal_path, index).c_str());
+    }
   }
   out.cells_resumed = total - pending.size();
   out.cells_executed = pending.size();
@@ -202,6 +239,7 @@ campaign_result run_campaign(const std::vector<campaign_config>& configs,
   // by tests/test_orchestrator.cpp and tests/test_multicore.cpp).
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::atomic<std::size_t> restored_cells{0};
   parallel_for(pending.size(), workers, [&](std::size_t job) {
     {
       const std::lock_guard<std::mutex> lock(error_mutex);
@@ -210,7 +248,9 @@ campaign_result run_campaign(const std::vector<campaign_config>& configs,
     const std::size_t index = pending[job];
     const campaign_config& config = configs[index / opt.repeats];
     try {
-      run_result r = run_cell(config, derive_seed(opt.seed, index), opt);
+      bool restored = false;
+      run_result r = run_cell(config, index, derive_seed(opt.seed, index), opt, &restored);
+      if (restored) restored_cells.fetch_add(1, std::memory_order_relaxed);
       out.cells[index] = r;
       journal.append({index, r});
     } catch (...) {
@@ -219,6 +259,7 @@ campaign_result run_campaign(const std::vector<campaign_config>& configs,
     }
   });
   if (first_error) std::rethrow_exception(first_error);
+  out.cells_restored = restored_cells.load(std::memory_order_relaxed);
 
   // Aggregate in cell-index order: deterministic for any worker count and
   // identical whether a cell ran fresh or was replayed from the journal.

@@ -89,7 +89,32 @@ struct campaign_options {
   std::string journal_path;
   /// Replay `journal_path` first and run only the missing cells.
   bool resume = false;
+  /// > 0: checkpoint every cell's mid-run state about every this many
+  /// balls (first stale-snapshot window boundary at or after each
+  /// multiple -- see exp/checkpoint.hpp), into one file per cell next to
+  /// the journal.  With `resume`, a cell whose checkpoint survived picks
+  /// up mid-run instead of restarting from ball zero.  Execution-only:
+  /// the cadence NEVER affects results -- checkpointed, resumed and
+  /// uninterrupted campaigns emit byte-identical aggregate JSON (enforced
+  /// by tests/test_checkpoint.cpp and tools/crash_fuzz.py).  Requires a
+  /// journal_path; processes without checkpoint support degrade to
+  /// checkpoint-free execution with a one-time diagnostic.
+  step_count checkpoint_every = 0;
+
+  /// The engine-routing slice of these options (see sim/runner.hpp).
+  [[nodiscard]] engine_options engine() const noexcept {
+    return engine_options{.threads_per_run = threads_per_run,
+                          .shards = shards,
+                          .use_kernel = use_kernel,
+                          .lanes = lanes,
+                          .isa = isa};
+  }
 };
+
+/// Path of the intra-cell checkpoint file for `cell`, derived from the
+/// campaign's journal path (the journal names the campaign; its cells'
+/// checkpoints live beside it).
+[[nodiscard]] std::string checkpoint_cell_path(const std::string& journal_path, std::size_t cell);
 
 /// Streaming per-configuration aggregate: Welford stats over the cells'
 /// gap / underload gap / max load, plus the integer gap histogram the
@@ -136,6 +161,9 @@ struct campaign_result {
   /// same bytes as an uninterrupted one.
   std::size_t cells_executed = 0;
   std::size_t cells_resumed = 0;
+  /// Of the executed cells, how many picked up mid-run from an intra-cell
+  /// checkpoint file (subset of cells_executed; same to_json() exclusion).
+  std::size_t cells_restored = 0;
 
   /// Deterministic aggregate JSON (config order, %.17g doubles): the
   /// machine-readable campaign archive.

@@ -5,8 +5,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "common/error.hpp"
+#include "util/fsio.hpp"
 
 namespace nb {
 
@@ -140,22 +143,36 @@ std::optional<journal_entry> parse_journal_entry(const std::string& line) {
   return e;
 }
 
+journal_writer::~journal_writer() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
 void journal_writer::open(const std::string& path, const journal_header& header,
                           const std::vector<journal_entry>& preserve) {
   NB_REQUIRE(!path.empty(), "journal path must not be empty");
   const std::lock_guard<std::mutex> lock(mutex_);
-  out_.open(path, std::ios::out | std::ios::trunc);
-  NB_REQUIRE(out_.is_open(), "cannot open campaign journal '" + path + "' for writing");
-  out_ << journal_header_line(header) << '\n';
-  for (const auto& entry : preserve) out_ << journal_entry_line(entry) << '\n';
-  out_.flush();
+  NB_REQUIRE(out_ == nullptr, "journal writer is already open");
+  // Stage the rewritten journal in memory and land it atomically: the old
+  // journal (with every replayed cell) stays intact until the new one is
+  // fully durable.  In-place truncate-and-rewrite had a kill window in
+  // which BOTH were lost.
+  std::string staged = journal_header_line(header) + '\n';
+  for (const auto& entry : preserve) staged += journal_entry_line(entry) + '\n';
+  atomic_write_file(path, staged.data(), staged.size());
+  out_ = std::fopen(path.c_str(), "ab");
+  NB_REQUIRE(out_ != nullptr,
+             "cannot open campaign journal '" + path + "' for appending: " + std::strerror(errno));
+  path_ = path;
 }
 
 void journal_writer::append(const journal_entry& entry) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!out_.is_open()) return;
-  out_ << journal_entry_line(entry) << '\n';
-  out_.flush();
+  if (out_ == nullptr) return;
+  const std::string line = journal_entry_line(entry) + '\n';
+  const std::size_t written = std::fwrite(line.data(), 1, line.size(), out_);
+  NB_REQUIRE(written == line.size(),
+             "failed to append to campaign journal '" + path_ + "': " + std::strerror(errno));
+  flush_and_sync(out_, path_);
 }
 
 journal_replay replay_journal(const std::string& path) {

@@ -17,7 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -53,21 +53,32 @@ struct journal_entry {
 class journal_writer {
  public:
   journal_writer() = default;
+  journal_writer(const journal_writer&) = delete;
+  journal_writer& operator=(const journal_writer&) = delete;
+  ~journal_writer();
 
-  /// Opens (truncates) `path`, writes the header line and re-writes
-  /// `preserve` (the entries replayed from a previous journal, so resumed
-  /// campaigns end up with one clean, garbage-free journal).  Throws
-  /// nb::contract_error if the file cannot be opened.
+  /// Rewrites `path` with the header line plus `preserve` (the entries
+  /// replayed from a previous journal, so resumed campaigns end up with
+  /// one clean, garbage-free journal), then reopens it for appending.
+  /// The rewrite is ATOMIC and durable (util/fsio.hpp: temp + fsync +
+  /// rename + parent-dir fsync): a kill anywhere inside open() leaves
+  /// either the complete old journal or the complete new one on disk --
+  /// never a truncated file that would forfeit the already-replayed
+  /// cells.  Throws nb::contract_error on any IO failure.
   void open(const std::string& path, const journal_header& header,
             const std::vector<journal_entry>& preserve = {});
 
-  [[nodiscard]] bool active() const noexcept { return out_.is_open(); }
+  [[nodiscard]] bool active() const noexcept { return out_ != nullptr; }
 
-  /// Appends one cell line and flushes it (crash durability).
+  /// Appends one cell line, then flushes AND fsyncs it: once append
+  /// returns, that cell survives SIGKILL and power loss.  One fsync per
+  /// cell is the durability policy the resume contract is priced in --
+  /// cells are seconds-to-minutes of simulation, so the sync is noise.
   void append(const journal_entry& entry);
 
  private:
-  std::ofstream out_;
+  std::FILE* out_ = nullptr;
+  std::string path_;
   std::mutex mutex_;
 };
 

@@ -32,6 +32,7 @@
 #include "core/process_registry.hpp"
 #include "core/theory/bounds.hpp"
 #include "exp/campaign.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/journal.hpp"
 #include "rng/rng.hpp"
 #include "sim/recorder.hpp"
@@ -42,6 +43,7 @@
 #include "stats/summary.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"

@@ -122,6 +122,17 @@ class xoshiro256pp {
   static constexpr result_type max() noexcept { return std::numeric_limits<std::uint64_t>::max(); }
   result_type operator()() noexcept { return next(); }
 
+  /// Raw 256-bit state, for mid-stream checkpoint/restore: after
+  /// set_state(state()) the generator produces the identical continuation
+  /// of the stream.  The all-zero state is the one fixed point of the
+  /// transition function and is rejected.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept { return s_; }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) {
+    NB_REQUIRE(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+               "xoshiro256 state must not be all zero");
+    s_ = s;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };
@@ -152,6 +163,14 @@ class xoshiro256ss {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return std::numeric_limits<std::uint64_t>::max(); }
   result_type operator()() noexcept { return next(); }
+
+  /// Mid-stream state access; see xoshiro256pp::state().
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept { return s_; }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) {
+    NB_REQUIRE(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+               "xoshiro256 state must not be all zero");
+    s_ = s;
+  }
 
  private:
   std::array<std::uint64_t, 4> s_{};
@@ -241,6 +260,16 @@ class gaussian_sampler {
   }
 
   void reset() noexcept { has_cached_ = false; }
+
+  /// Box-Muller produces values in pairs, so "how far into the current
+  /// pair" is real mid-stream state: a checkpoint must carry the cached
+  /// second value or the restored stream diverges after one draw.
+  [[nodiscard]] bool has_cached() const noexcept { return has_cached_; }
+  [[nodiscard]] double cached_value() const noexcept { return cached_; }
+  void set_cache(bool has_cached, double value) noexcept {
+    has_cached_ = has_cached;
+    cached_ = value;
+  }
 
  private:
   static constexpr double kPi = 3.14159265358979323846;

@@ -13,6 +13,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -32,6 +33,68 @@ struct run_result {
   load_t min_load = 0;
   step_count balls = 0;
   std::uint64_t seed = 0;
+};
+
+/// The engine-routing slice of the run options, shared by every driver
+/// that moves balls (run_repeated_with, the campaign orchestrator, the
+/// checkpointed-run driver).  threads_per_run > 0 selects the shard
+/// engine, else use_kernel the serial kernel engine, else the plain fused
+/// loop.  shards / use_kernel / lanes are part of the sampling contract;
+/// threads_per_run and isa are execution-only and never affect results.
+struct engine_options {
+  std::size_t threads_per_run = 0;
+  std::size_t shards = 16;
+  bool use_kernel = false;
+  std::size_t lanes = 8;
+  kernel_isa isa = kernel_isa::auto_detect;
+};
+
+/// One run's engine: owns the optional shard/kernel engine the options
+/// select and presents a single step() entry point, so drivers stop
+/// duplicating the three-way dispatch.  Create one per run (the engines
+/// amortize their scratch across all chunks of that run).
+class run_engine {
+ public:
+  explicit run_engine(const engine_options& opt) {
+    if (opt.threads_per_run > 0) {
+      shard_.emplace(shard_options{.threads = opt.threads_per_run,
+                                   .shards = opt.shards,
+                                   .lanes = opt.lanes,
+                                   .isa = opt.isa});
+      fingerprint_ = "shard[shards=" + std::to_string(opt.shards) +
+                     ",lanes=" + std::to_string(opt.lanes) + "]";
+    } else if (opt.use_kernel) {
+      kernel_.emplace(kernel_options{.lanes = opt.lanes, .isa = opt.isa});
+      fingerprint_ = "kernel[lanes=" + std::to_string(opt.lanes) + "]";
+    } else {
+      fingerprint_ = "serial";
+    }
+  }
+
+  /// Allocates `count` balls through the selected engine, drawing from
+  /// `rng` exactly like the corresponding step_many* free function.
+  template <single_steppable P>
+  void step(P& process, rng_t& rng, step_count count) {
+    if (shard_.has_value()) {
+      step_many_parallel(process, rng, count, *shard_);
+    } else if (kernel_.has_value()) {
+      step_many_kernel(process, rng, count, *kernel_);
+    } else {
+      nb::step_many(process, rng, count);
+    }
+  }
+
+  /// The engine's sampling-contract identity: mode plus the parameters
+  /// that influence the drawn randomness (shards, lanes) -- and nothing
+  /// execution-only (threads, ISA backend).  A checkpoint written under
+  /// one fingerprint may only be restored under the same one; resuming
+  /// with a different thread count or ISA is legal by construction.
+  [[nodiscard]] const std::string& fingerprint() const noexcept { return fingerprint_; }
+
+ private:
+  std::optional<shard_engine> shard_;
+  std::optional<kernel_engine> kernel_;
+  std::string fingerprint_;
 };
 
 /// Options for repeated runs.
@@ -66,6 +129,15 @@ struct repeat_options {
   /// Both are part of the sampling contract.
   std::string weighting = "unit";
   std::string sampler = "uniform";
+
+  /// The engine-routing slice of these options (see engine_options).
+  [[nodiscard]] engine_options engine() const noexcept {
+    return engine_options{.threads_per_run = threads_per_run,
+                          .shards = shards,
+                          .use_kernel = use_kernel,
+                          .lanes = lanes,
+                          .isa = isa};
+  }
 };
 
 /// Aggregate over repetitions of one configuration.
@@ -132,6 +204,17 @@ run_result simulate_kernel(P& process, step_count m, rng_t& rng, kernel_engine& 
   return detail::collect_run_result(process);
 }
 
+/// Options-routed variant: moves the m balls through whichever engine the
+/// options selected (run_engine).  This is what run_repeated_with and the
+/// campaign cells use; the three simulate* templates above stay for
+/// callers that manage an engine themselves.
+template <allocation_process P>
+run_result simulate_with(P& process, step_count m, rng_t& rng, run_engine& engine) {
+  detail::check_run_ceiling(process, m);
+  engine.step(process, rng, m);
+  return detail::collect_run_result(process);
+}
+
 /// Runs `factory()` for m balls, `opt.runs` times with derived seeds, in
 /// parallel, and aggregates.  The factory must yield a fresh process (same
 /// configuration) on every call and must be safe to call concurrently.
@@ -177,18 +260,8 @@ repeat_result run_repeated_with(Factory&& factory, step_count m, const repeat_op
         }
       }
       rng_t rng(derive_seed(opt.master_seed, r));
-      if (opt.threads_per_run > 0) {
-        shard_engine engine(shard_options{.threads = opt.threads_per_run,
-                                          .shards = opt.shards,
-                                          .lanes = opt.lanes,
-                                          .isa = opt.isa});
-        results[r] = simulate_parallel(process, m, rng, engine);
-      } else if (opt.use_kernel) {
-        kernel_engine engine(kernel_options{.lanes = opt.lanes, .isa = opt.isa});
-        results[r] = simulate_kernel(process, m, rng, engine);
-      } else {
-        results[r] = simulate(process, m, rng);
-      }
+      run_engine engine(opt.engine());
+      results[r] = simulate_with(process, m, rng, engine);
       results[r].seed = derive_seed(opt.master_seed, r);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);

@@ -1,0 +1,103 @@
+#include "util/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define NB_HAVE_POSIX_IO 1
+#else
+#define NB_HAVE_POSIX_IO 0
+#endif
+
+namespace nb {
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw contract_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string parent_dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void flush_and_sync(std::FILE* file, const std::string& path_for_errors) {
+  NB_REQUIRE(file != nullptr, "flush_and_sync needs an open stream");
+  if (std::fflush(file) != 0) io_fail("failed to flush", path_for_errors);
+#if NB_HAVE_POSIX_IO
+  if (::fsync(::fileno(file)) != 0) io_fail("failed to fsync", path_for_errors);
+#endif
+}
+
+void sync_parent_dir(const std::string& path) {
+#if NB_HAVE_POSIX_IO
+  const std::string dir = parent_dir_of(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort: an unsyncable parent is not an error
+  ::fsync(fd);         // some filesystems (EINVAL) refuse directory fsync
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+void atomic_write_file(const std::string& path, const void* data, std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) io_fail("failed to open temp file", tmp);
+  if (size > 0 && std::fwrite(data, 1, size, file) != size) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    io_fail("failed to write", tmp);
+  }
+  try {
+    flush_and_sync(file, tmp);
+  } catch (...) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::fclose(file) != 0) {
+    std::remove(tmp.c_str());
+    io_fail("failed to close", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    io_fail("failed to rename temp file over", path);
+  }
+  sync_parent_dir(path);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) return std::nullopt;
+    io_fail("failed to open", path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buf, 1, sizeof(buf), file);
+    bytes.insert(bytes.end(), buf, buf + got);
+    if (got < sizeof(buf)) {
+      if (std::ferror(file) != 0) {
+        std::fclose(file);
+        io_fail("failed to read", path);
+      }
+      break;
+    }
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+}  // namespace nb

@@ -1,0 +1,46 @@
+// Crash-safe file IO primitives shared by the checkpoint writer and the
+// campaign journal.
+//
+// The durability contract of atomic_write_file(): after it returns, the
+// target path holds exactly the new bytes even if the process is SIGKILLed
+// or the machine loses power at ANY point -- before, during, or after the
+// call.  Mechanism (the classic POSIX sequence):
+//
+//   1. write the bytes to <path>.tmp,
+//   2. fsync the temp file (data hits the disk before the name does),
+//   3. rename(2) it over <path> -- atomic within a filesystem,
+//   4. fsync the parent directory (the rename itself becomes durable).
+//
+// A crash before (3) leaves the old file untouched (a stale .tmp is
+// harmless and overwritten next time); a crash after (3) leaves the new
+// file.  There is no window in which a reader can observe a torn file.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+/// Atomically and durably replaces `path` with `size` bytes from `data`.
+/// Throws nb::contract_error (with errno context) on any IO failure.
+void atomic_write_file(const std::string& path, const void* data, std::size_t size);
+
+/// Whole-file read.  Returns std::nullopt when the file does not exist;
+/// throws nb::contract_error on any other IO failure.  (Distinguishing
+/// "no checkpoint yet" from "checkpoint unreadable" is load-bearing for
+/// resume logic: the former starts fresh, the latter must be surfaced.)
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_file_bytes(const std::string& path);
+
+/// fsync of an open stdio stream (flushes stdio buffers first).  Throws
+/// nb::contract_error on failure.  No-op on platforms without fsync.
+void flush_and_sync(std::FILE* file, const std::string& path_for_errors);
+
+/// Best-effort fsync of the directory containing `path` (makes a rename
+/// or creation in it durable).  Silently ignores filesystems that refuse
+/// directory fsync; no-op on platforms without it.
+void sync_parent_dir(const std::string& path);
+
+}  // namespace nb

@@ -351,6 +351,119 @@ TEST(Poisson, RejectsNegativeMean) {
   EXPECT_THROW(poisson(gen, -1.0), nb::contract_error);
 }
 
+// ---------------------------------------------------------------------------
+// Mid-stream state save/restore -- the checkpointing substrate.  The
+// contract (for every stream the engines derive): save the state, draw,
+// restore the state, and the next draw repeats identically.
+
+TEST(StateSaving, SaveDrawRestoreRepeatsMainStream) {
+  xoshiro256pp gen(2022);
+  for (int i = 0; i < 17; ++i) gen.next();  // an arbitrary mid-stream point
+  const auto saved = gen.state();
+  std::array<std::uint64_t, 8> first{};
+  for (auto& v : first) v = gen.next();
+  gen.set_state(saved);
+  for (const auto v : first) ASSERT_EQ(gen.next(), v);
+  // And restored state keeps matching arbitrarily far out.
+  xoshiro256pp fresh(2022);
+  for (int i = 0; i < 17 + 8; ++i) fresh.next();
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(gen.next(), fresh.next()) << "at draw " << i;
+}
+
+TEST(StateSaving, SaveDrawRestoreRepeatsXoshiro256ss) {
+  xoshiro256ss gen(7);
+  for (int i = 0; i < 5; ++i) gen.next();
+  const auto saved = gen.state();
+  const std::uint64_t draw = gen.next();
+  gen.next();
+  gen.set_state(saved);
+  EXPECT_EQ(gen.next(), draw);
+}
+
+TEST(StateSaving, RoundTripsAcrossGeneratorInstances) {
+  // Restoring into a DIFFERENT instance (the resume path: a freshly
+  // seeded generator adopts the checkpointed words) is equivalent to
+  // restoring in place.
+  xoshiro256pp original(99);
+  for (int i = 0; i < 1234; ++i) original.next();
+  xoshiro256pp resumed(1);  // seed is irrelevant once state is set
+  resumed.set_state(original.state());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(resumed.next(), original.next());
+}
+
+TEST(StateSaving, RejectsAllZeroState) {
+  // The all-zero state is xoshiro's absorbing fixed point; a corrupt
+  // checkpoint must not be able to install it.
+  xoshiro256pp gen(3);
+  EXPECT_THROW(gen.set_state({0, 0, 0, 0}), nb::contract_error);
+  xoshiro256ss ss(3);
+  EXPECT_THROW(ss.set_state({0, 0, 0, 0}), nb::contract_error);
+}
+
+TEST(StateSaving, ShardSubstreamsHonorTheContract) {
+  // The shard engine's per-window substreams: one master token per
+  // window, shard s draws from shard_stream_seed(token, s).  Checkpoints
+  // cut at window boundaries, so only the MASTER state is saved -- but
+  // the contract must hold for the substreams too (a resumed run rebuilds
+  // them from the replayed tokens).
+  xoshiro256pp master(11);
+  const auto saved = master.state();
+  const std::uint64_t token = master.next();
+  std::array<std::array<std::uint64_t, 4>, 3> shard_draws{};
+  for (std::size_t s = 0; s < shard_draws.size(); ++s) {
+    xoshiro256pp sub(nb::shard_stream_seed(token, s));
+    for (auto& v : shard_draws[s]) v = sub.next();
+  }
+  master.set_state(saved);
+  const std::uint64_t replayed = master.next();
+  ASSERT_EQ(replayed, token);
+  for (std::size_t s = 0; s < shard_draws.size(); ++s) {
+    xoshiro256pp sub(nb::shard_stream_seed(replayed, s));
+    for (const auto v : shard_draws[s]) EXPECT_EQ(sub.next(), v) << "shard " << s;
+  }
+}
+
+TEST(StateSaving, KernelLaneStreamsHonorTheContract) {
+  // Same shape for the kernel engine's lane streams, which derive from
+  // the window token via derive_seed(token, lane).
+  xoshiro256pp master(13);
+  for (int i = 0; i < 3; ++i) master.next();
+  const auto saved = master.state();
+  const std::uint64_t token = master.next();
+  std::array<std::array<std::uint64_t, 4>, 4> lane_draws{};
+  for (std::size_t lane = 0; lane < lane_draws.size(); ++lane) {
+    xoshiro256pp sub(derive_seed(token, lane));
+    for (auto& v : lane_draws[lane]) v = sub.next();
+  }
+  master.set_state(saved);
+  const std::uint64_t replayed = master.next();
+  ASSERT_EQ(replayed, token);
+  for (std::size_t lane = 0; lane < lane_draws.size(); ++lane) {
+    xoshiro256pp sub(derive_seed(replayed, lane));
+    for (const auto v : lane_draws[lane]) EXPECT_EQ(sub.next(), v) << "lane " << lane;
+  }
+}
+
+TEST(StateSaving, GaussianCacheAccessorsRoundTrip) {
+  // Box-Muller caches the pair's second half; the checkpoint layer saves
+  // it through has_cached()/cached_value() and reinstalls via set_cache().
+  // Save after ONE draw (cache full), clobber the sampler, restore: the
+  // next draw must repeat bit-for-bit without touching the stream.
+  xoshiro256pp gen(21);
+  gaussian_sampler gs;
+  (void)gs.next(gen);
+  const bool has = gs.has_cached();
+  const double cached = gs.cached_value();
+  EXPECT_TRUE(has);
+  const auto rng_saved = gen.state();
+  const double second = gs.next(gen);  // served from cache, zero draws
+  EXPECT_EQ(gen.state(), rng_saved);
+  gs.reset();
+  gs.set_cache(has, cached);
+  EXPECT_EQ(gs.next(gen), second);
+  EXPECT_EQ(gen.state(), rng_saved);  // still no stream consumption
+}
+
 TEST(Poisson, ProbabilityOfZeroMatchesExpMinusMean) {
   xoshiro256pp gen(43);
   constexpr double kMean = 2.0;
