@@ -74,8 +74,9 @@ inline void add_standard_flags(cli_parser& cli) {
               "windows, e.g. b-batch batches, then run shard-parallel)");
   cli.add_string("kernel", "off",
                  "allocation-kernel backend for frozen windows: off | scalar | "
-                 "sse2 | avx2 | auto | simd (auto/simd = best this CPU supports; "
-                 "backends are bit-identical for a fixed lane count)");
+                 "sse2 | avx2 | avx512 | neon | auto | simd (auto/simd = best "
+                 "this CPU supports; an unsupported request warns once and falls "
+                 "back; backends are bit-identical for a fixed lane count)");
   cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
   cli.add_string("weighting", "unit",
                  "ball-weighting spec: unit | fixed:<w> | two-point:<lo>,<hi>,<p> | "
@@ -109,7 +110,7 @@ inline std::optional<bench_config> parse_standard(cli_parser& cli, int argc,
   cfg.threads_per_run = static_cast<std::size_t>(cli.get_int("threads-per-run"));
   cfg.kernel = cli.get_string("kernel");
   NB_REQUIRE(cfg.kernel == "off" || kernel_isa_from_name(cfg.kernel).has_value(),
-             "--kernel must be off, scalar, sse2, avx2, auto or simd");
+             "--kernel must be off, scalar, sse2, avx2, avx512, neon, auto or simd");
   NB_REQUIRE(cli.get_int("lanes") >= 1 &&
                  cli.get_int("lanes") <= static_cast<std::int64_t>(kernel_max_lanes),
              "--lanes must be in [1, kernel_max_lanes]");

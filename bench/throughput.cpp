@@ -37,11 +37,34 @@
 namespace {
 
 using namespace nb;
+using nb::bench::stopwatch;
 using nb::bench::time_median_of;
 using nb::bench::timing_stats;
 
+/// timing_stats over externally collected shot times (the paired
+/// tuned/untuned legs time their own shots instead of time_median_of).
+timing_stats stats_from_samples(std::vector<double> samples, int warmup) {
+  std::sort(samples.begin(), samples.end());
+  timing_stats out;
+  out.warmup = warmup;
+  out.reps = static_cast<int>(samples.size());
+  out.min_s = samples.front();
+  out.max_s = samples.back();
+  const std::size_t mid = samples.size() / 2;
+  out.median_s =
+      samples.size() % 2 != 0 ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
+  return out;
+}
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 != 0 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
 constexpr int kWarmup = 1;  // untimed warm-in shots per workload
 constexpr int kReps = 3;    // timed reps; medians suppress scheduling noise
+constexpr int kTuningPairs = 5;  // alternating tuned/untuned shot pairs
 
 struct measurement {
   timing_stats timing;
@@ -137,9 +160,13 @@ double report_observed_run(bin_count n, step_count m, step_count interval, std::
 // observation per batch).  Legs:
 //   * kernel off      -- PR 1's serial fused step_many loop,
 //   * kernel scalar   -- the lane-interleaved kernel, portable backend,
-//   * kernel <simd>   -- the same kernel on the best SIMD backend this CPU
-//                        supports (bit-identical to scalar by contract,
-//                        verified here run against run),
+//   * kernel <simd>   -- the same kernel on every SIMD backend this CPU
+//                        supports (sse2 / avx2 / avx512 / neon;
+//                        bit-identical to scalar by contract, verified
+//                        here run against run),
+//   * kernel-untuned  -- the best backend with software prefetch and
+//                        window interleaving off (the memory-latency
+//                        tuning's recorded before/after),
 //   * shard-parallel  -- the intra-run shard engine, kernel inside shards.
 // Every leg is timed warm (kWarmup) with median-of-kReps.
 
@@ -179,7 +206,7 @@ scale_measurement scale_observed_run(bin_count n, step_count m, step_count inter
 
 /// One timed leg of the scale benchmark (a row of the JSON results array).
 struct scale_entry {
-  std::string kernel;  // off | scalar | sse2 | avx2 | shard | campaign
+  std::string kernel;  // off | kernel | kernel-untuned | shard | campaign
   std::string isa;     // resolved backend ("none" for the fused loop)
   std::size_t threads = 1;
   std::string process = "b-batch";   // workload the leg times
@@ -190,6 +217,17 @@ struct scale_entry {
   /// Hardware counters over the leg's warmup + timed shots (available ==
   /// false on runners without a usable PMU; emitted as "perf": null).
   perf_sample perf;
+  /// Execution environment the leg actually ran under, so a committed
+  /// baseline number is attributable: the CPU's detected best backend, a
+  /// --isa override if one forced the legs ("" = none), the huge-page
+  /// outcome (off / granted / fallback + errno) observed while the leg
+  /// allocated its buffers, and the kernel tuning in effect.
+  std::string isa_detected;
+  std::string isa_forced;
+  std::string hugepages = "off";
+  int hugepage_errno = 0;
+  bool prefetch = true;
+  bool interleave = true;
   /// Scaling-matrix legs additionally report speedup and efficiency
   /// against the matrix's 1-thread leg, plus whether the single-threaded
   /// parity replay passed (it exits on failure, so an emitted leg always
@@ -199,6 +237,31 @@ struct scale_entry {
   double efficiency = 0.0;
   bool parity_checked = false;
 };
+
+/// --isa override in effect for every engine the scale legs construct
+/// (auto_detect = none requested) and its CLI spelling for the JSON.
+kernel_isa g_isa_request = kernel_isa::auto_detect;
+std::string g_isa_forced;
+
+/// Stamps the environment fields on a finished leg; `before` is the
+/// hugepage-stats snapshot taken when the leg started, so the outcome
+/// reflects this leg's own allocations.
+void annotate_env(scale_entry& entry, const hugepage_stats_t& before) {
+  entry.isa_detected = kernel_isa_name(detect_kernel_isa());
+  entry.isa_forced = g_isa_forced;
+  const hugepage_stats_t after = hugepage_stats();
+  if (after.failed > before.failed) {
+    entry.hugepages = "fallback";
+    entry.hugepage_errno = after.last_errno;
+  } else if (after.advised > before.advised) {
+    entry.hugepages = "granted";
+  } else {
+    entry.hugepages = "off";
+  }
+  const kernel_tuning tune = current_kernel_tuning();
+  entry.prefetch = tune.prefetch;
+  entry.interleave = tune.interleave;
+}
 
 /// "ipc 1.23, llc 4.5e+07" console tail for a leg, or the explicit
 /// unavailability note.
@@ -221,10 +284,12 @@ scale_entry time_scale_leg(std::string kernel, std::string isa, std::size_t thre
   entry.kernel = std::move(kernel);
   entry.isa = std::move(isa);
   entry.threads = threads;
+  const hugepage_stats_t hp_before = hugepage_stats();
   counters.start();
   entry.timing =
       time_median_of(kWarmup, kReps, [&] { entry.run = scale_observed_run(n, m, interval, seed, move); });
   entry.perf = counters.stop();
+  annotate_env(entry, hp_before);
   const auto work = static_cast<double>(m);
   std::printf("  %-10s isa=%-7s t=%zu %12.3e balls/s   (min %.3e, max %.3e, gap %.1f, %s)\n",
               entry.kernel.c_str(), entry.isa.c_str(), entry.threads,
@@ -257,7 +322,8 @@ void run_threads_matrix(bin_count n, step_count m, step_count interval,
     // inherit them; the sample then covers the shard work, not just the
     // master thread.
     perf_counter_set counters;
-    shard_engine engine(shard_options{.threads = t, .shards = shards, .lanes = lanes});
+    shard_engine engine(
+        shard_options{.threads = t, .shards = shards, .lanes = lanes, .isa = g_isa_request});
     scale_entry entry =
         time_scale_leg("shard", kernel_isa_name(engine.isa()), t, n, m, interval, seed, counters,
                        [&engine](b_batch& p, rng_t& rng, step_count chunk) {
@@ -334,11 +400,13 @@ void run_workers_matrix(bin_count n, step_count total_m,
     opt.threads = w;
     opt.use_kernel = true;
     opt.lanes = lanes;
+    opt.isa = g_isa_request;
     perf_counter_set counters;
+    const hugepage_stats_t hp_before = hugepage_stats();
     counters.start();
     scale_entry entry;
     entry.kernel = "campaign";
-    entry.isa = kernel_isa_name(resolve_kernel_isa(kernel_isa::auto_detect));
+    entry.isa = kernel_isa_name(resolve_kernel_isa(g_isa_request));
     entry.threads = w;
     entry.process = "mixed";
     std::string json;
@@ -347,6 +415,7 @@ void run_workers_matrix(bin_count n, step_count total_m,
       json = campaign.to_json();
     });
     entry.perf = counters.stop();
+    annotate_env(entry, hp_before);
     if (reference_json.empty()) {
       reference_json = json;  // workers_list starts with 1 (normalized)
     } else if (json != reference_json) {
@@ -438,16 +507,26 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
   const double fused_rate = results.front().timing.rate_median(work);
 
   // Legs 2..: the serial kernel engine per requested backend.  --kernel
-  // scalar or simd narrows to that backend; auto compares both.
+  // scalar or simd narrows the list; auto runs scalar plus EVERY SIMD
+  // backend this binary compiled in and this CPU supports, so e.g. avx2
+  // and avx512 coexist as separately regression-gated legs.  An --isa
+  // override wins over all of that and pins the single requested backend
+  // (resolve_kernel_isa warn_once-falls-back if this CPU lacks it).
   std::vector<kernel_isa> backends;
-  if (kernel_flag == "scalar") {
+  if (g_isa_request != kernel_isa::auto_detect) {
+    backends = {resolve_kernel_isa(g_isa_request)};
+  } else if (kernel_flag == "scalar") {
     backends = {kernel_isa::scalar};
   } else if (kernel_flag == "simd") {
     backends = {best};
-  } else {  // auto: scalar vs best SIMD (one leg if this CPU has no SIMD)
+  } else {  // auto
     backends = {kernel_isa::scalar};
-    if (best != kernel_isa::scalar) backends.push_back(best);
+    for (const kernel_isa isa :
+         {kernel_isa::sse2, kernel_isa::avx2, kernel_isa::avx512, kernel_isa::neon}) {
+      if (kernel_isa_supported(isa)) backends.push_back(isa);
+    }
   }
+  const std::size_t first_kernel_leg = results.size();
   for (const kernel_isa isa : backends) {
     perf_counter_set counters;
     kernel_engine engine(kernel_options{.lanes = lanes, .isa = isa});
@@ -458,33 +537,106 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
         }));
   }
 
-  // Kernel contract spot-check at full scale: every kernel leg ran the
-  // same (seed, lanes) sampling, so loads AND observations must be
-  // bit-identical across backends.
-  for (std::size_t i = 2; i < results.size(); ++i) {
-    if (results[i].run.loads != results[1].run.loads ||
-        results[i].run.sink != results[1].run.sink) {
-      std::printf("ISA PARITY FAILURE: %s diverged from %s\n", results[i].isa.c_str(),
-                  results[1].isa.c_str());
+  // Untuned leg: the best requested backend re-timed with software
+  // prefetch and window interleaving off.  Tuning is execution-only
+  // (bit-identical by contract, revalidated by the parity sweep below),
+  // so this tuned/untuned pair is the recorded evidence of what the
+  // memory-latency work buys.  Keyed "kernel-untuned" so the regression
+  // gate tracks it separately from the tuned leg of the same ISA.
+  //
+  // Timed as PAIRED alternating shots (tuned, untuned, tuned, ...): on
+  // shared/virtualized hosts slow drift between two separately timed
+  // legs swamps a few-percent tuning delta, while the per-pair ratio
+  // cancels it.  kernel_tuning_speedup is the median per-pair ratio.
+  double tuning_speedup = 0.0;
+  {
+    const kernel_tuning tuned_cfg = current_kernel_tuning();
+    kernel_engine engine(kernel_options{.lanes = lanes, .isa = backends.back()});
+    const auto move = [&engine](b_batch& p, rng_t& rng, step_count chunk) {
+      step_many_kernel(p, rng, chunk, engine);
+    };
+    scale_entry entry;
+    entry.kernel = "kernel-untuned";
+    entry.isa = kernel_isa_name(engine.isa());
+    entry.threads = 1;
+    const hugepage_stats_t hp_before = hugepage_stats();
+    perf_counter_set counters;
+    counters.start();
+    (void)scale_observed_run(n, m, interval, seed, move);  // warm-in
+    std::vector<double> untuned_s;
+    std::vector<double> ratios;
+    for (int pair = 0; pair < kTuningPairs; ++pair) {
+      double tuned_shot = 0.0;
+      {
+        const stopwatch clock;
+        (void)scale_observed_run(n, m, interval, seed, move);
+        tuned_shot = clock.seconds();
+      }
+      set_kernel_tuning(kernel_tuning{.prefetch = false, .interleave = false});
+      {
+        const stopwatch clock;
+        entry.run = scale_observed_run(n, m, interval, seed, move);
+        untuned_s.push_back(clock.seconds());
+      }
+      set_kernel_tuning(tuned_cfg);
+      ratios.push_back(untuned_s.back() / tuned_shot);  // > 1 = tuning wins
+    }
+    entry.perf = counters.stop();
+    annotate_env(entry, hp_before);
+    entry.prefetch = false;  // what the leg's timed shots ran under
+    entry.interleave = false;
+    entry.timing = stats_from_samples(untuned_s, 1);
+    tuning_speedup = median_of(ratios);
+    std::printf("  %-10s isa=%-7s t=1 %12.3e balls/s   (min %.3e, max %.3e, gap %.1f, %s)\n",
+                entry.kernel.c_str(), entry.isa.c_str(), entry.timing.rate_median(work),
+                entry.timing.rate_min(work), entry.timing.rate_max(work), entry.run.gap,
+                perf_note(entry.perf).c_str());
+    results.push_back(std::move(entry));
+  }
+  const std::size_t untuned_leg = results.size() - 1;
+
+  // Kernel contract spot-check at full scale: every kernel leg -- all
+  // backends AND the untuned leg -- ran the same (seed, lanes) sampling,
+  // so loads AND observations must be bit-identical across the board.
+  for (std::size_t i = first_kernel_leg + 1; i < results.size(); ++i) {
+    if (results[i].run.loads != results[first_kernel_leg].run.loads ||
+        results[i].run.sink != results[first_kernel_leg].run.sink) {
+      std::printf("ISA PARITY FAILURE: %s (%s) diverged from %s\n", results[i].isa.c_str(),
+                  results[i].kernel.c_str(), results[first_kernel_leg].isa.c_str());
       std::exit(1);
     }
   }
-  // Only a run with >= 2 kernel legs actually exercised the cross-ISA
-  // comparison; a single-backend run must not claim it.
-  const bool isa_verified = results.size() > 2;
+  // Only a run with >= 2 distinct backends actually exercised the
+  // cross-ISA comparison; a single-backend run must not claim it.
+  const bool isa_verified = backends.size() > 1;
   if (isa_verified) {
-    std::printf("  isa parity            %s == %s bit for bit (loads + observations)\n",
-                results[1].isa.c_str(), results[2].isa.c_str());
+    std::printf("  isa parity            %zu backends (%s .. %s) bit for bit "
+                "(loads + observations)\n",
+                backends.size(), kernel_isa_name(backends.front()),
+                kernel_isa_name(backends.back()));
   }
-  const double kernel_speedup = results.back().timing.rate_median(work) / fused_rate;
+  // Headline speedup: the fastest tuned kernel leg (backends.back() is
+  // the best requested ISA in every mode, but let the measurement decide).
+  std::size_t best_kernel_leg = first_kernel_leg;
+  for (std::size_t i = first_kernel_leg; i < untuned_leg; ++i) {
+    if (results[i].timing.rate_median(work) >
+        results[best_kernel_leg].timing.rate_median(work)) {
+      best_kernel_leg = i;
+    }
+  }
+  const double kernel_speedup =
+      results[best_kernel_leg].timing.rate_median(work) / fused_rate;
   std::printf("  kernel vs fused       %14.2fx (%s, 1 thread)\n", kernel_speedup,
-              results.back().isa.c_str());
+              results[best_kernel_leg].isa.c_str());
+  std::printf("  tuned vs untuned      %14.2fx (prefetch + interleave on %s, median of %d "
+              "paired shots)\n",
+              tuning_speedup, results[untuned_leg].isa.c_str(), kTuningPairs);
 
   // Shard leg: the shard-parallel engine with the kernel inside each
   // shard (counters before the engine so pool threads are inherited).
   perf_counter_set shard_counters;
-  shard_engine engine(
-      shard_options{.threads = threads, .shards = shards, .lanes = lanes});
+  shard_engine engine(shard_options{
+      .threads = threads, .shards = shards, .lanes = lanes, .isa = g_isa_request});
   results.push_back(time_scale_leg(
       "shard", kernel_isa_name(engine.isa()), engine.threads(), n, m, interval, seed,
       shard_counters,
@@ -512,6 +664,7 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
       return p;
     };
     perf_counter_set counters;
+    const hugepage_stats_t hp_before = hugepage_stats();
     counters.start();
     alias_leg.timing = time_median_of(kWarmup, kReps, [&] {
       alias_leg.run = scale_observed_run_with(
@@ -519,6 +672,7 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
           [](two_choice& p, rng_t& rng, step_count chunk) { step_many(p, rng, chunk); });
     });
     alias_leg.perf = counters.stop();
+    annotate_env(alias_leg, hp_before);
     std::printf("  %-10s sampler=%-9s t=1 %12.3e balls/s   (two-choice, gap %.1f)\n", "off",
                 alias_spec.c_str(), alias_leg.timing.rate_median(work), alias_leg.run.gap);
     results.push_back(std::move(alias_leg));
@@ -566,6 +720,18 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     for (char& c : cpu_model) {
       if (c == '"' || c == '\\') c = ' ';
     }
+    // Every backend this binary + CPU pair can actually run: the
+    // regression gate uses this to skip (with notice) baseline legs whose
+    // ISA a fresh runner cannot reproduce, instead of failing them.
+    std::string supported_isas;
+    for (const kernel_isa isa : {kernel_isa::scalar, kernel_isa::sse2, kernel_isa::avx2,
+                                 kernel_isa::avx512, kernel_isa::neon}) {
+      if (!kernel_isa_supported(isa)) continue;
+      if (!supported_isas.empty()) supported_isas += ", ";
+      supported_isas += '"';
+      supported_isas += kernel_isa_name(isa);
+      supported_isas += '"';
+    }
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"throughput_scale\",\n"
@@ -575,11 +741,17 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
                  "  \"cpu_model\": \"%s\",\n"
                  "  \"hardware_concurrency\": %u,\n"
                  "  \"cache_line\": %zu,\n"
+                 "  \"supported_isas\": [%s],\n"
+                 "  \"isa_forced\": %s%s%s,\n"
+                 "  \"hugepages_requested\": %s,\n"
                  "  \"timing\": {\"warmup\": %d, \"reps\": %d, \"statistic\": \"median\"},\n"
                  "  \"results\": [\n",
                  n, static_cast<long long>(m), n, static_cast<long long>(interval),
                  static_cast<unsigned long long>(seed), shards, lanes, cpu_model.c_str(),
-                 host.hardware_concurrency, host.cache_line_size, kWarmup, kReps);
+                 host.hardware_concurrency, host.cache_line_size, supported_isas.c_str(),
+                 g_isa_forced.empty() ? "null" : "\"", g_isa_forced.c_str(),
+                 g_isa_forced.empty() ? "" : "\"", hugepages_enabled() ? "true" : "false",
+                 kWarmup, kReps);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const scale_entry& e = results[i];
       // Campaign legs split the work over half the balls (see above);
@@ -591,13 +763,19 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
       std::fprintf(f,
                    "    {\"kernel\": \"%s\", \"isa\": \"%s\", \"threads\": %zu,\n"
                    "     \"process\": \"%s\", \"weighting\": \"%s\", \"sampler\": \"%s\",\n"
+                   "     \"isa_detected\": \"%s\", \"isa_forced\": %s%s%s,\n"
+                   "     \"hugepages\": \"%s\", \"hugepage_errno\": %d,\n"
+                   "     \"prefetch\": %s, \"interleave\": %s,\n"
                    "     \"balls_per_sec\": %.6e, \"balls_per_sec_min\": %.6e,\n"
                    "     \"balls_per_sec_max\": %.6e, \"seconds_median\": %.6f,\n"
                    "     \"gap\": %.2f",
                    e.kernel.c_str(), e.isa.c_str(), e.threads, e.process.c_str(),
-                   e.weighting.c_str(), e.sampler.c_str(), e.timing.rate_median(leg_work),
-                   e.timing.rate_min(leg_work), e.timing.rate_max(leg_work), e.timing.median_s,
-                   e.run.gap);
+                   e.weighting.c_str(), e.sampler.c_str(), e.isa_detected.c_str(),
+                   e.isa_forced.empty() ? "null" : "\"", e.isa_forced.c_str(),
+                   e.isa_forced.empty() ? "" : "\"", e.hugepages.c_str(), e.hugepage_errno,
+                   e.prefetch ? "true" : "false", e.interleave ? "true" : "false",
+                   e.timing.rate_median(leg_work), e.timing.rate_min(leg_work),
+                   e.timing.rate_max(leg_work), e.timing.median_s, e.run.gap);
       if (e.has_scaling) {
         std::fprintf(f,
                      ",\n     \"speedup_vs_1thread\": %.4f, \"parallel_efficiency\": %.4f,\n"
@@ -629,8 +807,9 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     std::fprintf(f,
                  "  ],\n"
                  "  \"kernel_vs_fused_speedup\": %.4f,\n"
+                 "  \"kernel_tuning_speedup\": %.4f,\n"
                  "  \"shard_vs_fused_speedup\": %.4f,\n",
-                 kernel_speedup, shard.timing.rate_median(work) / fused_rate);
+                 kernel_speedup, tuning_speedup, shard.timing.rate_median(work) / fused_rate);
     if (ckpt_overhead >= -0.5) {
       std::fprintf(f,
                    "  \"checkpoint_every\": %lld,\n  \"checkpoint_overhead_frac\": %.4f,\n",
@@ -692,7 +871,14 @@ int main(int argc, char** argv) {
   cli.add_int("shards", 16, "fixed shard count for the parallel engine (sampling contract)");
   cli.add_string("kernel", "auto",
                  "scale-benchmark kernel legs: scalar | simd | auto (auto = compare "
-                 "scalar against the best SIMD backend this CPU supports)");
+                 "scalar against every SIMD backend this CPU supports)");
+  cli.add_string("isa", "",
+                 "force one kernel ISA backend for every scale leg (scalar | sse2 | avx2 "
+                 "| avx512 | neon; \"\" = auto-detect; unsupported requests warn once and "
+                 "fall back)");
+  cli.add_bool("hugepages", false,
+               "request transparent-huge-page backing for the load array and compact "
+               "snapshot (madvise; execution-only, fail-soft; also via NB_HUGEPAGES=1)");
   cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
   cli.add_bool("scale-verify", true,
                "replay the shard leg on 1 thread with the scalar backend and require bit parity");
@@ -763,6 +949,16 @@ int main(int argc, char** argv) {
     NB_REQUIRE(kernel_flag == "scalar" || kernel_flag == "simd" || kernel_flag == "auto",
                "--kernel must be scalar, simd or auto");
     NB_REQUIRE(cli.get_int("checkpoint-every") >= 0, "--checkpoint-every must be >= 0");
+    const std::string isa_flag = cli.get_string("isa");
+    if (!isa_flag.empty()) {
+      const auto parsed = kernel_isa_from_name(isa_flag);
+      NB_REQUIRE(parsed.has_value(), "--isa must name a kernel backend (see --help)");
+      if (*parsed != kernel_isa::auto_detect) {  // "--isa auto" = no force
+        g_isa_request = *parsed;
+        g_isa_forced = kernel_isa_name(*parsed);
+      }
+    }
+    if (cli.get_bool("hugepages")) set_hugepages_enabled(true);
     run_scale_benchmark(static_cast<bin_count>(cli.get_int("scale-n")),
                         static_cast<step_count>(cli.get_int("scale-m")),
                         static_cast<std::size_t>(cli.get_int("scale-threads")),

@@ -39,6 +39,10 @@ int main(int argc, char** argv) {
                 "--shards, never on this)");
     cli.add_int("shards", 16, "shard count for the intra-run engine (sampling contract)");
     cli.add_bool("kernel", false, "route serial cells through the lane-interleaved SIMD kernel");
+    cli.add_string("isa", "auto",
+                   "kernel ISA backend: scalar | sse2 | avx2 | avx512 | neon | auto "
+                   "(execution-only -- never affects results; unsupported requests "
+                   "warn once and fall back)");
     cli.add_int("lanes", 8, "kernel lanes for both engines (sampling contract)");
     cli.add_string("json", "", "write the aggregate JSON archive here");
     cli.add_string("csv", "", "write the per-config CSV here");
@@ -79,6 +83,9 @@ int main(int argc, char** argv) {
     opt.threads_per_run = static_cast<std::size_t>(cli.get_int("threads-per-run"));
     opt.shards = static_cast<std::size_t>(cli.get_int("shards"));
     opt.use_kernel = cli.get_bool("kernel");
+    const auto isa = kernel_isa_from_name(cli.get_string("isa"));
+    NB_REQUIRE(isa.has_value(), "--isa must name a kernel backend (see --help)");
+    opt.isa = *isa;
     opt.lanes = static_cast<std::size_t>(cli.get_int("lanes"));
 
     const auto campaign = run_campaign(configs, opt);

@@ -5,8 +5,18 @@
 // at multiples of the lane count, so every backend sees the same aligned
 // lane rotation), and folding the decided bins into the caller's count
 // row.  Backends only fill the block's chosen-bin buffer.
+//
+// The fold loop is where the kernel actually hits the memory wall at
+// paper scale: `++row[chosen[i]]` is a random read-modify-write over a
+// 4 MB uint32 row (n = 10^6), so with tuning.prefetch the driver issues a
+// software prefetch a fixed distance ahead -- the chosen buffer already
+// holds the whole block's targets, making this the rare case where the
+// prefetch address is known thousands of cycles early.  Execution-only:
+// the folded counts are identical either way.
 #include "core/kernel/kernel.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <string>
 
 #include "core/kernel/kernel_common.hpp"
@@ -20,6 +30,38 @@ namespace {
 constexpr std::size_t kBlockBalls = 8192;
 static_assert(kBlockBalls % kernel_max_lanes == 0);
 
+/// How many fold iterations ahead the row prefetch runs: far enough to
+/// cover an LLC miss at ~1 fold per few cycles, near enough that the line
+/// is still resident when the increment arrives.
+constexpr std::size_t kFoldPrefetchDist = 48;
+
+/// Process-wide tuning, encoded in one atomic byte (bit 0 = prefetch,
+/// bit 1 = interleave); 0xFF = not yet initialized from the environment.
+std::atomic<std::uint8_t> g_tuning{0xFF};
+
+bool env_disabled(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "0" || s == "off" || s == "OFF" || s == "false";
+}
+
+std::uint8_t encode_tuning(kernel_tuning t) noexcept {
+  return static_cast<std::uint8_t>((t.prefetch ? 1u : 0u) | (t.interleave ? 2u : 0u));
+}
+
+std::uint8_t tuning_byte() noexcept {
+  std::uint8_t b = g_tuning.load(std::memory_order_relaxed);
+  if (b == 0xFF) [[unlikely]] {
+    kernel_tuning t;
+    t.prefetch = !env_disabled("NB_KERNEL_PREFETCH");
+    t.interleave = !env_disabled("NB_KERNEL_INTERLEAVE");
+    b = encode_tuning(t);
+    g_tuning.store(b, std::memory_order_relaxed);
+  }
+  return b;
+}
+
 kernel_detail::fill_fn pick_fill(kernel_isa resolved) noexcept {
   switch (resolved) {
 #if defined(__x86_64__) || defined(__i386__)
@@ -27,9 +69,31 @@ kernel_detail::fill_fn pick_fill(kernel_isa resolved) noexcept {
       return kernel_detail::fill_sse2;
     case kernel_isa::avx2:
       return kernel_detail::fill_avx2;
+    case kernel_isa::avx512:
+      return kernel_detail::fill_avx512;
+#endif
+#if defined(__aarch64__)
+    case kernel_isa::neon:
+      return kernel_detail::fill_neon;
 #endif
     default:
       return kernel_detail::fill_scalar;
+  }
+}
+
+/// Folds one decided block into the caller's row, optionally prefetching
+/// the increment targets kFoldPrefetchDist balls ahead.
+template <typename Row>
+void fold_block(Row* row, const std::uint32_t* chosen, std::size_t count, bool prefetch) {
+  if (prefetch && count > kFoldPrefetchDist) {
+    const std::size_t main = count - kFoldPrefetchDist;
+    for (std::size_t i = 0; i < main; ++i) {
+      __builtin_prefetch(&row[chosen[i + kFoldPrefetchDist]], 1, 1);
+      ++row[chosen[i]];
+    }
+    for (std::size_t i = main; i < count; ++i) ++row[chosen[i]];
+  } else {
+    for (std::size_t i = 0; i < count; ++i) ++row[chosen[i]];
   }
 }
 
@@ -40,6 +104,7 @@ void run_impl(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t
   NB_REQUIRE(n >= 1, "kernel needs at least one bin");
   NB_ASSERT(balls >= 0 && snap != nullptr && row != nullptr);
   const kernel_detail::fill_fn fill = pick_fill(resolve_kernel_isa(isa));
+  const kernel_tuning tune = current_kernel_tuning();
   kernel_detail::lane_soa state;
   state.init(lanes, seed);
   const std::uint64_t threshold = kernel_detail::lemire_threshold(n);
@@ -48,8 +113,8 @@ void run_impl(kernel_isa isa, std::size_t lanes, bin_count n, const std::uint8_t
   while (balls > 0) {
     const std::size_t count =
         balls < static_cast<step_count>(block) ? static_cast<std::size_t>(balls) : block;
-    fill(state, n, threshold, snap, chosen, count);
-    for (std::size_t i = 0; i < count; ++i) ++row[chosen[i]];
+    fill(state, n, threshold, snap, chosen, count, tune);
+    fold_block(row, chosen, count, tune.prefetch);
     balls -= static_cast<step_count>(count);
   }
 }
@@ -61,6 +126,12 @@ kernel_detail::fill_alias_fn pick_fill_alias(kernel_isa resolved) noexcept {
       return kernel_detail::fill_alias_sse2;
     case kernel_isa::avx2:
       return kernel_detail::fill_alias_avx2;
+    case kernel_isa::avx512:
+      return kernel_detail::fill_alias_avx512;
+#endif
+#if defined(__aarch64__)
+    case kernel_isa::neon:
+      return kernel_detail::fill_alias_neon;
 #endif
     default:
       return kernel_detail::fill_alias_scalar;
@@ -76,6 +147,7 @@ void run_alias_impl(kernel_isa isa, std::size_t lanes, bin_count n, const std::u
   NB_ASSERT(balls >= 0 && snap != nullptr && thresh != nullptr && alias != nullptr &&
             row != nullptr);
   const kernel_detail::fill_alias_fn fill = pick_fill_alias(resolve_kernel_isa(isa));
+  const kernel_tuning tune = current_kernel_tuning();
   kernel_detail::lane_soa state;
   state.init(lanes, seed);
   const std::uint64_t threshold = kernel_detail::lemire_threshold(n);
@@ -84,18 +156,40 @@ void run_alias_impl(kernel_isa isa, std::size_t lanes, bin_count n, const std::u
   while (balls > 0) {
     const std::size_t count =
         balls < static_cast<step_count>(block) ? static_cast<std::size_t>(balls) : block;
-    fill(state, n, threshold, snap, thresh, alias, chosen, count);
-    for (std::size_t i = 0; i < count; ++i) ++row[chosen[i]];
+    fill(state, n, threshold, snap, thresh, alias, chosen, count, tune);
+    fold_block(row, chosen, count, tune.prefetch);
     balls -= static_cast<step_count>(count);
   }
 }
 
 }  // namespace
 
+kernel_tuning current_kernel_tuning() noexcept {
+  const std::uint8_t b = tuning_byte();
+  kernel_tuning t;
+  t.prefetch = (b & 1u) != 0;
+  t.interleave = (b & 2u) != 0;
+  return t;
+}
+
+void set_kernel_tuning(kernel_tuning tuning) noexcept {
+  g_tuning.store(encode_tuning(tuning), std::memory_order_relaxed);
+}
+
 kernel_isa detect_kernel_isa() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
+  // AVX-512 gating: F (foundation) + DQ/BW/VL for the 64-bit mask
+  // compares, narrowing converts and 256-bit masked blends the backend
+  // uses -- the Skylake-SP+ server baseline.  CPUs with exotic partial
+  // AVX-512 subsets fall back to AVX2.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512vl")) {
+    return kernel_isa::avx512;
+  }
   if (__builtin_cpu_supports("avx2")) return kernel_isa::avx2;
   if (__builtin_cpu_supports("sse2")) return kernel_isa::sse2;
+#elif defined(__aarch64__)
+  return kernel_isa::neon;  // AdvSIMD is architecturally mandatory on aarch64
 #endif
   return kernel_isa::scalar;
 }
@@ -117,6 +211,19 @@ bool kernel_isa_supported(kernel_isa isa) noexcept {
 #else
       return false;
 #endif
+    case kernel_isa::avx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 && __builtin_cpu_supports("avx512vl") != 0;
+#else
+      return false;
+#endif
+    case kernel_isa::neon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -125,9 +232,15 @@ kernel_isa resolve_kernel_isa(kernel_isa requested) noexcept {
   if (requested == kernel_isa::auto_detect) return detect_kernel_isa();
   if (kernel_isa_supported(requested)) return requested;
   // Unsupported explicit request: downgrade to the best available backend.
-  // Legal because backends are bit-identical; the caller can still probe
-  // kernel_isa_supported() when the distinction matters (tests do).
-  return detect_kernel_isa();
+  // Legal because backends are bit-identical -- but an explicitly forced
+  // backend falling back is usually a misconfigured bench or CI job, so
+  // say it once instead of silently benchmarking the wrong ISA.
+  const kernel_isa best = detect_kernel_isa();
+  warn_once(std::string("kernel-isa-fallback:") + kernel_isa_name(requested),
+            std::string("requested kernel ISA '") + kernel_isa_name(requested) +
+                "' is not supported on this CPU; falling back to '" + kernel_isa_name(best) +
+                "' (results are bit-identical across backends)");
+  return best;
 }
 
 const char* kernel_isa_name(kernel_isa isa) noexcept {
@@ -138,6 +251,10 @@ const char* kernel_isa_name(kernel_isa isa) noexcept {
       return "sse2";
     case kernel_isa::avx2:
       return "avx2";
+    case kernel_isa::avx512:
+      return "avx512";
+    case kernel_isa::neon:
+      return "neon";
     case kernel_isa::auto_detect:
       return "auto";
   }
@@ -148,6 +265,8 @@ std::optional<kernel_isa> kernel_isa_from_name(std::string_view name) noexcept {
   if (name == "scalar") return kernel_isa::scalar;
   if (name == "sse2") return kernel_isa::sse2;
   if (name == "avx2") return kernel_isa::avx2;
+  if (name == "avx512") return kernel_isa::avx512;
+  if (name == "neon") return kernel_isa::neon;
   if (name == "auto" || name == "simd") return kernel_isa::auto_detect;
   return std::nullopt;
 }

@@ -20,10 +20,12 @@
 //
 // CONTRACT (enforced by tests/test_kernel.cpp): the accumulated counts are
 // a pure function of (lanes, n, snapshot, balls, seed).  The instruction-
-// set backend -- scalar, SSE2 or AVX2, selected at runtime -- is execution
-// only and NEVER affects results; `lanes` is a sampling parameter exactly
-// like shard_options::shards (changing it changes which lane streams exist
-// and therefore the drawn randomness).
+// set backend -- scalar, SSE2, AVX2, AVX-512 or NEON, selected at runtime
+// -- is execution only and NEVER affects results; `lanes` is a sampling
+// parameter exactly like shard_options::shards (changing it changes which
+// lane streams exist and therefore the drawn randomness).  The same holds
+// for the kernel_tuning knobs (software prefetch, round interleaving):
+// they reorder memory traffic, never draws.
 //
 // Snapshot gather safety: vector backends read the snapshot 4 bytes at a
 // time, so `snap` must stay readable for 3 bytes past index n - 1.
@@ -40,12 +42,16 @@
 namespace nb {
 
 /// Instruction-set backend of the allocation kernel.  Execution-only:
-/// every backend is bit-identical for a fixed lane count.
+/// every backend is bit-identical for a fixed lane count.  The numeric
+/// values are NOT serialized anywhere (checkpoint fingerprints and the
+/// bench JSON both use the names), so the enum may grow freely.
 enum class kernel_isa : std::uint8_t {
   scalar = 0,       ///< portable reference (defines the contract)
   sse2 = 1,         ///< 2 lanes per vector (x86-64 baseline)
   avx2 = 2,         ///< 4 lanes per vector + hardware gathers
-  auto_detect = 3,  ///< resolve to the best backend this CPU supports
+  avx512 = 3,       ///< 8 lanes per vector, masked rejection replay
+  neon = 4,         ///< aarch64 baseline: vector RNG/Lemire, scalar gathers
+  auto_detect = 5,  ///< resolve to the best backend this CPU supports
 };
 
 /// Ceiling on the lane count (keeps lane state stack-resident; far above
@@ -58,17 +64,42 @@ inline constexpr std::size_t kernel_max_lanes = 64;
 /// True when `isa` can execute on this CPU (auto_detect is always true).
 [[nodiscard]] bool kernel_isa_supported(kernel_isa isa) noexcept;
 
-/// Maps auto_detect to the detected best backend and silently downgrades
-/// an unsupported request to the best supported one -- legal because the
-/// backend never affects results.
+/// Maps auto_detect to the detected best backend and downgrades an
+/// unsupported request to the best supported one -- legal because the
+/// backend never affects results.  The downgrade emits a one-shot
+/// warn_once diagnostic (key "kernel-isa-fallback:<name>") so a forced
+/// --isa that silently fell back is visible, not just legal.
 [[nodiscard]] kernel_isa resolve_kernel_isa(kernel_isa requested) noexcept;
 
-/// "scalar" / "sse2" / "avx2" / "auto".
+/// "scalar" / "sse2" / "avx2" / "avx512" / "neon" / "auto".
 [[nodiscard]] const char* kernel_isa_name(kernel_isa isa) noexcept;
 
 /// Inverse of kernel_isa_name, plus the aliases "simd" (= auto_detect)
 /// used by bench CLIs.  nullopt for anything else.
 [[nodiscard]] std::optional<kernel_isa> kernel_isa_from_name(std::string_view name) noexcept;
+
+/// Memory-latency tuning of the kernel's execution.  Execution-only, like
+/// the ISA backend: every combination is bit-identical (gtest-enforced) --
+/// prefetching and round interleaving reorder loads and stores, never the
+/// lane draws.  Defaults come from the environment once per process
+/// (NB_KERNEL_PREFETCH / NB_KERNEL_INTERLEAVE, "0" or "off" disables) and
+/// can be overridden programmatically for A/B benching.
+struct kernel_tuning {
+  /// Software-prefetch the count row entries a fixed distance ahead while
+  /// folding a decided block (the dominant cache-miss source at paper
+  /// scale: random increments over a 4 MB row).
+  bool prefetch = true;
+  /// Wide backends (AVX-512) draw and decide two lane rounds per loop
+  /// iteration so the two rounds' snapshot gathers overlap in flight.
+  bool interleave = true;
+};
+
+/// The process-wide tuning currently in effect (env-seeded on first use).
+[[nodiscard]] kernel_tuning current_kernel_tuning() noexcept;
+
+/// Replaces the process-wide tuning (bench/tests; thread-safe, takes
+/// effect on the next kernel_run call).
+void set_kernel_tuning(kernel_tuning tuning) noexcept;
 
 /// Runs `balls` lane-interleaved decisions against `snap` (n bins, 8-bit
 /// offsets, 3 bytes of tail padding) and accumulates `++row[chosen]` per

@@ -70,43 +70,78 @@ struct lane_soa {
   return pick_first ? i1 : i2;
 }
 
-/// One ball of lane l, decided scalar: raw draws come first from `queue`
-/// (draws a vector backend already generated for this ball), then live
-/// from the lane.  With an accept-first queue of {a, b, c} this consumes
-/// exactly the three queued values -- identical to the vector fast path --
-/// and on rejection it transparently continues on the lane's live stream,
-/// which sits exactly after the queued draws.
-[[nodiscard]] inline std::uint32_t replay_ball(lane_soa& st, std::size_t l, std::uint64_t bound,
-                                               std::uint64_t threshold, const std::uint8_t* snap,
-                                               const std::uint64_t* queue, int queued) noexcept {
+/// Composite scalar draw stream of one lane: consumes `queue` first (raw
+/// draws a vector backend already generated), then the lane's live stream,
+/// which by construction sits exactly after the queued draws.  The cursor
+/// persists across calls, so one stream can replay SEVERAL consecutive
+/// balls of its lane against a single pre-drawn queue -- what the
+/// interleaved (two-rounds-per-iteration) backends need when a rejection
+/// fires after both rounds' draws were already taken.
+struct ball_stream {
+  lane_soa& st;
+  std::size_t lane;
+  const std::uint64_t* queue;
+  int queued;
   int qi = 0;
-  const auto draw = [&]() noexcept { return qi < queued ? queue[qi++] : st.next(l); };
-  const auto draw_bounded = [&]() noexcept {
+
+  [[nodiscard]] std::uint64_t draw() noexcept {
+    return qi < queued ? queue[qi++] : st.next(lane);
+  }
+  [[nodiscard]] std::uint32_t draw_bounded(std::uint64_t bound, std::uint64_t threshold) noexcept {
     for (;;) {
       const std::uint64_t x = draw();
       const auto m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
       if (static_cast<std::uint64_t>(m) >= threshold) return static_cast<std::uint32_t>(m >> 64);
     }
-  };
-  const std::uint32_t i1 = draw_bounded();
-  const std::uint32_t i2 = draw_bounded();
-  const std::uint64_t c = draw();
+  }
+};
+
+/// One ball decided scalar from `stream` (queue first, then live draws) --
+/// the single source of truth for the uniform per-ball draw order:
+/// bounded(i1), bounded(i2), one raw tie draw.
+[[nodiscard]] inline std::uint32_t stream_ball(ball_stream& stream, std::uint64_t bound,
+                                               std::uint64_t threshold,
+                                               const std::uint8_t* snap) noexcept {
+  const std::uint32_t i1 = stream.draw_bounded(bound, threshold);
+  const std::uint32_t i2 = stream.draw_bounded(bound, threshold);
+  const std::uint64_t c = stream.draw();
   return decide(snap[i1], snap[i2], c, i1, i2);
+}
+
+/// One ball of lane l, decided scalar: raw draws come first from `queue`
+/// (draws a vector backend already generated for this ball), then live
+/// from the lane.  With an accept-first queue of {a, b, c} this consumes
+/// exactly the three queued values -- identical to the vector fast path --
+/// and on rejection it transparently continues on the lane's live stream.
+[[nodiscard]] inline std::uint32_t replay_ball(lane_soa& st, std::size_t l, std::uint64_t bound,
+                                               std::uint64_t threshold, const std::uint8_t* snap,
+                                               const std::uint64_t* queue, int queued) noexcept {
+  ball_stream stream{st, l, queue, queued};
+  return stream_ball(stream, bound, threshold, snap);
 }
 
 /// A backend fills chosen[0..balls) with the decided bin per ball, in ball
 /// order, continuing the lane rotation from lane 0 (the driver only cuts
 /// blocks at multiples of the lane count, so rotation stays aligned).
+/// `tune` is execution-only (prefetch / interleave scheduling hints);
+/// backends may ignore it and MUST produce identical results either way.
 using fill_fn = void (*)(lane_soa& st, bin_count n, std::uint64_t threshold,
-                         const std::uint8_t* snap, std::uint32_t* chosen, std::size_t balls);
+                         const std::uint8_t* snap, std::uint32_t* chosen, std::size_t balls,
+                         kernel_tuning tune);
 
 void fill_scalar(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
-                 std::uint32_t* chosen, std::size_t balls);
+                 std::uint32_t* chosen, std::size_t balls, kernel_tuning tune);
 #if defined(__x86_64__) || defined(__i386__)
 void fill_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
-               std::uint32_t* chosen, std::size_t balls);
+               std::uint32_t* chosen, std::size_t balls, kernel_tuning tune);
 void fill_avx2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
-               std::uint32_t* chosen, std::size_t balls);
+               std::uint32_t* chosen, std::size_t balls, kernel_tuning tune);
+void fill_avx512(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+                 std::uint32_t* chosen, std::size_t balls, kernel_tuning tune);
+#endif
+#if defined(__aarch64__)
+void fill_neon(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+               std::uint32_t* chosen, std::size_t balls, kernel_tuning tune);
 #endif
 
 // ---------------------------------------------------------------------------
@@ -134,6 +169,22 @@ void fill_avx2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::ui
   return u < thresh[slot] ? slot : alias[slot];
 }
 
+/// One alias-sampled ball decided scalar from `stream` -- the single
+/// source of truth for the alias per-ball draw order: bounded(s1), u1,
+/// bounded(s2), u2, one raw tie draw.
+[[nodiscard]] inline std::uint32_t stream_ball_alias(ball_stream& stream, std::uint64_t bound,
+                                                     std::uint64_t threshold,
+                                                     const std::uint8_t* snap,
+                                                     const std::uint64_t* thresh,
+                                                     const bin_index* alias) noexcept {
+  const std::uint32_t s1 = stream.draw_bounded(bound, threshold);
+  const std::uint32_t i1 = alias_pick(thresh, alias, s1, stream.draw());
+  const std::uint32_t s2 = stream.draw_bounded(bound, threshold);
+  const std::uint32_t i2 = alias_pick(thresh, alias, s2, stream.draw());
+  const std::uint64_t c = stream.draw();
+  return decide(snap[i1], snap[i2], c, i1, i2);
+}
+
 /// One alias-sampled ball of lane l, decided scalar; `queue` semantics as
 /// in replay_ball (an accept-first queue of {s1, u1, s2, u2, c} consumes
 /// exactly the five queued values -- the vector fast path -- and spills to
@@ -142,37 +193,35 @@ void fill_avx2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::ui
     lane_soa& st, std::size_t l, std::uint64_t bound, std::uint64_t threshold,
     const std::uint8_t* snap, const std::uint64_t* thresh, const bin_index* alias,
     const std::uint64_t* queue, int queued) noexcept {
-  int qi = 0;
-  const auto draw = [&]() noexcept { return qi < queued ? queue[qi++] : st.next(l); };
-  const auto draw_bounded = [&]() noexcept {
-    for (;;) {
-      const std::uint64_t x = draw();
-      const auto m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
-      if (static_cast<std::uint64_t>(m) >= threshold) return static_cast<std::uint32_t>(m >> 64);
-    }
-  };
-  const std::uint32_t s1 = draw_bounded();
-  const std::uint32_t i1 = alias_pick(thresh, alias, s1, draw());
-  const std::uint32_t s2 = draw_bounded();
-  const std::uint32_t i2 = alias_pick(thresh, alias, s2, draw());
-  const std::uint64_t c = draw();
-  return decide(snap[i1], snap[i2], c, i1, i2);
+  ball_stream stream{st, l, queue, queued};
+  return stream_ball_alias(stream, bound, threshold, snap, thresh, alias);
 }
 
 using fill_alias_fn = void (*)(lane_soa& st, bin_count n, std::uint64_t threshold,
                                const std::uint8_t* snap, const std::uint64_t* thresh,
-                               const bin_index* alias, std::uint32_t* chosen, std::size_t balls);
+                               const bin_index* alias, std::uint32_t* chosen, std::size_t balls,
+                               kernel_tuning tune);
 
 void fill_alias_scalar(lane_soa& st, bin_count n, std::uint64_t threshold,
                        const std::uint8_t* snap, const std::uint64_t* thresh,
-                       const bin_index* alias, std::uint32_t* chosen, std::size_t balls);
+                       const bin_index* alias, std::uint32_t* chosen, std::size_t balls,
+                       kernel_tuning tune);
 #if defined(__x86_64__) || defined(__i386__)
 void fill_alias_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
                      const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* chosen,
-                     std::size_t balls);
+                     std::size_t balls, kernel_tuning tune);
 void fill_alias_avx2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
                      const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* chosen,
-                     std::size_t balls);
+                     std::size_t balls, kernel_tuning tune);
+void fill_alias_avx512(lane_soa& st, bin_count n, std::uint64_t threshold,
+                       const std::uint8_t* snap, const std::uint64_t* thresh,
+                       const bin_index* alias, std::uint32_t* chosen, std::size_t balls,
+                       kernel_tuning tune);
+#endif
+#if defined(__aarch64__)
+void fill_alias_neon(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
+                     const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* chosen,
+                     std::size_t balls, kernel_tuning tune);
 #endif
 
 }  // namespace nb::kernel_detail

@@ -9,7 +9,7 @@
 namespace nb::kernel_detail {
 
 void fill_scalar(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
-                 std::uint32_t* chosen, std::size_t balls) {
+                 std::uint32_t* chosen, std::size_t balls, kernel_tuning /*tune*/) {
   const std::size_t lanes = st.lanes;
   const auto bound = static_cast<std::uint64_t>(n);
   std::size_t t = 0;
@@ -25,7 +25,8 @@ void fill_scalar(lane_soa& st, bin_count n, std::uint64_t threshold, const std::
 
 void fill_alias_scalar(lane_soa& st, bin_count n, std::uint64_t threshold,
                        const std::uint8_t* snap, const std::uint64_t* thresh,
-                       const bin_index* alias, std::uint32_t* chosen, std::size_t balls) {
+                       const bin_index* alias, std::uint32_t* chosen, std::size_t balls,
+                       kernel_tuning /*tune*/) {
   const std::size_t lanes = st.lanes;
   const auto bound = static_cast<std::uint64_t>(n);
   std::size_t t = 0;

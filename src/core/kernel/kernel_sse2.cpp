@@ -203,13 +203,13 @@ NB_TGT_SSE2 void fill_alias_sse2_impl(lane_soa& st, bin_count n, std::uint64_t t
 }  // namespace
 
 void fill_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
-               std::uint32_t* chosen, std::size_t balls) {
+               std::uint32_t* chosen, std::size_t balls, kernel_tuning /*tune*/) {
   fill_sse2_impl(st, n, threshold, snap, chosen, balls);
 }
 
 void fill_alias_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
                      const std::uint64_t* thresh, const bin_index* alias, std::uint32_t* chosen,
-                     std::size_t balls) {
+                     std::size_t balls, kernel_tuning /*tune*/) {
   fill_alias_sse2_impl(st, n, threshold, snap, thresh, alias, chosen, balls);
 }
 

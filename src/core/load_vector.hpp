@@ -208,6 +208,9 @@ class compact_snapshot {
 
  private:
   std::vector<std::uint8_t> off_;  ///< n_ offsets + tail_padding zero bytes
+  /// Buffer the last huge-page advice was issued for: assign() re-advises
+  /// only when the storage actually moved, not once per window.
+  const std::uint8_t* advised_ = nullptr;
   std::size_t n_ = 0;
   load_t base_ = 0;
   bool ok_ = false;

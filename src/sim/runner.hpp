@@ -21,6 +21,7 @@
 #include "core/process.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
+#include "util/hugepage.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nb {
@@ -129,6 +130,11 @@ struct repeat_options {
   /// Both are part of the sampling contract.
   std::string weighting = "unit";
   std::string sampler = "uniform";
+  /// Request transparent-huge-page backing for the load array and compact
+  /// snapshot of every run (see util/hugepage.hpp).  Execution-only and
+  /// fail-soft: results never depend on it, and a refused madvise quietly
+  /// degrades to normal pages.  Also reachable via NB_HUGEPAGES=1.
+  bool hugepages = false;
 
   /// The engine-routing slice of these options (see engine_options).
   [[nodiscard]] engine_options engine() const noexcept {
@@ -221,6 +227,17 @@ run_result simulate_with(P& process, step_count m, rng_t& rng, run_engine& engin
 template <typename Factory>
 repeat_result run_repeated_with(Factory&& factory, step_count m, const repeat_options& opt) {
   NB_REQUIRE(opt.runs >= 1, "need at least one run");
+  // Scoped huge-page request: the knob is process-global (the allocation
+  // sites in load_state / compact_snapshot consult it), so raise it for
+  // the duration of this call and restore on every exit path.  The knob
+  // only adds an madvise; it never lowers an environment-enabled setting.
+  struct hugepage_scope {
+    bool prev = hugepages_enabled();
+    explicit hugepage_scope(bool want) {
+      if (want) set_hugepages_enabled(true);
+    }
+    ~hugepage_scope() { set_hugepages_enabled(prev); }
+  } hp_scope(opt.hugepages);
   // Build the shared allocation model ONCE on the caller's thread (alias
   // tables are O(n) to construct -- zipf alone is one pow per bin) and
   // copy it into every run; this also validates the specs before any pool

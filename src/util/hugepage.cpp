@@ -1,0 +1,96 @@
+#include "util/hugepage.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace nb {
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1 = not yet seeded from the environment
+std::atomic<bool> g_force_fail{false};
+std::atomic<std::size_t> g_advised{0};
+std::atomic<std::size_t> g_failed{0};
+std::atomic<int> g_last_errno{0};
+
+bool env_truthy(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0);
+}
+
+void record_failure(int err) noexcept {
+  g_failed.fetch_add(1, std::memory_order_relaxed);
+  g_last_errno.store(err, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool hugepages_enabled() noexcept {
+  int e = g_enabled.load(std::memory_order_relaxed);
+  if (e < 0) {
+    e = env_truthy("NB_HUGEPAGES") ? 1 : 0;
+    g_enabled.store(e, std::memory_order_relaxed);
+  }
+  return e == 1;
+}
+
+void set_hugepages_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool advise_hugepages(void* ptr, std::size_t bytes) noexcept {
+  if (!hugepages_enabled() || ptr == nullptr || bytes == 0) return false;
+  if (g_force_fail.load(std::memory_order_relaxed)) {
+    record_failure(EINVAL);
+    return false;
+  }
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  // madvise wants page-aligned whole pages: round the range inward (the
+  // vector allocator gives no page alignment).  THP only promotes 2 MB
+  // extents anyway, so losing the partial edge pages costs nothing.
+  const long page_long = sysconf(_SC_PAGESIZE);
+  const auto page = page_long > 0 ? static_cast<std::uintptr_t>(page_long) : 4096u;
+  const auto lo = reinterpret_cast<std::uintptr_t>(ptr);
+  const std::uintptr_t begin = (lo + page - 1) & ~(page - 1);
+  const std::uintptr_t end = (lo + bytes) & ~(page - 1);
+  if (end <= begin) return false;  // no whole page in range: nothing to advise
+  if (madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE) != 0) {
+    record_failure(errno);
+    return false;
+  }
+  g_advised.fetch_add(1, std::memory_order_relaxed);
+  return true;
+#else
+  record_failure(ENOTSUP);
+  return false;
+#endif
+}
+
+hugepage_stats_t hugepage_stats() noexcept {
+  hugepage_stats_t s;
+  s.advised = g_advised.load(std::memory_order_relaxed);
+  s.failed = g_failed.load(std::memory_order_relaxed);
+  s.last_errno = g_last_errno.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_hugepage_stats() noexcept {
+  g_advised.store(0, std::memory_order_relaxed);
+  g_failed.store(0, std::memory_order_relaxed);
+  g_last_errno.store(0, std::memory_order_relaxed);
+}
+
+void force_hugepage_failure_for_testing(bool force) noexcept {
+  g_force_fail.store(force, std::memory_order_relaxed);
+}
+
+}  // namespace nb

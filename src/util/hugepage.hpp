@@ -1,0 +1,51 @@
+// Transparent-huge-page backing for the hot allocation-path buffers.
+//
+// At paper scale the kernel's working set -- the 4 MB load/count row and
+// the 1 MB compact snapshot -- spans ~1300 4 KiB pages, enough for random
+// gathers/increments to thrash the dTLB.  madvise(MADV_HUGEPAGE) asks the
+// Linux kernel to back those ranges with 2 MB transparent huge pages
+// (~3 TLB entries instead of ~1300).  Strictly execution-only: page size
+// never changes results, so the knob is safe to flip per run.
+//
+// Opt-in and fail-soft by design: THP is off unless the NB_HUGEPAGES
+// environment variable (or repeat_options::hugepages / the bench
+// --hugepages flag) turns it on, and when the kernel refuses -- THP
+// disabled system-wide, non-Linux build, unaligned tiny buffer -- the
+// advice quietly degrades to normal pages.  The outcome (advised /
+// failed + errno) is recorded in process-wide stats so benchmarks can
+// attribute results to the backing that was actually granted.
+#pragma once
+
+#include <cstddef>
+
+namespace nb {
+
+/// Outcome counters for every advise_hugepages call so far (process-wide).
+struct hugepage_stats_t {
+  std::size_t advised = 0;  ///< regions the kernel accepted MADV_HUGEPAGE for
+  std::size_t failed = 0;   ///< regions where madvise failed (or no THP support)
+  int last_errno = 0;       ///< errno of the most recent failure, 0 if none
+};
+
+/// Whether allocation-path buffers request huge-page backing.  Seeded once
+/// per process from NB_HUGEPAGES ("0"/"off"/"false" or unset = disabled).
+[[nodiscard]] bool hugepages_enabled() noexcept;
+
+/// Overrides the process-wide setting (bench/tests; thread-safe).
+void set_hugepages_enabled(bool enabled) noexcept;
+
+/// Advises the kernel to back [ptr, ptr + bytes) with transparent huge
+/// pages.  No-op returning false when the knob is off, the range contains
+/// no whole page, or the platform lacks madvise; a true madvise failure is
+/// counted in hugepage_stats with its errno.  Returns true iff the advice
+/// was accepted.  Never throws, never affects results.
+bool advise_hugepages(void* ptr, std::size_t bytes) noexcept;
+
+[[nodiscard]] hugepage_stats_t hugepage_stats() noexcept;
+void reset_hugepage_stats() noexcept;
+
+/// Test hook: when forced, every advise attempt fails as if madvise
+/// returned EINVAL (exercises the graceful-fallback path deterministically).
+void force_hugepage_failure_for_testing(bool force) noexcept;
+
+}  // namespace nb

@@ -24,11 +24,20 @@ namespace {
 
 using namespace nb;
 
+/// Every ISA the dispatch knows (excluding auto_detect), supported or not.
+const std::vector<kernel_isa>& all_backends() {
+  static const std::vector<kernel_isa> isas = {kernel_isa::scalar, kernel_isa::sse2,
+                                               kernel_isa::avx2, kernel_isa::avx512,
+                                               kernel_isa::neon};
+  return isas;
+}
+
 /// Backends that can execute on this machine (scalar always can).
 std::vector<kernel_isa> supported_backends() {
-  std::vector<kernel_isa> isas = {kernel_isa::scalar};
-  if (kernel_isa_supported(kernel_isa::sse2)) isas.push_back(kernel_isa::sse2);
-  if (kernel_isa_supported(kernel_isa::avx2)) isas.push_back(kernel_isa::avx2);
+  std::vector<kernel_isa> isas;
+  for (const kernel_isa isa : all_backends()) {
+    if (kernel_isa_supported(isa)) isas.push_back(isa);
+  }
   return isas;
 }
 
@@ -301,23 +310,65 @@ TEST(Kernel, GoldenLaneContractRegression) {
   // Frozen reference values for (seed 42, n 101, lanes 8, balls 10^5) on
   // the cyclic snapshot: an FNV-1a fold of the count vector plus spot
   // counts.  These pin the sampling contract itself -- any change to lane
-  // seeding, draw order, Lemire acceptance or the tie rule shows up here,
-  // on every backend (they are bit-identical by the contract above).
+  // seeding, draw order, Lemire acceptance or the tie rule shows up here.
+  // EVERY compiled backend must hit the same golden hash directly (not
+  // just match scalar): a contract drift that slipped into all backends at
+  // once would still fail here.
   const bin_count n = 101;
   const auto snap = make_snapshot(n);
-  const auto counts = kernel_counts(kernel_isa::scalar, 8, n, snap, 100000, 42);
-  std::uint64_t fnv = 0xCBF29CE484222325ULL;
-  for (const std::uint32_t c : counts) {
-    fnv ^= c;
-    fnv *= 0x100000001B3ULL;
+  for (const kernel_isa isa : supported_backends()) {
+    const auto counts = kernel_counts(isa, 8, n, snap, 100000, 42);
+    std::uint64_t fnv = 0xCBF29CE484222325ULL;
+    for (const std::uint32_t c : counts) {
+      fnv ^= c;
+      fnv *= 0x100000001B3ULL;
+    }
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}), 100000)
+        << kernel_isa_name(isa);
+    EXPECT_EQ(fnv, 852822278533736135ULL) << kernel_isa_name(isa);
+    EXPECT_EQ(counts[0], 1784u) << kernel_isa_name(isa);
+    EXPECT_EQ(counts[1], 1301u) << kernel_isa_name(isa);
+    EXPECT_EQ(counts[2], 986u) << kernel_isa_name(isa);
+    EXPECT_EQ(counts[3], 579u) << kernel_isa_name(isa);
+    EXPECT_EQ(counts[4], 206u) << kernel_isa_name(isa);
   }
-  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}), 100000);
-  EXPECT_EQ(fnv, 852822278533736135ULL);
-  EXPECT_EQ(counts[0], 1784u);
-  EXPECT_EQ(counts[1], 1301u);
-  EXPECT_EQ(counts[2], 986u);
-  EXPECT_EQ(counts[3], 579u);
-  EXPECT_EQ(counts[4], 206u);
+}
+
+TEST(Kernel, TuningIsExecutionOnly) {
+  // Every combination of the memory-latency tuning knobs (prefetch,
+  // interleave) must be bit-identical on every backend -- they reorder
+  // loads and stores, never draws.  Shapes cover the interleaved two-round
+  // path (balls >> lanes), its odd-tail handoff to the single-round loop,
+  // remainder lanes, and multi-block runs.
+  const kernel_tuning saved = current_kernel_tuning();
+  const bin_count n = 257;
+  const auto snap = make_snapshot(n);
+  std::vector<double> weights(n);
+  for (bin_count i = 0; i < n; ++i) weights[i] = static_cast<double>((i % 5) + 1);
+  const alias_table table(weights);
+  for (const std::size_t lanes : {std::size_t{8}, std::size_t{13}, std::size_t{16}}) {
+    for (const step_count balls : {step_count{40}, step_count{1001}, step_count{30000}}) {
+      set_kernel_tuning(kernel_tuning{.prefetch = true, .interleave = true});
+      const auto reference = kernel_counts(kernel_isa::scalar, lanes, n, snap, balls, 2026);
+      const auto alias_reference =
+          kernel_alias_counts(kernel_isa::scalar, lanes, n, snap, table, balls, 2026);
+      for (const bool prefetch : {false, true}) {
+        for (const bool interleave : {false, true}) {
+          set_kernel_tuning(kernel_tuning{.prefetch = prefetch, .interleave = interleave});
+          for (const kernel_isa isa : supported_backends()) {
+            EXPECT_EQ(kernel_counts(isa, lanes, n, snap, balls, 2026), reference)
+                << kernel_isa_name(isa) << " lanes=" << lanes << " balls=" << balls
+                << " prefetch=" << prefetch << " interleave=" << interleave;
+            EXPECT_EQ(kernel_alias_counts(isa, lanes, n, snap, table, balls, 2026),
+                      alias_reference)
+                << kernel_isa_name(isa) << " lanes=" << lanes << " balls=" << balls
+                << " prefetch=" << prefetch << " interleave=" << interleave;
+          }
+        }
+      }
+    }
+  }
+  set_kernel_tuning(saved);
 }
 
 // ---------------------------------------------------------------------------
@@ -510,14 +561,14 @@ TEST(KernelEngine, SimulateKernelAndRepeatRouting) {
 // (5) Dispatch plumbing.
 
 TEST(KernelIsa, NamesRoundTripAndAliases) {
-  for (const kernel_isa isa : {kernel_isa::scalar, kernel_isa::sse2, kernel_isa::avx2,
-                               kernel_isa::auto_detect}) {
+  for (const kernel_isa isa : all_backends()) {
     const auto back = kernel_isa_from_name(kernel_isa_name(isa));
-    ASSERT_TRUE(back.has_value());
-    EXPECT_EQ(*back, isa);
+    ASSERT_TRUE(back.has_value()) << kernel_isa_name(isa);
+    EXPECT_EQ(*back, isa) << kernel_isa_name(isa);
   }
+  EXPECT_EQ(kernel_isa_from_name("auto"), kernel_isa::auto_detect);
   EXPECT_EQ(kernel_isa_from_name("simd"), kernel_isa::auto_detect);
-  EXPECT_FALSE(kernel_isa_from_name("neon").has_value());
+  EXPECT_FALSE(kernel_isa_from_name("sve").has_value());
   EXPECT_FALSE(kernel_isa_from_name("").has_value());
 }
 
@@ -527,11 +578,33 @@ TEST(KernelIsa, ResolutionIsSupportedAndStable) {
   EXPECT_TRUE(kernel_isa_supported(best));
   EXPECT_EQ(resolve_kernel_isa(kernel_isa::auto_detect), best);
   EXPECT_EQ(resolve_kernel_isa(kernel_isa::scalar), kernel_isa::scalar);
-  // An explicit but unsupported request silently downgrades (legal: the
-  // backend never affects results).
+  // An explicit but unsupported request downgrades (legal: the backend
+  // never affects results).
   if (!kernel_isa_supported(kernel_isa::avx2)) {
     EXPECT_EQ(resolve_kernel_isa(kernel_isa::avx2), best);
   }
+}
+
+TEST(KernelIsa, UnsupportedForcedIsaWarnsOnceOnFallback) {
+  // Forcing a backend the CPU lacks must still resolve (downgrade is legal)
+  // but emit the one-shot kernel-isa-fallback diagnostic, so a benchmark
+  // that silently measured the wrong ISA is visible in its output.  Every
+  // build has at least one unsupported backend (neon on x86, the x86 ISAs
+  // on aarch64).
+  bool exercised = false;
+  for (const kernel_isa isa : all_backends()) {
+    if (kernel_isa_supported(isa)) continue;
+    exercised = true;
+    const std::string key = std::string("kernel-isa-fallback:") + kernel_isa_name(isa);
+    const kernel_isa resolved = resolve_kernel_isa(isa);
+    EXPECT_TRUE(kernel_isa_supported(resolved)) << kernel_isa_name(isa);
+    EXPECT_NE(resolved, isa);
+    EXPECT_TRUE(warned(key)) << key;
+  }
+  EXPECT_TRUE(exercised);
+  // Supported requests resolve to themselves and never warn.
+  EXPECT_EQ(resolve_kernel_isa(kernel_isa::scalar), kernel_isa::scalar);
+  EXPECT_FALSE(warned("kernel-isa-fallback:scalar"));
 }
 
 TEST(Kernel, RejectsContractViolations) {

@@ -9,26 +9,30 @@ than (1 - tolerance) x its baseline, or when a headline speedup ratio
 (kernel_vs_fused_speedup, shard_vs_fused_speedup) drops below the same
 bound.
 
-Matching is by (kernel, isa class, threads, weighting, sampler), where the
-isa class folds all SIMD backends together ("none"/"scalar" stay distinct)
--- the committed baseline may say avx2 while a CI runner reports a
-different best backend -- and the weighting/sampler pair keys the
-generalized-model legs (entries without the fields, from the pre-PR-5
-schema, default to "unit"/"uniform").  Legs present only in one file are
-reported and skipped, not failed (e.g. a runner without SIMD support never
-produces the SIMD leg).
+Matching is by the exact (kernel, isa, threads, weighting, sampler) tuple:
+since the bench's auto mode runs one leg per supported SIMD backend, avx2
+and avx512 legs coexist as separately gated entries, and folding them
+together would let a fast new backend mask a regression in an old one.
+The weighting/sampler pair keys the generalized-model legs (entries
+without the fields, from the pre-PR-5 schema, default to "unit"/
+"uniform").
+
+Cross-machine portability is handled by skipping, not failing:
+  * a baseline leg whose ISA is absent from the fresh run's
+    "supported_isas" (the bench records what its CPU can execute) is
+    skipped with a notice -- an aarch64 runner can never reproduce an
+    avx512 leg, and vice versa;
+  * multi-thread scaling legs (threads > 1) are only gated when the fresh
+    runner actually has that many cores ("hardware_concurrency"); an
+    oversubscribed leg time-slices and its rate says nothing about the
+    code;
+  * legs present in only one file are reported and skipped.
 
 The default tolerance is deliberately generous (40%): the baseline is
 recorded at paper scale on a developer machine while CI runs a reduced
 smoke scale on shared runners, so the gate is meant to catch real
 regressions (a broken fast path, an accidental serial fallback), not
 machine-to-machine noise.
-
-Multi-thread scaling legs (threads > 1) are only meaningful when the
-runner actually has that many cores: on a smaller machine the leg
-time-slices and its rate says nothing about the code.  The fresh JSON
-carries the runner's `hardware_concurrency`; legs whose thread count
-exceeds it are skipped with a notice instead of gated.
 """
 
 import argparse
@@ -36,12 +40,8 @@ import json
 import sys
 
 
-def isa_class(isa):
-    return isa if isa in ("none", "scalar") else "simd"
-
-
 def leg_key(entry):
-    return (entry["kernel"], isa_class(entry["isa"]), entry["threads"],
+    return (entry["kernel"], entry["isa"], entry["threads"],
             entry.get("weighting", "unit"), entry.get("sampler", "uniform"))
 
 
@@ -73,25 +73,35 @@ def main():
     base_legs = index_legs(baseline)
     fresh_legs = index_legs(fresh)
     floor = 1.0 - args.tolerance
-    # The fresh file knows the runner it ran on; older baselines may
-    # predate the host-metadata fields.
+    # The fresh file knows the runner it ran on; older baselines / fresh
+    # files may predate the host-metadata and supported-ISA fields (None =
+    # unknown, never skip on it).
     runner_cores = fresh.get("hardware_concurrency", 0)
+    runner_isas = fresh.get("supported_isas")
     failures = []
     print(f"bench-regression gate: tolerance {args.tolerance:.0%} "
           f"(fail below {floor:.0%} of baseline)")
     if runner_cores:
         print(f"  runner: {fresh.get('cpu_model', 'unknown CPU')} "
               f"({runner_cores} hardware threads)")
+    if runner_isas is not None:
+        print(f"  runner backends: {', '.join(runner_isas)}")
 
     for key, base in sorted(base_legs.items()):
-        label = f"kernel={key[0]:<6} isa={key[1]:<6} threads={key[2]}"
-        if key[3] != "unit" or key[4] != "uniform":
-            label += f" weighting={key[3]} sampler={key[4]}"
+        kernel, isa, threads, weighting, sampler = key
+        label = f"kernel={kernel:<6} isa={isa:<6} threads={threads}"
+        if weighting != "unit" or sampler != "uniform":
+            label += f" weighting={weighting} sampler={sampler}"
+        if (runner_isas is not None and isa not in ("none",)
+                and isa not in runner_isas):
+            print(f"  SKIP {label}: this runner's CPU does not support "
+                  f"{isa} (supports: {', '.join(runner_isas)})")
+            continue
         if key not in fresh_legs:
             print(f"  SKIP {label}: leg missing from fresh results")
             continue
-        if runner_cores and key[2] > runner_cores:
-            print(f"  SKIP {label}: leg needs {key[2]} threads but the runner "
+        if runner_cores and threads > runner_cores:
+            print(f"  SKIP {label}: leg needs {threads} threads but the runner "
                   f"has {runner_cores}; oversubscribed timings are not gateable")
             continue
         base_rate = base["balls_per_sec"]
