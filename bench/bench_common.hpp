@@ -33,10 +33,15 @@ struct bench_config {
   std::uint64_t seed = 1;
   std::size_t threads = 0;          // 0 = hardware concurrency
   std::size_t threads_per_run = 0;  // 0 = serial runs; > 0 = intra-run shard engine
+  std::size_t shards = 16;          // shard count (sampling contract)
   std::string kernel = "off";       // off | scalar | sse2 | avx2 | auto | simd
   std::size_t lanes = 8;            // kernel lanes (sampling contract)
+  bool hugepages = false;           // THP request (execution-only)
   std::string weighting = "unit";   // ball-weighting spec (make_weighting)
   std::string sampler = "uniform";  // bin-sampler spec (make_sampler)
+  std::string departures = "none";  // departure-channel spec (make_departures)
+  std::int64_t churn = 0;           // churn occupancy override (0 = m)
+  std::int64_t churn_telemetry = 0; // churn telemetry cadence in pairs
   std::string csv;                  // optional CSV output path ("" = none)
   std::string journal;              // optional campaign JSONL journal ("" = none)
   bool resume = false;              // replay --journal, run only missing cells
@@ -61,7 +66,9 @@ struct bench_config {
   }
 };
 
-/// Registers the standard flags on `cli`.
+/// Registers the standard flags on `cli`.  The engine-selection and
+/// allocation-model families come from util/cli's shared registration, so
+/// every binary spells them identically and a new flag lands once.
 inline void add_standard_flags(cli_parser& cli) {
   cli.add_string("mode", "quick", "quick (n=10^4, 10 runs) or paper (n up to 10^5, 100 runs)");
   cli.add_int("n", 0, "override the number of bins (0 = per-mode default)");
@@ -69,20 +76,8 @@ inline void add_standard_flags(cli_parser& cli) {
   cli.add_int("m-mult", 1000, "balls per bin: m = m-mult * n (paper uses 1000)");
   cli.add_int("seed", 1, "master seed; every run derives its own stream");
   cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
-  cli.add_int("threads-per-run", 0,
-              "intra-run shard-engine workers (0 = serial runs; stale-snapshot "
-              "windows, e.g. b-batch batches, then run shard-parallel)");
-  cli.add_string("kernel", "off",
-                 "allocation-kernel backend for frozen windows: off | scalar | "
-                 "sse2 | avx2 | avx512 | neon | auto | simd (auto/simd = best "
-                 "this CPU supports; an unsupported request warns once and falls "
-                 "back; backends are bit-identical for a fixed lane count)");
-  cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
-  cli.add_string("weighting", "unit",
-                 "ball-weighting spec: unit | fixed:<w> | two-point:<lo>,<hi>,<p> | "
-                 "pareto:<alpha>[,<cap>] (sampling contract; see README \"Weighted balls\")");
-  cli.add_string("sampler", "uniform",
-                 "bin-sampler spec: uniform | zipf:<s> | hot:<k>,<f> (sampling contract)");
+  add_engine_flags(cli);
+  add_model_flags(cli);
   cli.add_string("csv", "", "also write results to this CSV file");
   cli.add_string("journal", "",
                  "append-only JSONL cell journal for checkpoint/resume (see README "
@@ -105,21 +100,29 @@ inline std::optional<bench_config> parse_standard(cli_parser& cli, int argc,
   NB_REQUIRE(cfg.m_multiplier >= 1, "--m-mult must be >= 1");
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   NB_REQUIRE(cli.get_int("threads") >= 0, "--threads must be >= 0");
-  NB_REQUIRE(cli.get_int("threads-per-run") >= 0, "--threads-per-run must be >= 0");
   cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
-  cfg.threads_per_run = static_cast<std::size_t>(cli.get_int("threads-per-run"));
-  cfg.kernel = cli.get_string("kernel");
+  const engine_flag_values engine = get_engine_flags(cli);
+  cfg.threads_per_run = static_cast<std::size_t>(engine.threads_per_run);
+  cfg.shards = static_cast<std::size_t>(engine.shards);
+  cfg.kernel = engine.kernel;
   NB_REQUIRE(cfg.kernel == "off" || kernel_isa_from_name(cfg.kernel).has_value(),
              "--kernel must be off, scalar, sse2, avx2, avx512, neon, auto or simd");
-  NB_REQUIRE(cli.get_int("lanes") >= 1 &&
-                 cli.get_int("lanes") <= static_cast<std::int64_t>(kernel_max_lanes),
+  NB_REQUIRE(engine.lanes <= static_cast<std::int64_t>(kernel_max_lanes),
              "--lanes must be in [1, kernel_max_lanes]");
-  cfg.lanes = static_cast<std::size_t>(cli.get_int("lanes"));
-  cfg.weighting = cli.get_string("weighting");
-  cfg.sampler = cli.get_string("sampler");
-  // Parse-validate the weighting spec up front; the sampler is built per
-  // process (its table depends on n), so its spec is validated on first use.
+  cfg.lanes = static_cast<std::size_t>(engine.lanes);
+  cfg.hugepages = engine.hugepages;
+  if (cfg.hugepages) set_hugepages_enabled(true);
+  const model_flag_values model = get_model_flags(cli);
+  cfg.weighting = model.weighting;
+  cfg.sampler = model.sampler;
+  cfg.departures = model.churn.departures;
+  cfg.churn = model.churn.churn;
+  cfg.churn_telemetry = model.churn.telemetry;
+  // Parse-validate the weighting and departure specs up front; the sampler
+  // is built per process (its table depends on n), so its spec is
+  // validated on first use.
   (void)make_weighting(cfg.weighting);
+  (void)make_departures(cfg.departures);
   cfg.csv = cli.get_string("csv");
   cfg.journal = cli.get_string("journal");
   cfg.resume = cli.get_bool("resume");
@@ -135,12 +138,16 @@ inline campaign_options campaign_options_for(const bench_config& cfg) {
   opt.repeats = cfg.runs();
   opt.seed = cfg.seed;
   opt.threads = cfg.threads;
-  opt.threads_per_run = cfg.threads_per_run;
-  opt.use_kernel = cfg.kernel_backend().has_value() && cfg.threads_per_run == 0;
-  opt.isa = cfg.kernel_backend().value_or(kernel_isa::auto_detect);
-  opt.lanes = cfg.lanes;
+  engine_config engine;
+  engine.threads_per_run = cfg.threads_per_run;
+  engine.shards = cfg.shards;
+  engine.use_kernel = cfg.kernel_backend().has_value() && cfg.threads_per_run == 0;
+  engine.lanes = cfg.lanes;
+  engine.isa = cfg.kernel_backend().value_or(kernel_isa::auto_detect);
+  opt.set_engine(engine);
   opt.journal_path = cfg.journal;
   opt.resume = cfg.resume;
+  opt.churn_telemetry_every = static_cast<step_count>(cfg.churn_telemetry);
   return opt;
 }
 
@@ -150,33 +157,35 @@ inline campaign_options campaign_options_for(const bench_config& cfg) {
 inline void apply_model_flags(sweep_grid& grid, const bench_config& cfg) {
   grid.weightings = {cfg.weighting};
   grid.samplers = {cfg.sampler};
+  grid.departures = {cfg.departures};
+  if (cfg.churn > 0) {
+    warn_once("bench-churn-grid",
+              "--churn has no effect on declarative-grid binaries: churn cells expanded "
+              "from a grid use the steady-state default occupancy = m");
+  }
 }
 
-/// Same for an explicit configuration list.  Registry-backed configs take
-/// the specs; factory-built cells own their model, so non-default flags
-/// on them trigger the house accepted-but-ineffective diagnostic instead
-/// of silence.
+/// Same for an explicit configuration list, through the orchestrator's
+/// shared override mapping (exp/campaign.hpp): registry-backed configs
+/// take the specs; factory-built cells own their model, so non-default
+/// flags on them trigger the house accepted-but-ineffective diagnostic
+/// instead of silence.
 inline void apply_model_flags(std::vector<campaign_config>& configs, const bench_config& cfg) {
-  if (cfg.weighting == "unit" && cfg.sampler == "uniform") return;
-  for (auto& config : configs) {
-    if (config.factory) {
-      warn_once("bench-model-flags/" + config.label,
-                "--weighting/--sampler have no effect on factory-built cell '" + config.label +
-                    "': the flags apply to registry-backed configs only");
-      continue;
-    }
-    config.process.weighting = cfg.weighting;
-    config.process.sampler = cfg.sampler;
-  }
+  model_overrides overrides;
+  overrides.weighting = cfg.weighting;
+  overrides.sampler = cfg.sampler;
+  overrides.departures = cfg.departures;
+  overrides.churn_occupancy = static_cast<step_count>(cfg.churn);
+  apply_model_overrides(configs, overrides);
 }
 
 /// For binaries whose cells are all factory-built (or that bypass the
 /// campaign layer entirely): one-time diagnostic that non-default
-/// --weighting/--sampler flags were accepted but cannot apply.
+/// --weighting/--sampler/--departures flags were accepted but cannot apply.
 inline void warn_model_flags_unsupported(const bench_config& cfg, const std::string& binary) {
-  if (cfg.weighting == "unit" && cfg.sampler == "uniform") return;
+  if (cfg.weighting == "unit" && cfg.sampler == "uniform" && cfg.departures == "none") return;
   warn_once("bench-model-flags/" + binary,
-            "--weighting/--sampler have no effect in " + binary +
+            "--weighting/--sampler/--departures have no effect in " + binary +
                 ": its cells are factory-built; the flags apply to registry-backed configs only");
 }
 

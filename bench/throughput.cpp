@@ -212,6 +212,7 @@ struct scale_entry {
   std::string process = "b-batch";   // workload the leg times
   std::string weighting = "unit";    // ball-weighting spec (leg key)
   std::string sampler = "uniform";   // bin-sampler spec (leg key)
+  std::string departures = "none";   // departure-channel spec (leg key)
   timing_stats timing;
   scale_measurement run;
   /// Hardware counters over the leg's warmup + timed shots (available ==
@@ -481,6 +482,7 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
                          bool verify, const std::string& alias_spec, step_count checkpoint_every,
                          const std::vector<std::size_t>& threads_list,
                          const std::vector<std::size_t>& workers_list,
+                         const std::string& departures_spec, step_count churn_occupancy,
                          const std::string& json_path) {
   const auto interval = static_cast<step_count>(n);
   const auto work = static_cast<double>(m);
@@ -678,6 +680,48 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     results.push_back(std::move(alias_leg));
   }
 
+  // Steady-state churn leg: the event-stream API under load.  Warm a
+  // two-choice system up to `churn_occupancy` resident balls (untimed),
+  // then serve arrival/departure pairs through advance() -- the symmetric
+  // allocate/release path -- and report EVENTS per second (arrivals +
+  // departures) at fixed occupancy.  Keyed by its departure spec in the
+  // JSON so the regression gate tracks it separately from insertion legs.
+  const step_count churn_pairs = m / 10;
+  if (!departures_spec.empty() && churn_pairs > 0) {
+    const step_count occupancy =
+        churn_occupancy > 0 ? churn_occupancy : static_cast<step_count>(n);
+    scale_entry leg;
+    leg.kernel = "churn";
+    leg.isa = "none";
+    leg.threads = 1;
+    leg.process = "two-choice";
+    leg.departures = departures_spec;
+    perf_counter_set churn_counters;
+    const hugepage_stats_t hp_before = hugepage_stats();
+    two_choice warmed(n);
+    warmed.set_model(make_model("unit", "uniform", n, departures_spec));
+    rng_t warm_rng(seed);
+    nb::step_many(warmed, warm_rng, occupancy);
+    churn_counters.start();
+    leg.timing = time_median_of(kWarmup, kReps, [&] {
+      two_choice p = warmed;  // every shot churns the same warmed system
+      rng_t rng = warm_rng;
+      advance(p, rng, traffic_spec{churn_pairs, churn_pairs});
+      const auto& s = p.state();
+      leg.run.gap = s.gap();
+      leg.run.sink = s.gap() + s.underload_gap();
+      leg.run.loads = s.loads();
+    });
+    leg.perf = churn_counters.stop();
+    annotate_env(leg, hp_before);
+    const double churn_work = 2.0 * static_cast<double>(churn_pairs);
+    std::printf("  %-10s dep=%-8s t=1 %12.3e events/s  (two-choice at occupancy %lld, "
+                "gap %.1f, %s)\n",
+                "churn", departures_spec.c_str(), leg.timing.rate_median(churn_work),
+                static_cast<long long>(occupancy), leg.run.gap, perf_note(leg.perf).c_str());
+    results.push_back(std::move(leg));
+  }
+
   // Checkpoint-overhead leg: recorded (not speed-gated) so the cost of
   // making a run preemptible stays visible next to the throughput it taxes.
   double ckpt_overhead = -1.0;
@@ -754,15 +798,17 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
                  kWarmup, kReps);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const scale_entry& e = results[i];
-      // Campaign legs split the work over half the balls (see above);
-      // their rates must use their own work term (mirrors m_cell * kCells
-      // in run_workers_matrix).
+      // Campaign legs split the work over half the balls (see above) and
+      // churn legs count events (arrivals + departures), so their rates
+      // use their own work terms.
       const double leg_work =
           e.kernel == "campaign" ? static_cast<double>(std::max<step_count>(1, m / 2 / 8)) * 8.0
+          : e.kernel == "churn"  ? 2.0 * static_cast<double>(churn_pairs)
                                  : work;
       std::fprintf(f,
                    "    {\"kernel\": \"%s\", \"isa\": \"%s\", \"threads\": %zu,\n"
                    "     \"process\": \"%s\", \"weighting\": \"%s\", \"sampler\": \"%s\",\n"
+                   "     \"departures\": \"%s\",\n"
                    "     \"isa_detected\": \"%s\", \"isa_forced\": %s%s%s,\n"
                    "     \"hugepages\": \"%s\", \"hugepage_errno\": %d,\n"
                    "     \"prefetch\": %s, \"interleave\": %s,\n"
@@ -770,7 +816,8 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
                    "     \"balls_per_sec_max\": %.6e, \"seconds_median\": %.6f,\n"
                    "     \"gap\": %.2f",
                    e.kernel.c_str(), e.isa.c_str(), e.threads, e.process.c_str(),
-                   e.weighting.c_str(), e.sampler.c_str(), e.isa_detected.c_str(),
+                   e.weighting.c_str(), e.sampler.c_str(), e.departures.c_str(),
+                   e.isa_detected.c_str(),
                    e.isa_forced.empty() ? "null" : "\"", e.isa_forced.c_str(),
                    e.isa_forced.empty() ? "" : "\"", e.hugepages.c_str(), e.hugepage_errno,
                    e.prefetch ? "true" : "false", e.interleave ? "true" : "false",
@@ -894,6 +941,10 @@ int main(int argc, char** argv) {
   cli.add_string("workers-list", "1,2,4",
                  "scaling matrix: comma-separated campaign worker counts to sweep over a "
                  "heterogeneous cell mix (\"\" = skip the campaign matrix)");
+  // Shared steady-state churn family (util/cli).  Here --departures picks
+  // the channel of the scale benchmark's churn leg ("none" = the default
+  // channel, random) and --churn overrides its occupancy (0 = scale-n).
+  add_churn_flags(cli);
   cli.add_string("json", "BENCH_throughput.json", "scale-result JSON path (\"\" = skip)");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -959,6 +1010,15 @@ int main(int argc, char** argv) {
       }
     }
     if (cli.get_bool("hugepages")) set_hugepages_enabled(true);
+    const churn_flag_values churn = get_churn_flags(cli);
+    const std::string departures_spec =
+        churn.departures == "none" ? "random" : churn.departures;
+    (void)make_departures(departures_spec);  // validate the spec up front
+    if (churn.telemetry > 0) {
+      warn_once("throughput-churn-telemetry",
+                "--churn-telemetry has no effect here: the churn leg times throughput and "
+                "records only its final gap");
+    }
     run_scale_benchmark(static_cast<bin_count>(cli.get_int("scale-n")),
                         static_cast<step_count>(cli.get_int("scale-m")),
                         static_cast<std::size_t>(cli.get_int("scale-threads")),
@@ -968,6 +1028,7 @@ int main(int argc, char** argv) {
                         static_cast<step_count>(cli.get_int("checkpoint-every")),
                         parse_count_list("threads-list", cli.get_string("threads-list")),
                         parse_count_list("workers-list", cli.get_string("workers-list")),
+                        departures_spec, static_cast<step_count>(churn.churn),
                         cli.get_string("json"));
   }
   return 0;

@@ -34,16 +34,10 @@ int main(int argc, char** argv) {
     cli.add_int("checkpoint-every", 0,
                 "checkpoint each cell's mid-run state about every N balls next to --journal "
                 "(0 = off; --resume then picks cells up mid-run; never affects results)");
-    cli.add_int("threads-per-run", 0,
-                "intra-run shard-engine workers per cell (0 = serial; sampling depends on "
-                "--shards, never on this)");
-    cli.add_int("shards", 16, "shard count for the intra-run engine (sampling contract)");
-    cli.add_bool("kernel", false, "route serial cells through the lane-interleaved SIMD kernel");
-    cli.add_string("isa", "auto",
-                   "kernel ISA backend: scalar | sse2 | avx2 | avx512 | neon | auto "
-                   "(execution-only -- never affects results; unsupported requests "
-                   "warn once and fall back)");
-    cli.add_int("lanes", 8, "kernel lanes for both engines (sampling contract)");
+    // The engine-selection and allocation-model families come from
+    // util/cli's shared registration (canonical spelling everywhere).
+    add_engine_flags(cli);
+    add_model_flags(cli);
     cli.add_string("json", "", "write the aggregate JSON archive here");
     cli.add_string("csv", "", "write the per-config CSV here");
     if (!cli.parse(argc, argv)) return 0;
@@ -72,6 +66,17 @@ int main(int argc, char** argv) {
     configs.push_back({"d-choice/4 (factory)",
                        [n] { return any_process(d_choice(n, 4)); }, m});
 
+    // --weighting/--sampler/--departures (and --churn occupancy) reshape
+    // the registry-backed configs; with --departures the campaign runs
+    // steady-state churn cells instead of pure insertion.
+    const model_flag_values model = get_model_flags(cli);
+    model_overrides overrides;
+    overrides.weighting = model.weighting;
+    overrides.sampler = model.sampler;
+    overrides.departures = model.churn.departures;
+    overrides.churn_occupancy = static_cast<step_count>(model.churn.churn);
+    apply_model_overrides(configs, overrides);
+
     campaign_options opt;
     opt.repeats = static_cast<std::size_t>(cli.get_int("runs"));
     opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -80,13 +85,20 @@ int main(int argc, char** argv) {
     opt.resume = cli.get_bool("resume");
     NB_REQUIRE(cli.get_int("checkpoint-every") >= 0, "--checkpoint-every must be non-negative");
     opt.checkpoint_every = static_cast<step_count>(cli.get_int("checkpoint-every"));
-    opt.threads_per_run = static_cast<std::size_t>(cli.get_int("threads-per-run"));
-    opt.shards = static_cast<std::size_t>(cli.get_int("shards"));
-    opt.use_kernel = cli.get_bool("kernel");
-    const auto isa = kernel_isa_from_name(cli.get_string("isa"));
-    NB_REQUIRE(isa.has_value(), "--isa must name a kernel backend (see --help)");
-    opt.isa = *isa;
-    opt.lanes = static_cast<std::size_t>(cli.get_int("lanes"));
+    opt.churn_telemetry_every = static_cast<step_count>(model.churn.telemetry);
+
+    const engine_flag_values engine_flags = get_engine_flags(cli);
+    const auto backend = kernel_isa_from_name(engine_flags.kernel);
+    NB_REQUIRE(engine_flags.kernel == "off" || backend.has_value(),
+               "--kernel must be off, scalar, sse2, avx2, avx512, neon, auto or simd");
+    if (engine_flags.hugepages) set_hugepages_enabled(true);
+    engine_config engine;
+    engine.threads_per_run = static_cast<std::size_t>(engine_flags.threads_per_run);
+    engine.shards = static_cast<std::size_t>(engine_flags.shards);
+    engine.use_kernel = backend.has_value() && engine.threads_per_run == 0;
+    engine.lanes = static_cast<std::size_t>(engine_flags.lanes);
+    engine.isa = backend.value_or(kernel_isa::auto_detect);
+    opt.set_engine(engine);
 
     const auto campaign = run_campaign(configs, opt);
 

@@ -17,6 +17,14 @@
 // (gap) next to the theory shape Theta(log n / log((4n/scale) log n)),
 // answering the practical question: "how stale can telemetry get before
 // two-choice routing stops being worth it?"
+//
+// Act 2 runs the farm at steady state: jobs do not only arrive, they
+// finish.  The farm is warmed up to a fixed occupancy and then serves
+// arrival/completion pairs through the symmetric allocate/release API
+// (sim/churn.hpp), under three completion models -- random (memoryless
+// service), lease (FIFO time-to-live expiry) and drain (a load-aware
+// autoscaler retiring jobs from fuller servers) -- with gap telemetry
+// sampled along the way.
 #include <cstdio>
 
 #include "noisebalance.hpp"
@@ -66,5 +74,47 @@ int main() {
       "    the batch setting's synchronized refresh is not essential).\n"
       "  * Even the *worst-case* lag pattern stays far below blind routing until the\n"
       "    refresh scale approaches n log n.\n");
+
+  // ------------------------------------------------------------------
+  // Act 2: the farm at steady state.  Warm up to `occupancy` resident
+  // jobs, then serve arrival/completion pairs -- the long-running regime
+  // a real dispatcher actually lives in.  The gap telemetry shows the
+  // imbalance holding steady instead of growing with the job count.
+  constexpr step_count occupancy = 100LL * n;
+  constexpr step_count pairs = 400LL * n;
+
+  std::printf("\nSteady state: %lld resident jobs, %lld arrival/completion pairs, "
+              "two-choice routing\n\n",
+              static_cast<long long>(occupancy), static_cast<long long>(pairs));
+
+  text_table steady({"completion model", "gap 25%", "gap 50%", "gap 75%", "final gap",
+                     "resident jobs"});
+  for (const char* completion : {"random", "lease", "drain"}) {
+    two_choice farm(n);
+    farm.set_model(make_model("unit", "uniform", n, completion));
+    any_process process(std::move(farm));
+    rng_t rng(seed);
+    run_engine engine{engine_config{}};
+    churn_options opt;
+    opt.occupancy = occupancy;
+    opt.events = pairs;
+    opt.telemetry_every = pairs / 4;
+    const churn_result run = run_churn(process, opt, rng, engine);
+    std::vector<std::string> row{completion};
+    for (const churn_point& point : run.trajectory) row.push_back(format_fixed(point.gap, 1));
+    while (row.size() < 5) row.push_back("-");
+    row.push_back(std::to_string(run.trajectory.back().resident));
+    steady.add_row(row);
+  }
+  std::printf("%s\n", steady.render().c_str());
+
+  std::printf(
+      "Reading the steady state:\n"
+      "  * Under memoryless completions (random) the two-choice gap settles at a small\n"
+      "    constant -- it does not grow with how long the farm has been running.\n"
+      "  * FIFO lease expiry (lease) retires the oldest job wherever it sits; the\n"
+      "    dispatcher's placement still keeps the farm balanced.\n"
+      "  * A load-aware autoscaler (drain) retires jobs from fuller servers and\n"
+      "    tightens the gap below the arrival-only equilibrium.\n");
   return 0;
 }

@@ -261,9 +261,51 @@ bin_sampler make_sampler(const std::string& spec, bin_count n) {
                        "' (uniform | zipf:<s> | hot:<k>,<f>)");
 }
 
+departure_model departure_model::random() {
+  departure_model out;
+  out.kind_ = kind::random;
+  return out;
+}
+
+departure_model departure_model::lease() {
+  departure_model out;
+  out.kind_ = kind::lease;
+  return out;
+}
+
+departure_model departure_model::drain() {
+  departure_model out;
+  out.kind_ = kind::drain;
+  return out;
+}
+
+std::string departure_model::label() const {
+  switch (kind_) {
+    case kind::none:
+      return "none";
+    case kind::random:
+      return "random";
+    case kind::lease:
+      return "lease";
+    case kind::drain:
+      return "drain";
+  }
+  return "none";
+}
+
+departure_model make_departures(const std::string& spec) {
+  if (spec == "none") return departure_model::none();
+  if (spec == "random") return departure_model::random();
+  if (spec == "lease") return departure_model::lease();
+  if (spec == "drain") return departure_model::drain();
+  throw contract_error("unknown departure spec '" + spec +
+                       "' (none | random | lease | drain)");
+}
+
 alloc_model make_model(const std::string& weighting_spec, const std::string& sampler_spec,
-                       bin_count n) {
-  return alloc_model{make_weighting(weighting_spec), make_sampler(sampler_spec, n)};
+                       bin_count n, const std::string& departures_spec) {
+  return alloc_model{make_weighting(weighting_spec), make_sampler(sampler_spec, n),
+                     make_departures(departures_spec)};
 }
 
 }  // namespace nb

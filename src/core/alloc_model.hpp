@@ -15,11 +15,21 @@
 //     bit-identical to nb::bounded) or an alias table over an arbitrary
 //     probability vector (Vose's method, two u64 draws per sample).
 //
+// Steady-state churn (PR 9) adds the third leg:
+//
+//   * departure_model -- *how* resident balls leave: none (the paper's
+//     insertion-only model), random (a uniformly random resident load
+//     unit departs), lease (FIFO expiry -- the oldest resident ball
+//     departs whole, via the load_state's lease ring), or drain
+//     (two-choice in reverse: a unit leaves the fuller of two sampled
+//     bins).  The "none" configuration draws no randomness and keeps
+//     every historical label and stream byte-identical.
+//
 // An alloc_model bundles one of each; every process carries one
-// (defaulting to unit/uniform) and threads it through step/step_many and
-// the frozen-window engines.  Both laws are part of the *sampling
-// contract*: results are a pure function of (config, model, seed), never
-// of thread counts or ISA backends.
+// (defaulting to unit/uniform/none) and threads it through step/step_many,
+// the frozen-window engines and the churn driver.  All three laws are part
+// of the *sampling contract*: results are a pure function of (config,
+// model, seed), never of thread counts or ISA backends.
 #pragma once
 
 #include <cmath>
@@ -230,20 +240,70 @@ class bin_sampler {
 };
 
 // ---------------------------------------------------------------------------
+// Departure model (steady-state churn).
+
+/// *How* resident balls leave the system.  Pure policy, no mutable state:
+/// the lease channel's FIFO residency record lives in load_state (enabled
+/// by install_model when this channel is selected), mirroring how the
+/// samplers' tables are configuration while the loads are state.
+class departure_model {
+ public:
+  enum class kind : std::uint8_t {
+    none,    ///< insertion-only (the paper's model); no churn surface
+    random,  ///< a uniformly random resident load unit departs
+    lease,   ///< FIFO lease expiry: the oldest resident ball departs whole
+    drain,   ///< two-choice drain: a unit leaves the fuller of two samples
+  };
+
+  /// The default: nothing ever departs.
+  departure_model() = default;
+
+  [[nodiscard]] static departure_model none() { return {}; }
+  [[nodiscard]] static departure_model random();
+  [[nodiscard]] static departure_model lease();
+  [[nodiscard]] static departure_model drain();
+
+  [[nodiscard]] kind departure_kind() const noexcept { return kind_; }
+  /// True for the paper's insertion-only model -- the bit-parity fast path.
+  [[nodiscard]] bool is_none() const noexcept { return kind_ == kind::none; }
+  /// True when the channel needs the load_state's FIFO lease ring.
+  [[nodiscard]] bool is_lease() const noexcept { return kind_ == kind::lease; }
+
+  /// Stable human/CLI-facing name: "none" | "random" | "lease" | "drain".
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const departure_model&, const departure_model&) = default;
+
+ private:
+  kind kind_ = kind::none;
+};
+
+// ---------------------------------------------------------------------------
 // The bundled model.
 
 struct alloc_model {
   ball_weighting weighting{};
   bin_sampler sampler{};
+  departure_model departures{};
 
-  /// True for the paper's unit-weight/uniform-sampling configuration --
-  /// the path every historical golden/parity test pins down.
+  /// True for the paper's unit-weight/uniform-sampling/insertion-only
+  /// configuration -- the path every historical golden/parity test pins
+  /// down.
   [[nodiscard]] bool is_default() const noexcept {
-    return weighting.is_unit() && sampler.is_uniform();
+    return weighting.is_unit() && sampler.is_uniform() && departures.is_none();
   }
 
-  /// "unit/uniform", "pareto[a=1.5,cap=4096]/zipf:1", ...
-  [[nodiscard]] std::string label() const { return weighting.label() + "/" + sampler.label(); }
+  /// "unit/uniform", "pareto[a=1.5,cap=4096]/zipf:1", with "/<departures>"
+  /// appended only when a churn channel is configured, so insertion-only
+  /// labels stay byte-identical to the pre-churn ones.
+  [[nodiscard]] std::string label() const {
+    std::string out = weighting.label() + "/" + sampler.label();
+    if (!departures.is_none()) {
+      out += '/';
+      out += departures.label();
+    }
+    return out;
+  }
 };
 
 /// Validates `model` against a process over n bins: a non-uniform sampler
@@ -277,8 +337,14 @@ void check_model(const alloc_model& model, bin_count n);
 /// Throws contract_error on anything else.
 [[nodiscard]] bin_sampler make_sampler(const std::string& spec, bin_count n);
 
-/// Bundles the two parsers; "unit" + "uniform" yields the default model.
+/// Parses a departure spec: "none" | "random" | "lease" | "drain".
+/// Throws contract_error on anything else.
+[[nodiscard]] departure_model make_departures(const std::string& spec);
+
+/// Bundles the parsers; "unit" + "uniform" (+ "none") yields the default
+/// model.
 [[nodiscard]] alloc_model make_model(const std::string& weighting_spec,
-                                     const std::string& sampler_spec, bin_count n);
+                                     const std::string& sampler_spec, bin_count n,
+                                     const std::string& departures_spec = "none");
 
 }  // namespace nb

@@ -41,11 +41,11 @@ class one_choice {
     return with_model_suffix("one-choice", model_);
   }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).
@@ -80,11 +80,11 @@ class two_choice {
     return with_model_suffix("two-choice", model_);
   }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).
@@ -137,11 +137,11 @@ class d_choice {
   }
   [[nodiscard]] int d() const noexcept { return d_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).
@@ -197,11 +197,11 @@ class one_plus_beta {
   }
   [[nodiscard]] double beta() const noexcept { return beta_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).
@@ -246,5 +246,9 @@ static_assert(checkpointable_process<one_choice>);
 static_assert(checkpointable_process<two_choice>);
 static_assert(checkpointable_process<d_choice>);
 static_assert(checkpointable_process<one_plus_beta>);
+static_assert(departable_process<one_choice>);
+static_assert(departable_process<two_choice>);
+static_assert(departable_process<d_choice>);
+static_assert(departable_process<one_plus_beta>);
 
 }  // namespace nb

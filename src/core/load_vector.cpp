@@ -25,6 +25,9 @@ void load_state::reset() {
   balls_ = 0;
   extra_weight_ = 0;
   levels_ok_ = true;
+  // Keep the lease channel configured, but no balls are resident anymore.
+  lease_head_ = 0;
+  lease_count_ = 0;
 }
 
 bool compact_snapshot::assign(const std::vector<load_t>& loads) {
@@ -120,6 +123,57 @@ void load_state::apply_increments(const std::vector<std::uint32_t>& add,
   balls_ += total;
   extra_weight_ += total * (weight_per_ball - 1);
   NB_ASSERT(balls_ <= max_run_balls);
+  if (lease_on_ && total > 0) {
+    // A merged window has no per-ball arrival order; record residents in
+    // bin-index order.  That order is a pure function of the merged
+    // counts, so it is identical for every thread count / ISA backend of
+    // the engine that produced the window (the windowed engines' own
+    // determinism contract) -- it just differs from the serial per-ball
+    // order, exactly as the window's sampling already does.
+    for (std::size_t i = 0; i < add.size(); ++i) {
+      for (std::uint32_t k = 0; k < add[i]; ++k) {
+        lease_push(static_cast<bin_index>(i), weight_per_ball);
+      }
+    }
+  }
+  levels_ok_ = levels_.rebuild(loads_);
+}
+
+void load_state::apply_increments(const std::vector<std::int64_t>& delta,
+                                  step_count ball_delta) {
+  NB_ASSERT(!bulk_);
+  NB_REQUIRE(delta.size() == loads_.size(), "delta vector must have one entry per bin");
+  NB_REQUIRE(!lease_on_,
+             "signed increments cannot maintain the lease ring (use per-ball "
+             "allocate/release or release_oldest under lease tracking)");
+  // Validate every bin and the totals BEFORE mutating any (strong
+  // exception safety, like the unsigned path).
+  constexpr auto bin_cap = static_cast<weight_t>(std::numeric_limits<load_t>::max());
+  weight_t net = 0;
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    const weight_t updated = static_cast<weight_t>(loads_[i]) + delta[i];
+    NB_REQUIRE(updated >= 0, "signed window would underflow bin " + std::to_string(i) +
+                                 " (currently " + std::to_string(loads_[i]) + ", delta " +
+                                 std::to_string(delta[i]) + ")");
+    NB_REQUIRE(updated <= bin_cap, "signed window would overflow bin " + std::to_string(i) +
+                                       "'s 32-bit load (currently " +
+                                       std::to_string(loads_[i]) + ", delta " +
+                                       std::to_string(delta[i]) + ")");
+    net += delta[i];
+  }
+  const step_count balls_after = balls_ + ball_delta;
+  const weight_t extra_after = extra_weight_ + (net - ball_delta);
+  NB_REQUIRE(balls_after >= 0 && balls_after <= max_run_balls,
+             "signed window would leave the ball count out of [0, max_run_balls]");
+  NB_REQUIRE(extra_after >= 0,
+             "signed window would leave the extra-weight accumulator negative");
+  NB_REQUIRE(net <= max_total_weight - total_weight(),
+             "window would overflow the total-weight accumulator (max_total_weight)");
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    loads_[i] = static_cast<load_t>(static_cast<weight_t>(loads_[i]) + delta[i]);
+  }
+  balls_ = balls_after;
+  extra_weight_ = extra_after;
   levels_ok_ = levels_.rebuild(loads_);
 }
 
@@ -128,6 +182,15 @@ void load_state::save(state_writer& w) const {
   w.put_vec(loads_);
   w.put_i64(balls_);
   w.put_i64(extra_weight_);
+  w.put_bool(lease_on_);
+  if (lease_on_) {
+    // Linearized FIFO order; the head/capacity split is storage detail.
+    std::vector<std::uint64_t> entries(lease_count_);
+    for (std::size_t k = 0; k < lease_count_; ++k) {
+      entries[k] = lease_slots_[(lease_head_ + k) % lease_slots_.size()];
+    }
+    w.put_vec(entries);
+  }
 }
 
 void load_state::restore(state_reader& r) {
@@ -143,12 +206,39 @@ void load_state::restore(state_reader& r) {
     total += x;
   }
   NB_REQUIRE(total == balls + extra, "checkpoint loads do not sum to the recorded total weight");
+  const bool lease_on = r.get_bool();
+  std::vector<std::uint64_t> entries;
+  if (lease_on) {
+    entries = r.get_vec<std::uint64_t>();
+    // Under lease tracking every resident ball has exactly one ring entry,
+    // and the recorded (bin, weight) pairs must reproduce the loads
+    // exactly -- per bin, not just in total.
+    NB_REQUIRE(static_cast<std::int64_t>(entries.size()) == balls,
+               "checkpoint lease ring does not hold one entry per resident ball");
+    std::vector<weight_t> per_bin(loads.size(), 0);
+    for (const std::uint64_t slot : entries) {
+      const auto bin = static_cast<std::size_t>(slot & 0xFFFFFFFFu);
+      const auto weight = static_cast<weight_t>(slot >> 32);
+      NB_REQUIRE(bin < loads.size(), "checkpoint lease entry names a bin out of range");
+      NB_REQUIRE(weight >= 1 && weight <= max_ball_weight,
+                 "checkpoint lease entry weight out of range");
+      per_bin[bin] += weight;
+    }
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      NB_REQUIRE(per_bin[i] == static_cast<weight_t>(loads[i]),
+                 "checkpoint lease ring does not reproduce the loads");
+    }
+  }
   loads_ = std::move(loads);
   advise_hugepages(loads_.data(), loads_.size() * sizeof(load_t));  // new buffer
   balls_ = balls;
   extra_weight_ = extra;
   bulk_ = false;
   levels_ok_ = levels_.rebuild(loads_);
+  lease_on_ = lease_on;
+  lease_slots_ = std::move(entries);
+  lease_head_ = 0;
+  lease_count_ = lease_slots_.size();
 }
 
 std::vector<double> load_state::normalized() const {

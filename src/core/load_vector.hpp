@@ -26,8 +26,10 @@
 // near the cap, so the paper path keeps the O(1)/O(span) queries.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -42,8 +44,8 @@ namespace nb {
 /// Invariants (checked by tests against from-scratch recomputation):
 ///   * sum of counts == n,
 ///   * count_at(min_level) > 0 and count_at(max_level) > 0,
-///   * levels only ever move up (one level per unit-weight allocation,
-///     w levels per weighted one).
+///   * allocations move a bin up (one level per unit weight, w levels per
+///     weighted ball) and releases move it down by the released weight.
 ///
 /// Storage is a dense window [base_, base_ + counts_.size()) of levels;
 /// empty levels below the minimum are trimmed amortized-O(1), so memory is
@@ -109,6 +111,40 @@ class level_index {
     if (old_load == min_ && counts_[idx] == 0) {
       while (counts_[static_cast<std::size_t>(min_ - base_)] == 0) ++min_;
       trim_front();
+    }
+    return true;
+  }
+
+  /// Weighted drop: a bin moves from level `old_load` down to
+  /// `old_load - w` (the symmetric counterpart of the weighted
+  /// on_allocate, for departures).  Returns false -- leaving the index
+  /// UNCHANGED and no longer maintainable -- when the resulting span would
+  /// exceed max_dense_span; the caller falls back to scan-based queries
+  /// exactly as for an oversized upward jump.  The dense window grows
+  /// downward on demand (with slack, so a minimum walking down one level
+  /// per release stays amortized O(1)): before churn, levels only ever
+  /// moved up, so the window never needed room below base_.
+  [[nodiscard]] bool on_release(load_t old_load, weight_t w) {
+    NB_ASSERT(w >= 1 && static_cast<weight_t>(old_load) >= w);
+    const auto target = static_cast<load_t>(static_cast<weight_t>(old_load) - w);
+    if (static_cast<weight_t>(max_) - static_cast<weight_t>(target) >
+        static_cast<weight_t>(max_dense_span)) {
+      return false;
+    }
+    if (target < base_) {
+      const load_t new_base = target >= 64 ? target - 64 : 0;
+      counts_.insert(counts_.begin(), static_cast<std::size_t>(base_ - new_base), 0);
+      base_ = new_base;
+    }
+    const auto idx = static_cast<std::size_t>(old_load - base_);
+    NB_ASSERT(idx < counts_.size() && counts_[idx] > 0);
+    --counts_[idx];
+    ++counts_[static_cast<std::size_t>(target - base_)];
+    if (target < min_) min_ = target;
+    if (old_load == max_ && counts_[idx] == 0) {
+      // The released bin now sits at target >= min_, so the walk stops at
+      // a non-empty level without an explicit min_ guard.
+      while (counts_[static_cast<std::size_t>(max_ - base_)] == 0) --max_;
     }
     return true;
   }
@@ -315,6 +351,10 @@ class load_state {
     const load_t old_load = loads_[i]++;
     if (!bulk_ && levels_ok_) levels_.on_allocate(old_load);
     ++balls_;
+    // One predicted-not-taken branch when the lease channel is off; with
+    // it on, recording may grow the ring inside this noexcept hot path
+    // (terminate on OOM -- same stance as the level push above).
+    if (lease_on_) lease_push(i, 1);
   }
 
   /// Adds one ball of weight w to bin i.  Weighted path: guards the
@@ -327,7 +367,9 @@ class load_state {
     NB_REQUIRE(w >= 1 && w <= max_ball_weight, "ball weight must be in [1, max_ball_weight]");
     NB_REQUIRE(static_cast<weight_t>(loads_[i]) + w <=
                    static_cast<weight_t>(std::numeric_limits<load_t>::max()),
-               "deposit would overflow the bin's 32-bit load");
+               "deposit of weight " + std::to_string(w) + " would overflow bin " +
+                   std::to_string(i) + "'s 32-bit load (currently " +
+                   std::to_string(loads_[i]) + ")");
     NB_REQUIRE(total_weight() <= max_total_weight - w,
                "run would overflow the total-weight accumulator (max_total_weight)");
     const load_t old_load = loads_[i];
@@ -335,6 +377,40 @@ class load_state {
     if (!bulk_ && levels_ok_) levels_ok_ = levels_.on_allocate(old_load, w);
     ++balls_;
     extra_weight_ += w - 1;
+    if (lease_on_) lease_push(i, w);
+  }
+
+  /// Removes one unit-weight ball from bin i (a departure).  The
+  /// underflow-guarded mirror of allocate(i).
+  void release(bin_index i) { release(i, 1); }
+
+  /// Removes weight w from bin i: one departing ball of weight w (the
+  /// lease channel replays the recorded arrival weight), or w = 1 for the
+  /// unit-quantum channels (random, drain).  Mirrors the weighted
+  /// allocate's guards with the signs flipped: the bin must hold at least
+  /// w, a ball must be resident, and the extra-weight accumulator must
+  /// cover w - 1, so the loads-vs-totals invariant (sum of loads == balls
+  /// + extra weight) survives every departure.  Level-index maintenance
+  /// degrades to scans past max_dense_span exactly like allocation.  Not
+  /// valid inside a bulk window (departures are never bulk-deferred).
+  void release(bin_index i, weight_t w) {
+    NB_ASSERT(i < loads_.size());
+    NB_ASSERT(!bulk_);
+    NB_REQUIRE(w >= 1 && w <= max_ball_weight, "ball weight must be in [1, max_ball_weight]");
+    NB_REQUIRE(static_cast<weight_t>(loads_[i]) >= w,
+               "release of weight " + std::to_string(w) + " would underflow bin " +
+                   std::to_string(i) + " (currently " + std::to_string(loads_[i]) + ")");
+    NB_REQUIRE(balls_ >= 1, "release with no resident balls");
+    NB_REQUIRE(extra_weight_ >= w - 1,
+               "release of weight " + std::to_string(w) +
+                   " from bin " + std::to_string(i) +
+                   " exceeds the resident extra weight (" +
+                   std::to_string(extra_weight_) + ")");
+    const load_t old_load = loads_[i];
+    loads_[i] -= static_cast<load_t>(w);
+    if (levels_ok_) levels_ok_ = levels_.on_release(old_load, w);
+    --balls_;
+    extra_weight_ -= w - 1;
   }
 
   /// RAII bulk window: while open, allocate() skips the per-ball level
@@ -371,6 +447,51 @@ class load_state {
   /// engines support (unit and fixed); RNG-driven weights never reach this
   /// path (the engines fall back to the serial fused loop).
   void apply_increments(const std::vector<std::uint32_t>& add, weight_t weight_per_ball = 1);
+
+  /// Signed generalization for churn windows: loads_[i] += delta[i]
+  /// (weight units, may be negative) and balls_ += ball_delta, validated
+  /// BEFORE any mutation (strong exception safety): no bin may go
+  /// negative, ball and extra-weight totals must stay non-negative, and
+  /// the total-weight ceiling still applies.  Rebuilds the level index
+  /// once, like the unsigned path.  Refuses under lease tracking (a merged
+  /// signed window cannot say *which* resident balls departed).
+  void apply_increments(const std::vector<std::int64_t>& delta, step_count ball_delta);
+
+  /// ------------------------------------------------------------------
+  /// FIFO lease ring (the "lease" departure channel): while tracking is
+  /// on, every allocation appends its (bin, weight) and release_oldest()
+  /// expires the front entry -- first in, first out, like connections
+  /// timing out in arrival order.  Entries pack into one u64 (weight in
+  /// the high bits; max_ball_weight fits in 24), so residency costs 8
+  /// bytes per ball.
+
+  /// Switches lease recording on or off.  Enabling requires an empty
+  /// state (past arrivals were not recorded); disabling drops the ring.
+  void set_lease_tracking(bool on) {
+    if (on == lease_on_) return;
+    NB_REQUIRE(!on || balls_ == 0,
+               "lease tracking must be enabled before the first arrival");
+    lease_on_ = on;
+    lease_slots_.clear();
+    lease_head_ = 0;
+    lease_count_ = 0;
+  }
+  [[nodiscard]] bool lease_tracking() const noexcept { return lease_on_; }
+  /// Resident (recorded, not yet expired) balls in the lease ring.
+  [[nodiscard]] step_count leased() const noexcept {
+    return static_cast<step_count>(lease_count_);
+  }
+
+  /// Expires the oldest resident ball: releases its recorded weight from
+  /// its recorded bin.  Requires lease tracking and a resident ball.
+  void release_oldest() {
+    NB_REQUIRE(lease_on_, "release_oldest requires lease tracking");
+    NB_REQUIRE(lease_count_ > 0, "release_oldest with no resident leases");
+    const std::uint64_t slot = lease_slots_[lease_head_];
+    lease_head_ = (lease_head_ + 1) % lease_slots_.size();
+    --lease_count_;
+    release(static_cast<bin_index>(slot & 0xFFFFFFFFu), static_cast<weight_t>(slot >> 32));
+  }
 
   /// O(1) while the level index is dense; O(n) scan in the wide-span
   /// weighted regime.
@@ -427,8 +548,11 @@ class load_state {
   /// level index while dense, O(n) scan otherwise.
   [[nodiscard]] bin_count overloaded_count() const noexcept;
 
-  /// Serializes the full load state (raw loads + ball/weight totals).  The
-  /// level index is NOT written: it is a pure function of the loads and
+  /// Serializes the full load state (raw loads + ball/weight totals, plus
+  /// the lease ring in FIFO order when tracking is on -- residency is
+  /// genuine mid-run state: dropping it would expire different balls after
+  /// a restore).  The level index is NOT written: it is a pure function of
+  /// the loads and
   /// restore() rebuilds it, which by construction yields a state
   /// query-identical to incremental maintenance (same contract as
   /// end_bulk()).  Must not be called inside a bulk window.
@@ -449,12 +573,35 @@ class load_state {
     levels_ok_ = levels_.rebuild(loads_);
   }
 
+  /// Appends one resident ball to the lease ring, growing (with FIFO
+  /// relinearization) when full.
+  void lease_push(bin_index i, weight_t w) {
+    NB_ASSERT(w >= 1 && w <= max_ball_weight);
+    if (lease_count_ == lease_slots_.size()) {
+      std::vector<std::uint64_t> grown(std::max<std::size_t>(lease_slots_.size() * 2, 1024));
+      for (std::size_t k = 0; k < lease_count_; ++k) {
+        grown[k] = lease_slots_[(lease_head_ + k) % lease_slots_.size()];
+      }
+      lease_slots_ = std::move(grown);
+      lease_head_ = 0;
+    }
+    lease_slots_[(lease_head_ + lease_count_) % lease_slots_.size()] =
+        static_cast<std::uint64_t>(w) << 32 | i;
+    ++lease_count_;
+  }
+
   std::vector<load_t> loads_;
   level_index levels_;
   step_count balls_ = 0;
   weight_t extra_weight_ = 0;  ///< total_weight() - balls(): 0 for unit runs
   bool bulk_ = false;
   bool levels_ok_ = true;
+  /// Lease ring storage: a circular buffer of packed (weight << 32 | bin)
+  /// entries, [head_, head_ + count_) mod size.
+  std::vector<std::uint64_t> lease_slots_;
+  std::size_t lease_head_ = 0;
+  std::size_t lease_count_ = 0;
+  bool lease_on_ = false;
 };
 
 }  // namespace nb

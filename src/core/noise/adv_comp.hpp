@@ -45,11 +45,11 @@ class g_adv_comp {
   [[nodiscard]] load_t g() const noexcept { return g_; }
   [[nodiscard]] const Strategy& strategy() const noexcept { return strategy_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the strategy and parameters are configuration,
   /// the load state is the only mutable member.
@@ -91,5 +91,7 @@ static_assert(allocation_process<g_adv_comp<overload_booster>>);
 static_assert(allocation_process<g_adv_comp<index_bias>>);
 static_assert(checkpointable_process<g_bounded>);
 static_assert(checkpointable_process<g_myopic_comp>);
+static_assert(departable_process<g_bounded>);
+static_assert(departable_process<g_myopic_comp>);
 
 }  // namespace nb

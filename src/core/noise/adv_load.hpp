@@ -75,11 +75,11 @@ class g_adv_load {
   }
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the strategy and parameters are configuration,
   /// the load state is the only mutable member.
@@ -115,5 +115,6 @@ static_assert(allocation_process<g_adv_load<truthful_estimates>>);
 static_assert(modeled_process<g_adv_load<inverting_estimates>>);
 static_assert(checkpointable_process<g_adv_load<inverting_estimates>>);
 static_assert(checkpointable_process<g_adv_load<uniform_noise_estimates>>);
+static_assert(departable_process<g_adv_load<inverting_estimates>>);
 
 }  // namespace nb

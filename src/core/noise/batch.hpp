@@ -60,11 +60,11 @@ class b_batch {
   }
   [[nodiscard]] step_count batch_size() const noexcept { return b_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// The load of bin i as reported during the current batch (for tests).
   [[nodiscard]] load_t reported_load(bin_index i) const { return stale_[i]; }
@@ -182,5 +182,6 @@ static_assert(allocation_process<b_batch>);
 static_assert(window_parallel<b_batch>);
 static_assert(modeled_process<b_batch>);
 static_assert(checkpointable_process<b_batch>);
+static_assert(departable_process<b_batch>);
 
 }  // namespace nb

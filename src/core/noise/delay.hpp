@@ -137,11 +137,11 @@ class tau_delay {
   }
   [[nodiscard]] step_count tau() const noexcept { return tau_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Window-parallel probe (see process.hpp): always 0.  tau-Delay's
   /// estimate window [x^{t-tau}, x^{t-1}] *slides* -- ball t+1's estimates
@@ -244,5 +244,6 @@ static_assert(modeled_process<tau_delay<delay_oldest>>);
 static_assert(checkpointable_process<tau_delay<delay_oldest>>);
 static_assert(checkpointable_process<tau_delay<delay_adversarial>>);
 static_assert(checkpointable_process<tau_delay<delay_random>>);
+static_assert(departable_process<tau_delay<delay_oldest>>);
 
 }  // namespace nb

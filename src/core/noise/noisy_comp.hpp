@@ -101,11 +101,11 @@ class rho_noisy_comp {
   }
   [[nodiscard]] const Rho& rho() const noexcept { return rho_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: rho is configuration, the load state is the only
   /// mutable member.
@@ -166,11 +166,11 @@ class sigma_noisy_load_gaussian {
   }
   [[nodiscard]] double sigma() const noexcept { return sigma_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract.  Box-Muller draws Gaussians in pairs, so the
   /// sampler's cached second half is genuine mid-stream state: dropping it
@@ -220,5 +220,7 @@ static_assert(checkpointable_process<sigma_noisy_load>);
 static_assert(checkpointable_process<rho_noisy_comp<rho_constant>>);
 static_assert(checkpointable_process<rho_noisy_comp<rho_step>>);
 static_assert(checkpointable_process<sigma_noisy_load_gaussian>);
+static_assert(departable_process<sigma_noisy_load>);
+static_assert(departable_process<sigma_noisy_load_gaussian>);
 
 }  // namespace nb

@@ -79,11 +79,11 @@ class noisy_mean_thinning {
   }
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the strategy and parameters are configuration,
   /// the load state is the only mutable member.
@@ -139,11 +139,11 @@ class noisy_one_plus_beta {
   [[nodiscard]] double beta() const noexcept { return beta_; }
   [[nodiscard]] load_t g() const noexcept { return g_; }
 
-  void set_model(alloc_model m) {
-    check_model(m, state_.n());
-    model_ = std::move(m);
-  }
+  void set_model(alloc_model m) { install_model(state_, model_, std::move(m)); }
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
+
+  /// One departure event through the model's channel (see depart_ball).
+  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
 
   /// Checkpoint contract: the strategy and parameters are configuration,
   /// the load state is the only mutable member.
@@ -189,5 +189,7 @@ static_assert(modeled_process<mean_thinning>);
 static_assert(modeled_process<noisy_one_plus_beta<greedy_reverser>>);
 static_assert(checkpointable_process<mean_thinning>);
 static_assert(checkpointable_process<noisy_one_plus_beta<greedy_reverser>>);
+static_assert(departable_process<mean_thinning>);
+static_assert(departable_process<noisy_one_plus_beta<greedy_reverser>>);
 
 }  // namespace nb

@@ -15,6 +15,13 @@
 // exactly the same order as `count` calls of step(), so per-ball and bulk
 // execution are bit-identical for a fixed seed (enforced by the
 // step/step_many parity tests).
+//
+// Event streams: arrivals-only stepping is the degenerate case of the
+// general traffic contract.  `advance(p, rng, traffic_spec)` interleaves
+// arrivals (via step_many) with departures (via the process's depart(),
+// which routes through its model's departure_model); a spec with zero
+// departures IS step_many, bit for bit, so every historical stream is an
+// event stream with an empty departure channel.
 #pragma once
 
 #include <algorithm>
@@ -141,6 +148,122 @@ inline weight_t deposit(load_state& state, const ball_weighting& weighting, bin_
   const weight_t w = weighting.draw(rng);
   state.allocate(i, w);
   return w;
+}
+
+/// Installs a model on a process: validates it against the state's bin
+/// count, switches lease tracking on/off to match the departure channel
+/// (enabling requires an empty state, so lease models must be installed
+/// before the first arrival), and moves the model into the process's
+/// slot.  Every library process's set_model is this one call.
+inline void install_model(load_state& state, alloc_model& slot, alloc_model m) {
+  check_model(m, state.n());
+  state.set_lease_tracking(m.departures.is_lease());
+  slot = std::move(m);
+}
+
+/// Removes one departure event's worth of load from `state` per the
+/// model's departure channel.  The departure counterpart of deposit():
+/// every library process's depart() delegates here, so the three channel
+/// laws live in exactly one place.
+///
+///   * random -- one resident load unit uniformly at random: rejection-
+///     sample (bin draw, acceptance draw) pairs until a draw lands on
+///     resident load.  Uniform over balls under unit weights and weight-
+///     proportional otherwise; releases a unit quantum, mirroring how
+///     unit arrivals deposit one.
+///   * lease -- FIFO expiry: the oldest resident ball departs whole, at
+///     its recorded arrival weight (load_state's lease ring).
+///   * drain -- weighted two-choice in reverse: sample two bins, release
+///     a unit from the FULLER non-empty one (ties broken by the next
+///     draw's top bit, mirroring the arrival tie-break; both-empty pairs
+///     redraw).
+///
+/// Draw order is part of the sampling contract exactly like arrivals:
+/// each channel's draws above are exhaustive and consumed in the order
+/// listed, so per-event and interleaved execution are bit-identical.
+inline void depart_ball(load_state& state, const departure_model& departures, rng_t& rng) {
+  NB_REQUIRE(!departures.is_none(),
+             "depart() needs a departure channel, but the model's departure_model is 'none'");
+  NB_REQUIRE(state.balls() > 0, "depart() with no resident balls");
+  const bin_count n = state.n();
+  const auto& loads = state.loads();
+  switch (departures.departure_kind()) {
+    case departure_model::kind::none:
+      return;  // unreachable: guarded above
+    case departure_model::kind::random: {
+      // Acceptance bound hoisted: the maximum cannot change while we
+      // reject, and in the degraded wide-span regime max_load() is an
+      // O(n) scan we must not repeat per attempt.
+      const auto bound = static_cast<std::uint64_t>(state.max_load());
+      for (;;) {
+        const auto j = static_cast<bin_index>(bounded(rng, n));
+        if (bounded(rng, bound) < static_cast<std::uint64_t>(loads[j])) {
+          state.release(j);
+          return;
+        }
+      }
+    }
+    case departure_model::kind::lease:
+      state.release_oldest();
+      return;
+    case departure_model::kind::drain: {
+      for (;;) {
+        const auto i = static_cast<bin_index>(bounded(rng, n));
+        const auto j = static_cast<bin_index>(bounded(rng, n));
+        const load_t li = loads[i];
+        const load_t lj = loads[j];
+        if (li == 0 && lj == 0) continue;
+        bin_index chosen;
+        if (li != lj) {
+          chosen = li > lj ? i : j;
+        } else {
+          chosen = (rng.next() >> 63) != 0 ? i : j;
+        }
+        state.release(chosen);
+        return;
+      }
+    }
+  }
+}
+
+/// A process that can serve one departure event.
+template <typename P>
+concept departable_process = requires(P p, rng_t& g) {
+  { p.depart(g) } -> std::same_as<void>;
+};
+
+/// An arrival/departure mix for advance(): `arrivals` balls arrive and
+/// `departures` events depart, spread evenly across the stream.
+struct traffic_spec {
+  step_count arrivals = 0;
+  step_count departures = 0;
+};
+
+/// Runs an event stream through `process`: departures are spread evenly
+/// across the arrivals (Bresenham interleave, arrivals first within each
+/// slice), each arrival slice going through the bulk step_many dispatcher
+/// so fused loops and engines keep their speed under churn.  A spec with
+/// departures == 0 is EXACTLY step_many(process, rng, arrivals) -- same
+/// call, same draws, bit-identical to every historical stream.
+template <single_steppable P>
+  requires departable_process<P>
+inline void advance(P& process, rng_t& rng, const traffic_spec& traffic) {
+  const step_count a = traffic.arrivals;
+  const step_count d = traffic.departures;
+  NB_ASSERT(a >= 0 && d >= 0);
+  if (d == 0) {
+    nb::step_many(process, rng, a);
+    return;
+  }
+  step_count placed = 0;
+  for (step_count k = 0; k < d; ++k) {
+    // Slice k ends after floor(a*(k+1)/d) arrivals; a,d <= max_run_balls
+    // keeps the product well inside int64.
+    const step_count upto = a * (k + 1) / d;
+    nb::step_many(process, rng, upto - placed);
+    placed = upto;
+    process.depart(rng);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -637,6 +760,10 @@ class any_process {
   void step_many_kernel(rng_t& rng, step_count count, kernel_engine& engine) {
     impl_->step_many_kernel(rng, count, engine);
   }
+  /// One departure event through the wrapped process's channel.  Throws
+  /// contract_error when the wrapped type is not departable (pre-churn
+  /// process types that never adopted depart()).
+  void depart(rng_t& rng) { impl_->depart(rng); }
   [[nodiscard]] const load_state& state() const { return impl_->state(); }
   void reset() { impl_->reset(); }
   [[nodiscard]] std::string name() const { return impl_->name(); }
@@ -666,6 +793,7 @@ class any_process {
     virtual void step_many(rng_t&, step_count) = 0;
     virtual void step_many_parallel(rng_t&, step_count, shard_engine&) = 0;
     virtual void step_many_kernel(rng_t&, step_count, kernel_engine&) = 0;
+    virtual void depart(rng_t&) = 0;
     [[nodiscard]] virtual const load_state& state() const = 0;
     virtual void reset() = 0;
     [[nodiscard]] virtual std::string name() const = 0;
@@ -690,6 +818,13 @@ class any_process {
     }
     void step_many_kernel(rng_t& rng, step_count count, kernel_engine& engine) override {
       engine.step_many(process, rng, count);
+    }
+    void depart(rng_t& rng) override {
+      if constexpr (departable_process<P>) {
+        process.depart(rng);
+      } else {
+        throw contract_error("process '" + process.name() + "' does not support departures");
+      }
     }
     [[nodiscard]] const load_state& state() const override { return process.state(); }
     void reset() override { process.reset(); }
@@ -746,6 +881,7 @@ class any_process {
 };
 
 static_assert(allocation_process<any_process>);
+static_assert(departable_process<any_process>);
 
 /// Parallel counterpart of step_many(): allocates `count` balls through
 /// `engine`, shard-parallel wherever the process exposes stale-snapshot

@@ -31,8 +31,9 @@ any_process build_process(const process_spec& spec);
 /// default unit/uniform spec is a no-op, so registry behavior (and every
 /// historical golden test) is untouched unless a model is asked for.
 any_process with_model(any_process process, const process_spec& spec) {
-  if (spec.weighting != "unit" || spec.sampler != "uniform") {
-    process.set_model(make_model(spec.weighting, spec.sampler, process.state().n()));
+  if (spec.weighting != "unit" || spec.sampler != "uniform" || spec.departures != "none") {
+    process.set_model(
+        make_model(spec.weighting, spec.sampler, process.state().n(), spec.departures));
   }
   return process;
 }

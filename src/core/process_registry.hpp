@@ -26,6 +26,10 @@ struct process_spec {
   /// sampling contract and are journaled with the campaign grid.
   std::string weighting = "unit";
   std::string sampler = "uniform";
+  /// Departure channel, as a spec understood by make_departures ("none" |
+  /// "random" | "lease" | "drain").  "none" is insertion-only -- the
+  /// historical contract, bit for bit.
+  std::string departures = "none";
 };
 
 /// Constructs the process described by `spec` (including its allocation

@@ -12,6 +12,7 @@
 
 #include "exp/checkpoint.hpp"
 #include "exp/journal.hpp"
+#include "sim/churn.hpp"
 #include "util/csv.hpp"
 
 namespace nb {
@@ -43,6 +44,10 @@ campaign_config make_config(const sweep_point& point) {
   config.label = point.label;
   config.m = point.m;
   config.process = point.process;
+  // A departure axis makes the point a steady-state cell: warm up to
+  // occupancy ~ m resident balls, then churn for m pairs (the ROADMAP's
+  // steady-state regime).
+  if (point.process.departures != "none") config.churn_occupancy = point.m;
   return config;
 }
 
@@ -51,6 +56,24 @@ std::vector<campaign_config> make_configs(const std::vector<sweep_point>& points
   out.reserve(points.size());
   for (const auto& point : points) out.push_back(make_config(point));
   return out;
+}
+
+void apply_model_overrides(std::vector<campaign_config>& configs, const model_overrides& o) {
+  if (o.weighting == "unit" && o.sampler == "uniform" && o.departures == "none") return;
+  for (auto& config : configs) {
+    if (config.factory) {
+      warn_once("campaign-model-overrides/" + config.label,
+                "--weighting/--sampler/--departures have no effect on factory-built cell '" +
+                    config.label + "': the overrides apply to registry-backed configs only");
+      continue;
+    }
+    config.process.weighting = o.weighting;
+    config.process.sampler = o.sampler;
+    config.process.departures = o.departures;
+    if (o.departures != "none") {
+      config.churn_occupancy = o.churn_occupancy > 0 ? o.churn_occupancy : config.m;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -86,6 +109,12 @@ std::uint64_t grid_fingerprint(const std::vector<campaign_config>& configs) {
       mix(config.process.weighting);
       mix(config.process.sampler);
     }
+    // Same pattern for the churn axes (PR 9): insertion-only configs keep
+    // their pre-churn fingerprint, so old journals keep resuming.
+    if (config.process.departures != "none" || config.churn_occupancy > 0) {
+      mix(config.process.departures);
+      mix(std::to_string(config.churn_occupancy));
+    }
   }
   return h;
 }
@@ -109,24 +138,51 @@ run_result run_cell(const campaign_config& config, std::size_t index, std::uint6
     checkpointing = false;
   }
 
+  // Steady-state cell: warm up to occupancy, then m churn pairs; the
+  // journaled run_result is the final boundary's observables.
+  const bool churn = config.churn_occupancy > 0;
+  churn_options churn_opt;
+  if (churn) {
+    churn_opt.occupancy = config.churn_occupancy;
+    churn_opt.events = config.m;
+    churn_opt.telemetry_every = opt.churn_telemetry_every;
+  }
+
   run_result r;
   if (checkpointing) {
     const std::string ckpt_path = checkpoint_cell_path(opt.journal_path, index);
+    step_count progress_done = 0;
     if (opt.resume) {
       if (const auto ckpt = try_read_checkpoint_file(ckpt_path)) {
-        restore_from_checkpoint(process, rng, *ckpt, engine.fingerprint(), index, seed, config.m);
+        if (churn) {
+          // Churn progress is not the resident ball count; the driver
+          // validates the counter against its cycle structure.
+          progress_done =
+              restore_checkpoint_identity(process, rng, *ckpt, engine.fingerprint(), index, seed);
+        } else {
+          restore_from_checkpoint(process, rng, *ckpt, engine.fingerprint(), index, seed,
+                                  config.m);
+        }
         *restored = true;
       }
     }
-    r = run_checkpointed(process, config.m, rng, engine, opt.checkpoint_every,
-                         [&](step_count /*balls_done*/) {
-                           write_checkpoint_file(
-                               ckpt_path,
-                               capture_checkpoint(process, rng, engine.fingerprint(), index, seed));
-                         });
+    const auto save_mark = [&](step_count progress) {
+      write_checkpoint_file(
+          ckpt_path,
+          capture_checkpoint(process, rng, engine.fingerprint(), index, seed, progress));
+    };
+    if (churn) {
+      r = run_churn_checkpointed(process, churn_opt, rng, engine, opt.checkpoint_every, save_mark,
+                                 progress_done)
+              .final_state;
+    } else {
+      r = run_checkpointed(process, config.m, rng, engine, opt.checkpoint_every, save_mark);
+    }
     // The journal line the caller appends supersedes the checkpoint; a
     // stale file would only confuse the next resume.
     std::remove(ckpt_path.c_str());
+  } else if (churn) {
+    r = run_churn(process, churn_opt, rng, engine).final_state;
   } else {
     r = simulate_with(process, config.m, rng, engine);
   }
@@ -152,6 +208,14 @@ campaign_result run_campaign(const std::vector<campaign_config>& configs,
                "campaign config '" + config.label + "' needs a factory or a registry spec");
     NB_REQUIRE(config.m >= 0 && config.m <= max_run_balls,
                "campaign config '" + config.label + "' has m outside [0, max_run_balls]");
+    NB_REQUIRE(config.churn_occupancy >= 0 && config.churn_occupancy <= max_run_balls,
+               "campaign config '" + config.label + "' has churn_occupancy outside "
+               "[0, max_run_balls]");
+    if (config.churn_occupancy > 0) {
+      NB_REQUIRE(config.m <= (max_run_balls - config.churn_occupancy) / 2,
+                 "campaign config '" + config.label +
+                     "': churn occupancy + 2 * events must fit max_run_balls");
+    }
     // Surface unknown kinds / bad parameters here, on the caller's thread:
     // pool tasks are noexcept by contract, so a spec error inside a worker
     // would terminate instead of throwing.
@@ -320,6 +384,10 @@ std::string campaign_result::to_json() const {
     s += ", \"param\": " + json_double(config.process.param);
     s += ", \"weighting\": \"" + json_escape(config.process.weighting) + "\"";
     s += ", \"sampler\": \"" + json_escape(config.process.sampler) + "\"";
+    s += ", \"departures\": \"" + json_escape(config.process.departures) + "\"";
+    std::snprintf(buf, sizeof buf, ", \"churn_occupancy\": %" PRId64,
+                  static_cast<std::int64_t>(config.churn_occupancy));
+    s += buf;
     std::snprintf(buf, sizeof buf, ", \"n\": %u, \"m\": %" PRId64 ", \"runs\": %zu,\n",
                   config.process.n, static_cast<std::int64_t>(config.m), agg.count());
     s += buf;
@@ -352,14 +420,16 @@ void campaign_result::write_json(const std::string& path) const {
 }
 
 void campaign_result::write_csv(const std::string& path) const {
-  csv_writer csv(path, {"label", "kind", "param", "weighting", "sampler", "n", "m", "runs",
-                        "mean_gap", "stddev_gap", "min_gap", "max_gap", "gap_q25", "gap_median",
-                        "gap_q75", "mean_underload_gap", "mean_max_load"});
+  csv_writer csv(path, {"label", "kind", "param", "weighting", "sampler", "departures",
+                        "churn_occupancy", "n", "m", "runs", "mean_gap", "stddev_gap", "min_gap",
+                        "max_gap", "gap_q25", "gap_median", "gap_q75", "mean_underload_gap",
+                        "mean_max_load"});
   for (const auto& cr : configs) {
     const auto& config = cr.config;
     const auto& agg = cr.aggregate;
     csv.write_row({config.label, config.process.kind, csv_writer::field(config.process.param),
-                   config.process.weighting, config.process.sampler,
+                   config.process.weighting, config.process.sampler, config.process.departures,
+                   csv_writer::field(static_cast<std::int64_t>(config.churn_occupancy)),
                    csv_writer::field(static_cast<std::int64_t>(config.process.n)),
                    csv_writer::field(static_cast<std::int64_t>(config.m)),
                    csv_writer::field(static_cast<std::int64_t>(agg.count())),

@@ -56,6 +56,12 @@ struct campaign_config {
   std::function<any_process()> factory;
   step_count m = 0;
   process_spec process{};
+  /// > 0: steady-state churn cell -- warm the process up to this many
+  /// resident balls, then serve `m` arrival/departure pairs through its
+  /// departure channel (which must not be "none").  0 = the historical
+  /// insertion-only cell.  make_config defaults it to m for sweep points
+  /// with a departure axis (occupancy ~ m, the steady-state regime).
+  step_count churn_occupancy = 0;
 };
 
 /// Historical name for a bench configuration list entry.
@@ -64,6 +70,25 @@ using cell = campaign_config;
 /// Builds a registry-backed configuration from an expanded sweep point.
 [[nodiscard]] campaign_config make_config(const sweep_point& point);
 [[nodiscard]] std::vector<campaign_config> make_configs(const std::vector<sweep_point>& points);
+
+/// Command-line model overrides for a configuration list: the string-level
+/// values of util/cli's shared model flag family, applied in one place so
+/// every binary maps the flags identically.
+struct model_overrides {
+  std::string weighting = "unit";
+  std::string sampler = "uniform";
+  std::string departures = "none";
+  /// Occupancy for configs the `departures` override turns into
+  /// steady-state churn cells (0 = each config's own m).
+  step_count churn_occupancy = 0;
+};
+
+/// Applies the overrides to every registry-backed configuration.  Factory
+/// cells own their model, so non-default overrides on them trigger the
+/// house accepted-but-ineffective diagnostic instead of silence.  A
+/// non-none departure override also makes each config a steady-state churn
+/// cell (see campaign_config::churn_occupancy).
+void apply_model_overrides(std::vector<campaign_config>& configs, const model_overrides& o);
 
 /// Campaign execution knobs.  Only `repeats`, `seed`, `shards` and `lanes`
 /// are part of the sampling contract; threads, worker counts and the ISA
@@ -100,14 +125,29 @@ struct campaign_options {
   /// journal_path; processes without checkpoint support degrade to
   /// checkpoint-free execution with a one-time diagnostic.
   step_count checkpoint_every = 0;
+  /// Churn-cell telemetry cadence (churn_options::telemetry_every),
+  /// applied to every churn cell.  Execution-observability only: the
+  /// trajectory is recorded, not journaled, and never affects results.
+  step_count churn_telemetry_every = 0;
 
-  /// The engine-routing slice of these options (see sim/runner.hpp).
-  [[nodiscard]] engine_options engine() const noexcept {
-    return engine_options{.threads_per_run = threads_per_run,
-                          .shards = shards,
-                          .use_kernel = use_kernel,
-                          .lanes = lanes,
-                          .isa = isa};
+  /// The engine-selection slice of these options as the one shared
+  /// struct (see sim/runner.hpp).  The flat threads_per_run / shards /
+  /// use_kernel / lanes / isa fields above are its deprecated spelling,
+  /// kept so existing call sites and journals keep working.
+  [[nodiscard]] engine_config engine() const noexcept {
+    return engine_config{.threads_per_run = threads_per_run,
+                         .shards = shards,
+                         .use_kernel = use_kernel,
+                         .lanes = lanes,
+                         .isa = isa};
+  }
+  /// Writes an engine_config back into the flat (deprecated) fields.
+  void set_engine(const engine_config& e) noexcept {
+    threads_per_run = e.threads_per_run;
+    shards = e.shards;
+    use_kernel = e.use_kernel;
+    lanes = e.lanes;
+    isa = e.isa;
   }
 };
 

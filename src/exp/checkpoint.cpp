@@ -149,12 +149,19 @@ std::optional<run_checkpoint> try_read_checkpoint_file(const std::string& path) 
 run_checkpoint capture_checkpoint(const any_process& process, const rng_t& rng,
                                   const std::string& engine_fingerprint, std::uint64_t cell,
                                   std::uint64_t seed) {
+  return capture_checkpoint(process, rng, engine_fingerprint, cell, seed,
+                            process.state().balls());
+}
+
+run_checkpoint capture_checkpoint(const any_process& process, const rng_t& rng,
+                                  const std::string& engine_fingerprint, std::uint64_t cell,
+                                  std::uint64_t seed, step_count progress) {
   run_checkpoint ckpt;
   ckpt.process_name = process.name();
   ckpt.engine = engine_fingerprint;
   ckpt.cell = cell;
   ckpt.seed = seed;
-  ckpt.balls_done = process.state().balls();
+  ckpt.balls_done = progress;
   ckpt.rng_state = rng.state();
   state_writer w;
   process.save_checkpoint(w);
@@ -162,9 +169,10 @@ run_checkpoint capture_checkpoint(const any_process& process, const rng_t& rng,
   return ckpt;
 }
 
-step_count restore_from_checkpoint(any_process& process, rng_t& rng, const run_checkpoint& ckpt,
-                                   const std::string& engine_fingerprint, std::uint64_t cell,
-                                   std::uint64_t seed, step_count m) {
+step_count restore_checkpoint_identity(any_process& process, rng_t& rng,
+                                       const run_checkpoint& ckpt,
+                                       const std::string& engine_fingerprint, std::uint64_t cell,
+                                       std::uint64_t seed) {
   NB_REQUIRE(ckpt.process_name == process.name(),
              "checkpoint belongs to process '" + ckpt.process_name + "', not '" + process.name() +
                  "'");
@@ -173,14 +181,21 @@ step_count restore_from_checkpoint(any_process& process, rng_t& rng, const run_c
                  engine_fingerprint + "' (shards/lanes are part of the sampling contract)");
   NB_REQUIRE(ckpt.cell == cell, "checkpoint belongs to a different campaign cell");
   NB_REQUIRE(ckpt.seed == seed, "checkpoint seed does not match this run's seed");
-  NB_REQUIRE(ckpt.balls_done >= 0 && ckpt.balls_done <= m,
-             "checkpoint ball count is outside this run's [0, m]");
   state_reader r(ckpt.process_state);
   process.restore_checkpoint(r);
   r.expect_end();
+  rng.set_state(ckpt.rng_state);
+  return ckpt.balls_done;
+}
+
+step_count restore_from_checkpoint(any_process& process, rng_t& rng, const run_checkpoint& ckpt,
+                                   const std::string& engine_fingerprint, std::uint64_t cell,
+                                   std::uint64_t seed, step_count m) {
+  NB_REQUIRE(ckpt.balls_done >= 0 && ckpt.balls_done <= m,
+             "checkpoint ball count is outside this run's [0, m]");
+  restore_checkpoint_identity(process, rng, ckpt, engine_fingerprint, cell, seed);
   NB_REQUIRE(process.state().balls() == ckpt.balls_done,
              "restored process disagrees with the checkpoint's ball count");
-  rng.set_state(ckpt.rng_state);
   return ckpt.balls_done;
 }
 

@@ -99,6 +99,15 @@ void write_checkpoint_file(const std::string& path, const run_checkpoint& ckpt);
                                                 const std::string& engine_fingerprint,
                                                 std::uint64_t cell, std::uint64_t seed);
 
+/// Same, but with an explicit progress counter instead of the process's
+/// resident ball count.  Drivers whose progress is not balls() -- the
+/// churn driver, where departures make balls() non-monotone -- store
+/// their own unit (warm-up balls, then occupancy + events) in balls_done.
+[[nodiscard]] run_checkpoint capture_checkpoint(const any_process& process, const rng_t& rng,
+                                                const std::string& engine_fingerprint,
+                                                std::uint64_t cell, std::uint64_t seed,
+                                                step_count progress);
+
 /// Restores `ckpt` into a freshly constructed process + RNG, validating
 /// the full identity first: process name, engine fingerprint (sampling
 /// contract -- resuming under a different thread count or ISA backend is
@@ -108,6 +117,17 @@ void write_checkpoint_file(const std::string& path, const run_checkpoint& ckpt);
 step_count restore_from_checkpoint(any_process& process, rng_t& rng, const run_checkpoint& ckpt,
                                    const std::string& engine_fingerprint, std::uint64_t cell,
                                    std::uint64_t seed, step_count m);
+
+/// The identity-and-payload half of restore_from_checkpoint: validates
+/// process name / engine fingerprint / cell / seed, applies the payload
+/// and RNG words, and returns balls_done WITHOUT interpreting it against
+/// the process's resident ball count.  For drivers whose progress counter
+/// is not balls() (the churn driver); insertion-only callers use
+/// restore_from_checkpoint, which adds the resident-count checks.
+step_count restore_checkpoint_identity(any_process& process, rng_t& rng,
+                                       const run_checkpoint& ckpt,
+                                       const std::string& engine_fingerprint, std::uint64_t cell,
+                                       std::uint64_t seed);
 
 /// Steps `process` from its current ball count up to `m` total balls
 /// through `engine`, cutting only at stale-snapshot window boundaries,

@@ -35,6 +35,7 @@
 #include "exp/checkpoint.hpp"
 #include "exp/journal.hpp"
 #include "rng/rng.hpp"
+#include "sim/churn.hpp"
 #include "sim/recorder.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"

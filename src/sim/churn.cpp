@@ -1,0 +1,108 @@
+#include "sim/churn.hpp"
+
+#include "exp/checkpoint.hpp"
+
+namespace nb {
+
+namespace {
+
+void validate(const churn_options& opt) {
+  NB_REQUIRE(opt.occupancy >= 1 && opt.occupancy <= max_run_balls,
+             "churn occupancy must be in [1, max_run_balls]");
+  NB_REQUIRE(opt.events >= 0, "churn event count must be non-negative");
+  NB_REQUIRE(opt.cycle >= 1, "churn cycle must be positive");
+  NB_REQUIRE(opt.telemetry_every >= 0, "telemetry cadence must be non-negative");
+  // Progress (the checkpoint counter) is occupancy + 2 per pair and must
+  // stay within the range the checkpoint container accepts.
+  NB_REQUIRE(opt.events <= (max_run_balls - opt.occupancy) / 2,
+             "churn run too long: occupancy + 2 * events must fit max_run_balls");
+}
+
+}  // namespace
+
+step_count churn_total_progress(const churn_options& opt) {
+  validate(opt);
+  return opt.occupancy + 2 * opt.events;
+}
+
+churn_result run_churn(any_process& process, const churn_options& opt, rng_t& rng,
+                       run_engine& engine) {
+  return run_churn_checkpointed(process, opt, rng, engine, 0, nullptr, 0);
+}
+
+churn_result run_churn_checkpointed(any_process& process, const churn_options& opt, rng_t& rng,
+                                    run_engine& engine, step_count checkpoint_every,
+                                    const std::function<void(step_count)>& at_mark,
+                                    step_count progress_done) {
+  validate(opt);
+  NB_REQUIRE(checkpoint_every >= 0, "checkpoint cadence must be non-negative");
+  NB_REQUIRE(progress_done >= 0 && progress_done <= churn_total_progress(opt),
+             "resume progress outside this churn run's range");
+
+  churn_result out;
+  out.occupancy = opt.occupancy;
+  out.events = opt.events;
+
+  step_count pairs_done = 0;
+  if (progress_done <= opt.occupancy) {
+    // Fresh run or a mid-warm-up resume: the warm-up is an ordinary
+    // insertion run, so the insertion driver supplies window-aligned
+    // chunking, marks and crash ticks (progress == resident balls here).
+    NB_REQUIRE(process.state().balls() == progress_done,
+               "resumed process disagrees with the checkpoint's warm-up progress");
+    (void)run_checkpointed(process, opt.occupancy, rng, engine, checkpoint_every, at_mark);
+  } else {
+    // Mid-churn resume: marks land only at cycle boundaries, where the
+    // system is back at full occupancy and a whole number of pairs done.
+    const step_count churned = progress_done - opt.occupancy;
+    NB_REQUIRE(churned % 2 == 0, "churn resume progress is not a whole number of pairs");
+    pairs_done = churned / 2;
+    NB_REQUIRE(pairs_done % opt.cycle == 0 || pairs_done == opt.events,
+               "churn resume progress does not sit on a cycle boundary");
+    NB_REQUIRE(process.state().balls() == opt.occupancy,
+               "resumed process is not at full occupancy");
+  }
+
+  // Churn cycles.  Boundaries sit at absolute multiples of `cycle` (plus
+  // the final partial cycle), so a fresh run and any resumed run issue
+  // the same engine-call sequence -- bit-identity by construction.
+  const step_count every = checkpoint_every;
+  step_count progress = opt.occupancy + 2 * pairs_done;
+  step_count next_mark = every > 0 ? (progress / every + 1) * every : 0;
+  step_count next_tel =
+      opt.telemetry_every > 0 ? (pairs_done / opt.telemetry_every + 1) * opt.telemetry_every : 0;
+  const auto sample = [&] {
+    churn_point point;
+    point.events_done = pairs_done;
+    const load_state& s = process.state();
+    point.gap = s.gap();
+    point.underload_gap = s.underload_gap();
+    point.max_load = s.max_load();
+    point.resident = s.balls();
+    out.trajectory.push_back(point);
+  };
+  while (pairs_done < opt.events) {
+    const step_count remaining = opt.events - pairs_done;
+    const step_count k = opt.cycle < remaining ? opt.cycle : remaining;
+    engine.step(process, rng, k);
+    for (step_count i = 0; i < k; ++i) process.depart(rng);
+    pairs_done += k;
+    progress += 2 * k;
+    crash_test_tick(2 * k);
+    if (opt.telemetry_every > 0 && pairs_done >= next_tel && pairs_done < opt.events) {
+      sample();
+      next_tel = (pairs_done / opt.telemetry_every + 1) * opt.telemetry_every;
+    }
+    if (every > 0 && progress >= next_mark) {
+      // No mark at the finish line, mirroring run_checkpointed: the
+      // completed result supersedes the checkpoint.
+      if (pairs_done < opt.events && at_mark) at_mark(progress);
+      next_mark = (progress / every + 1) * every;
+    }
+  }
+  sample();  // the final boundary is always recorded
+  out.final_state = detail::collect_run_result(process);
+  return out;
+}
+
+}  // namespace nb

@@ -36,13 +36,17 @@ struct run_result {
   std::uint64_t seed = 0;
 };
 
-/// The engine-routing slice of the run options, shared by every driver
-/// that moves balls (run_repeated_with, the campaign orchestrator, the
-/// checkpointed-run driver).  threads_per_run > 0 selects the shard
+/// THE engine-selection struct, shared by every driver that moves balls
+/// (run_repeated_with, the campaign orchestrator, the checkpointed-run
+/// driver, the churn driver).  threads_per_run > 0 selects the shard
 /// engine, else use_kernel the serial kernel engine, else the plain fused
 /// loop.  shards / use_kernel / lanes are part of the sampling contract;
 /// threads_per_run and isa are execution-only and never affect results.
-struct engine_options {
+///
+/// repeat_options and campaign_options still expose these as flat fields
+/// (deprecated; kept so existing call sites and journals keep working) and
+/// convert via their engine() / set_engine() accessors.
+struct engine_config {
   std::size_t threads_per_run = 0;
   std::size_t shards = 16;
   bool use_kernel = false;
@@ -50,13 +54,16 @@ struct engine_options {
   kernel_isa isa = kernel_isa::auto_detect;
 };
 
+/// Deprecated name for engine_config (pre-churn API).
+using engine_options = engine_config;
+
 /// One run's engine: owns the optional shard/kernel engine the options
 /// select and presents a single step() entry point, so drivers stop
 /// duplicating the three-way dispatch.  Create one per run (the engines
 /// amortize their scratch across all chunks of that run).
 class run_engine {
  public:
-  explicit run_engine(const engine_options& opt) {
+  explicit run_engine(const engine_config& opt) {
     if (opt.threads_per_run > 0) {
       shard_.emplace(shard_options{.threads = opt.threads_per_run,
                                    .shards = opt.shards,
@@ -104,6 +111,10 @@ struct repeat_options {
   std::uint64_t master_seed = 1;
   /// 0 = one thread per hardware core.
   std::size_t threads = 0;
+  // -- Engine selection.  DEPRECATED as individual fields: these five are
+  // the flat spelling of engine_config, kept so existing call sites and
+  // journals keep working.  New code should read/write them through
+  // engine() / set_engine().
   /// > 0 routes every run through the intra-run shard engine with this
   /// many workers per run (see process.hpp): stale-snapshot windows (e.g.
   /// b-Batch batches) run shard-parallel inside each run.  Results depend
@@ -136,13 +147,22 @@ struct repeat_options {
   /// degrades to normal pages.  Also reachable via NB_HUGEPAGES=1.
   bool hugepages = false;
 
-  /// The engine-routing slice of these options (see engine_options).
-  [[nodiscard]] engine_options engine() const noexcept {
-    return engine_options{.threads_per_run = threads_per_run,
-                          .shards = shards,
-                          .use_kernel = use_kernel,
-                          .lanes = lanes,
-                          .isa = isa};
+  /// The engine-selection slice of these options as the one shared struct
+  /// (see engine_config).
+  [[nodiscard]] engine_config engine() const noexcept {
+    return engine_config{.threads_per_run = threads_per_run,
+                         .shards = shards,
+                         .use_kernel = use_kernel,
+                         .lanes = lanes,
+                         .isa = isa};
+  }
+  /// Writes an engine_config back into the flat (deprecated) fields.
+  void set_engine(const engine_config& e) noexcept {
+    threads_per_run = e.threads_per_run;
+    shards = e.shards;
+    use_kernel = e.use_kernel;
+    lanes = e.lanes;
+    isa = e.isa;
   }
 };
 

@@ -70,12 +70,13 @@ std::vector<sweep_point> expand_grid(const sweep_grid& grid) {
   NB_REQUIRE(!grid.params.empty(), "sweep grid needs at least one parameter value");
   NB_REQUIRE(!grid.weightings.empty(), "sweep grid needs at least one weighting spec");
   NB_REQUIRE(!grid.samplers.empty(), "sweep grid needs at least one sampler spec");
+  NB_REQUIRE(!grid.departures.empty(), "sweep grid needs at least one departure spec");
   NB_REQUIRE(grid.m_override >= 0, "m_override must be non-negative");
   NB_REQUIRE(grid.m_override > 0 || grid.m_multiplier >= 1,
              "need m_override > 0 or m_multiplier >= 1");
   std::vector<sweep_point> out;
   out.reserve(grid.bins.size() * grid.kinds.size() * grid.params.size() *
-              grid.weightings.size() * grid.samplers.size());
+              grid.weightings.size() * grid.samplers.size() * grid.departures.size());
   for (const bin_count n : grid.bins) {
     NB_REQUIRE(n >= 1, "sweep grid bin counts must be positive");
     const step_count m =
@@ -84,15 +85,18 @@ std::vector<sweep_point> expand_grid(const sweep_grid& grid) {
       for (const double p : grid.params) {
         for (const auto& weighting : grid.weightings) {
           for (const auto& sampler : grid.samplers) {
-            sweep_point point;
-            point.process = process_spec{kind, n, p, weighting, sampler};
-            point.m = m;
-            point.label = kind + "/" + param_label(p) + "@n=" + std::to_string(n);
-            // Model axes only mark non-default legs, keeping historical
-            // labels (and everything keyed on them) byte-identical.
-            if (weighting != "unit") point.label += "|w=" + weighting;
-            if (sampler != "uniform") point.label += "|s=" + sampler;
-            out.push_back(std::move(point));
+            for (const auto& departure : grid.departures) {
+              sweep_point point;
+              point.process = process_spec{kind, n, p, weighting, sampler, departure};
+              point.m = m;
+              point.label = kind + "/" + param_label(p) + "@n=" + std::to_string(n);
+              // Model axes only mark non-default legs, keeping historical
+              // labels (and everything keyed on them) byte-identical.
+              if (weighting != "unit") point.label += "|w=" + weighting;
+              if (sampler != "uniform") point.label += "|s=" + sampler;
+              if (departure != "none") point.label += "|d=" + departure;
+              out.push_back(std::move(point));
+            }
           }
         }
       }

@@ -54,6 +54,10 @@ struct sweep_grid {
   /// leave every expanded point's spec/label exactly as before.
   std::vector<std::string> weightings = {"unit"};
   std::vector<std::string> samplers = {"uniform"};
+  /// Departure-channel axis (specs per make_departures): "none" keeps the
+  /// historical insertion-only points; anything else marks the point for
+  /// the steady-state churn driver.
+  std::vector<std::string> departures = {"none"};
 };
 
 /// One expanded point of a sweep_grid.
@@ -64,11 +68,12 @@ struct sweep_point {
 };
 
 /// Expands `grid` in a fixed, documented order: bins outermost, then
-/// kinds, then params, then weightings, then samplers (the model axes
-/// innermost, so default single-element axes reproduce the historical
-/// order exactly) -- the points for one n are a contiguous block of size
-/// kinds.size() * params.size() * weightings.size() * samplers.size(),
-/// laid out kind-major.  Drivers rely on this order to index results.
+/// kinds, then params, then weightings, then samplers, then departures
+/// (the model axes innermost, so default single-element axes reproduce
+/// the historical order exactly) -- the points for one n are a contiguous
+/// block of size kinds.size() * params.size() * weightings.size() *
+/// samplers.size() * departures.size(), laid out kind-major.  Drivers
+/// rely on this order to index results.
 [[nodiscard]] std::vector<sweep_point> expand_grid(const sweep_grid& grid);
 
 }  // namespace nb

@@ -162,4 +162,78 @@ std::string cli_parser::help_text() const {
   return os.str();
 }
 
+// ---------------------------------------------------------------------------
+// Shared flag families.
+
+void add_engine_flags(cli_parser& cli) {
+  cli.add_int("threads-per-run", 0,
+              "intra-run shard-engine workers (0 = serial runs; stale-snapshot "
+              "windows, e.g. b-batch batches, then run shard-parallel)");
+  cli.add_int("shards", 16, "fixed shard count for the parallel engine (sampling contract)");
+  cli.add_string("kernel", "off",
+                 "allocation-kernel backend for frozen windows: off | scalar | "
+                 "sse2 | avx2 | avx512 | neon | auto | simd (auto/simd = best "
+                 "this CPU supports; an unsupported request warns once and falls "
+                 "back; backends are bit-identical for a fixed lane count)");
+  cli.add_int("lanes", 8, "kernel RNG lanes (sampling contract, like shards)");
+  cli.add_bool("hugepages", false,
+               "request transparent-huge-page backing for the load array and compact "
+               "snapshot (madvise; execution-only, fail-soft; also via NB_HUGEPAGES=1)");
+}
+
+engine_flag_values get_engine_flags(const cli_parser& cli) {
+  engine_flag_values v;
+  v.threads_per_run = cli.get_int("threads-per-run");
+  v.shards = cli.get_int("shards");
+  v.kernel = cli.get_string("kernel");
+  v.lanes = cli.get_int("lanes");
+  v.hugepages = cli.get_bool("hugepages");
+  NB_REQUIRE(v.threads_per_run >= 0, "--threads-per-run must be >= 0");
+  NB_REQUIRE(v.shards >= 1, "--shards must be positive");
+  NB_REQUIRE(v.lanes >= 1, "--lanes must be positive");
+  return v;
+}
+
+void add_churn_flags(cli_parser& cli) {
+  cli.add_string("departures", "none",
+                 "departure-channel spec: none | random | lease | drain (sampling "
+                 "contract; non-none turns cells into steady-state churn cells -- "
+                 "see README \"Steady-state churn\")");
+  cli.add_int("churn", 0,
+              "steady-state occupancy for churn cells (0 = m, the steady-state "
+              "default; needs a non-none --departures)");
+  cli.add_int("churn-telemetry", 0,
+              "record a gap/occupancy telemetry point about every N churn pairs "
+              "(0 = final point only; execution-only, never affects results)");
+}
+
+churn_flag_values get_churn_flags(const cli_parser& cli) {
+  churn_flag_values v;
+  v.departures = cli.get_string("departures");
+  v.churn = cli.get_int("churn");
+  v.telemetry = cli.get_int("churn-telemetry");
+  NB_REQUIRE(v.churn >= 0, "--churn must be >= 0");
+  NB_REQUIRE(v.telemetry >= 0, "--churn-telemetry must be >= 0");
+  NB_REQUIRE(v.churn == 0 || v.departures != "none",
+             "--churn needs a departure channel (--departures random | lease | drain)");
+  return v;
+}
+
+void add_model_flags(cli_parser& cli) {
+  cli.add_string("weighting", "unit",
+                 "ball-weighting spec: unit | fixed:<w> | two-point:<lo>,<hi>,<p> | "
+                 "pareto:<alpha>[,<cap>] (sampling contract; see README \"Weighted balls\")");
+  cli.add_string("sampler", "uniform",
+                 "bin-sampler spec: uniform | zipf:<s> | hot:<k>,<f> (sampling contract)");
+  add_churn_flags(cli);
+}
+
+model_flag_values get_model_flags(const cli_parser& cli) {
+  model_flag_values v;
+  v.weighting = cli.get_string("weighting");
+  v.sampler = cli.get_string("sampler");
+  v.churn = get_churn_flags(cli);
+  return v;
+}
+
 }  // namespace nb

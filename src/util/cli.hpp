@@ -51,4 +51,54 @@ class cli_parser {
   std::vector<std::string> order_;
 };
 
+// ---------------------------------------------------------------------------
+// Shared flag families.
+//
+// The engine-selection and allocation-model flags are common to every
+// model-facing binary (the bench/ tools, examples/campaign, the fig/table
+// reproductions).  They are registered HERE, once, with the canonical
+// spelling, defaults and help text, so a new flag -- like the steady-state
+// --departures/--churn family -- lands in one place and every binary picks
+// it up.  This layer is string-level only: util knows nothing about models
+// or kernels, so validation stays where the specs live (make_weighting,
+// make_departures, kernel_isa_from_name, ...).
+
+/// Raw values of the engine-selection family (execution routing; shards
+/// and lanes are part of the sampling contract, the rest never affects
+/// results).
+struct engine_flag_values {
+  std::int64_t threads_per_run = 0;
+  std::int64_t shards = 16;
+  std::string kernel;  ///< "off" or a kernel backend spec
+  std::int64_t lanes = 8;
+  bool hugepages = false;
+};
+
+/// Registers --threads-per-run, --shards, --kernel, --lanes, --hugepages.
+void add_engine_flags(cli_parser& cli);
+[[nodiscard]] engine_flag_values get_engine_flags(const cli_parser& cli);
+
+/// Raw values of the steady-state churn family (see README
+/// "Steady-state churn").
+struct churn_flag_values {
+  std::string departures;       ///< departure-channel spec ("none" = insertion-only)
+  std::int64_t churn = 0;       ///< occupancy override for churn cells (0 = m)
+  std::int64_t telemetry = 0;   ///< gap-telemetry cadence in pairs (0 = final only)
+};
+
+/// Registers --departures, --churn, --churn-telemetry.
+void add_churn_flags(cli_parser& cli);
+[[nodiscard]] churn_flag_values get_churn_flags(const cli_parser& cli);
+
+/// Raw values of the allocation-model family (all sampling contract).
+struct model_flag_values {
+  std::string weighting;
+  std::string sampler;
+  churn_flag_values churn;
+};
+
+/// Registers --weighting, --sampler and the churn family.
+void add_model_flags(cli_parser& cli);
+[[nodiscard]] model_flag_values get_model_flags(const cli_parser& cli);
+
 }  // namespace nb

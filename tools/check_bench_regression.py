@@ -9,13 +9,15 @@ than (1 - tolerance) x its baseline, or when a headline speedup ratio
 (kernel_vs_fused_speedup, shard_vs_fused_speedup) drops below the same
 bound.
 
-Matching is by the exact (kernel, isa, threads, weighting, sampler) tuple:
+Matching is by the exact (kernel, isa, threads, weighting, sampler,
+departures) tuple:
 since the bench's auto mode runs one leg per supported SIMD backend, avx2
 and avx512 legs coexist as separately gated entries, and folding them
 together would let a fast new backend mask a regression in an old one.
-The weighting/sampler pair keys the generalized-model legs (entries
-without the fields, from the pre-PR-5 schema, default to "unit"/
-"uniform").
+The weighting/sampler pair keys the generalized-model legs and the
+departures spec keys the steady-state churn leg (entries without the
+fields, from the pre-PR-5 / pre-PR-9 schemas, default to "unit"/
+"uniform"/"none").
 
 Cross-machine portability is handled by skipping, not failing:
   * a baseline leg whose ISA is absent from the fresh run's
@@ -42,7 +44,8 @@ import sys
 
 def leg_key(entry):
     return (entry["kernel"], entry["isa"], entry["threads"],
-            entry.get("weighting", "unit"), entry.get("sampler", "uniform"))
+            entry.get("weighting", "unit"), entry.get("sampler", "uniform"),
+            entry.get("departures", "none"))
 
 
 def index_legs(doc):
@@ -88,10 +91,12 @@ def main():
         print(f"  runner backends: {', '.join(runner_isas)}")
 
     for key, base in sorted(base_legs.items()):
-        kernel, isa, threads, weighting, sampler = key
+        kernel, isa, threads, weighting, sampler, departures = key
         label = f"kernel={kernel:<6} isa={isa:<6} threads={threads}"
         if weighting != "unit" or sampler != "uniform":
             label += f" weighting={weighting} sampler={sampler}"
+        if departures != "none":
+            label += f" departures={departures}"
         if (runner_isas is not None and isa not in ("none",)
                 and isa not in runner_isas):
             print(f"  SKIP {label}: this runner's CPU does not support "
@@ -115,7 +120,7 @@ def main():
 
     for key in sorted(set(fresh_legs) - set(base_legs)):
         print(f"  NOTE new leg not in baseline: kernel={key[0]} isa={key[1]} threads={key[2]} "
-              f"weighting={key[3]} sampler={key[4]}")
+              f"weighting={key[3]} sampler={key[4]} departures={key[5]}")
 
     # Headline speedup ratios are machine-independent-ish (same run, same
     # machine, two legs), so they get the same floor.

@@ -11,6 +11,10 @@ checkpoint files may remain.
 
     $ python3 tools/crash_fuzz.py --binary build/campaign --trials 10
 
+With --departures the registry-backed cells run as steady-state churn
+cells (warm-up + arrival/departure pairs), so the kill points also land
+mid-churn with the lease ring / occupancy counter in flight.
+
 Exit status 0 iff every trial produced byte-identical output.
 """
 
@@ -36,6 +40,8 @@ def campaign_cmd(binary, args, json_path, journal=None, resume=False):
         "--threads", str(args.threads),
         "--json", json_path,
     ]
+    if args.departures != "none":
+        cmd += ["--departures", args.departures]
     if journal is not None:
         cmd += ["--journal", journal, "--checkpoint-every", str(args.checkpoint_every)]
     if resume:
@@ -114,6 +120,10 @@ def main():
     parser.add_argument("--campaign-seed", type=int, default=2022)
     parser.add_argument("--threads", type=int, default=2)
     parser.add_argument("--checkpoint-every", type=int, default=500)
+    parser.add_argument("--departures", default="none",
+                        help="departure channel for the registry-backed cells "
+                             "(none | random | lease | drain); non-none runs "
+                             "them as steady-state churn cells")
     parser.add_argument("--max-resumes", type=int, default=40)
     args = parser.parse_args()
 
@@ -123,7 +133,11 @@ def main():
         return 2
     # The campaign example sweeps 9 configs (6 noise-grid + 2 batch + 1
     # factory); kill points are drawn from the whole campaign's ball span.
-    args.total_balls = 9 * args.runs * args.n * args.m_mult
+    # A churn cell's progress span is occupancy + 2 * events = 3m (the
+    # factory cell stays insertion-only at m), vs m for a plain cell.
+    per_cell = 3 * args.n * args.m_mult if args.departures != "none" \
+        else args.n * args.m_mult
+    args.total_balls = args.runs * (8 * per_cell + args.n * args.m_mult)
     random.seed(args.seed)
 
     root = tempfile.mkdtemp(prefix="nb_crash_fuzz_")
