@@ -680,46 +680,112 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
     results.push_back(std::move(alias_leg));
   }
 
-  // Steady-state churn leg: the event-stream API under load.  Warm a
-  // two-choice system up to `churn_occupancy` resident balls (untimed),
-  // then serve arrival/departure pairs through advance() -- the symmetric
-  // allocate/release path -- and report EVENTS per second (arrivals +
-  // departures) at fixed occupancy.  Keyed by its departure spec in the
-  // JSON so the regression gate tracks it separately from insertion legs.
+  // Steady-state churn legs: the event-stream API under load, per
+  // departure channel.  Each channel gets two legs reporting EVENTS per
+  // second (arrivals + departures) at fixed occupancy:
+  //   * "churn"        -- the serial per-event reference: a two-choice
+  //                       system warmed to `churn_occupancy` residents,
+  //                       then advance() on the master stream (PR 9's
+  //                       committed baseline key, law unchanged);
+  //   * "churn-kernel" -- the batched path: a b-Batch system (b = the
+  //                       churn cycle, so arrivals vectorize too -- the
+  //                       windowless two-choice would serialize them) in
+  //                       cycles of kernel arrivals + kernel departure
+  //                       blocks through the serial kernel engine.  The
+  //                       cycle is max(min_window, n) -- the committed
+  //                       observed-run window b = n, which amortizes the
+  //                       per-block O(n) snapshot/commit passes over a
+  //                       full window of events.
+  // Keyed by (kernel, process, departures) in the JSON; the tail records
+  // per-channel kernel-vs-serial speedups.  --departures narrows to one
+  // channel; the default sweeps all three.
   const step_count churn_pairs = m / 10;
-  if (!departures_spec.empty() && churn_pairs > 0) {
+  std::vector<std::pair<std::string, double>> churn_speedups;
+  if (churn_pairs > 0) {
+    const std::vector<std::string> channels =
+        departures_spec.empty() || departures_spec == "none"
+            ? std::vector<std::string>{"random", "lease", "drain"}
+            : std::vector<std::string>{departures_spec};
     const step_count occupancy =
         churn_occupancy > 0 ? churn_occupancy : static_cast<step_count>(n);
-    scale_entry leg;
-    leg.kernel = "churn";
-    leg.isa = "none";
-    leg.threads = 1;
-    leg.process = "two-choice";
-    leg.departures = departures_spec;
-    perf_counter_set churn_counters;
-    const hugepage_stats_t hp_before = hugepage_stats();
-    two_choice warmed(n);
-    warmed.set_model(make_model("unit", "uniform", n, departures_spec));
-    rng_t warm_rng(seed);
-    nb::step_many(warmed, warm_rng, occupancy);
-    churn_counters.start();
-    leg.timing = time_median_of(kWarmup, kReps, [&] {
-      two_choice p = warmed;  // every shot churns the same warmed system
-      rng_t rng = warm_rng;
-      advance(p, rng, traffic_spec{churn_pairs, churn_pairs});
-      const auto& s = p.state();
-      leg.run.gap = s.gap();
-      leg.run.sink = s.gap() + s.underload_gap();
-      leg.run.loads = s.loads();
-    });
-    leg.perf = churn_counters.stop();
-    annotate_env(leg, hp_before);
     const double churn_work = 2.0 * static_cast<double>(churn_pairs);
-    std::printf("  %-10s dep=%-8s t=1 %12.3e events/s  (two-choice at occupancy %lld, "
-                "gap %.1f, %s)\n",
-                "churn", departures_spec.c_str(), leg.timing.rate_median(churn_work),
-                static_cast<long long>(occupancy), leg.run.gap, perf_note(leg.perf).c_str());
-    results.push_back(std::move(leg));
+    for (const std::string& channel : channels) {
+      double serial_rate = 0.0;
+      {
+        scale_entry leg;
+        leg.kernel = "churn";
+        leg.isa = "none";
+        leg.threads = 1;
+        leg.process = "two-choice";
+        leg.departures = channel;
+        perf_counter_set churn_counters;
+        const hugepage_stats_t hp_before = hugepage_stats();
+        two_choice warmed(n);
+        warmed.set_model(make_model("unit", "uniform", n, channel));
+        rng_t warm_rng(seed);
+        nb::step_many(warmed, warm_rng, occupancy);
+        churn_counters.start();
+        leg.timing = time_median_of(kWarmup, kReps, [&] {
+          two_choice p = warmed;  // every shot churns the same warmed system
+          rng_t rng = warm_rng;
+          advance(p, rng, traffic_spec{churn_pairs, churn_pairs});
+          const auto& s = p.state();
+          leg.run.gap = s.gap();
+          leg.run.sink = s.gap() + s.underload_gap();
+          leg.run.loads = s.loads();
+        });
+        leg.perf = churn_counters.stop();
+        annotate_env(leg, hp_before);
+        serial_rate = leg.timing.rate_median(churn_work);
+        std::printf("  %-10s dep=%-8s t=1 %12.3e events/s  (two-choice at occupancy %lld, "
+                    "gap %.1f, %s)\n",
+                    "churn", channel.c_str(), serial_rate, static_cast<long long>(occupancy),
+                    leg.run.gap, perf_note(leg.perf).c_str());
+        results.push_back(std::move(leg));
+      }
+      {
+        const step_count cycle = std::max<step_count>(4096, static_cast<step_count>(n));
+        scale_entry leg;
+        leg.kernel = "churn-kernel";
+        leg.threads = 1;
+        leg.process = "b-batch";
+        leg.departures = channel;
+        perf_counter_set churn_counters;
+        const hugepage_stats_t hp_before = hugepage_stats();
+        kernel_engine engine(kernel_options{.lanes = lanes, .isa = g_isa_request});
+        leg.isa = kernel_isa_name(engine.isa());
+        b_batch warmed(n, cycle);
+        warmed.set_model(make_model("unit", "uniform", n, channel));
+        rng_t warm_rng(seed);
+        step_many_kernel(warmed, warm_rng, occupancy, engine);
+        churn_counters.start();
+        leg.timing = time_median_of(kWarmup, kReps, [&] {
+          b_batch p = warmed;
+          rng_t rng = warm_rng;
+          for (step_count served = 0; served < churn_pairs;) {
+            const step_count k = std::min(cycle, churn_pairs - served);
+            step_many_kernel(p, rng, k, engine);
+            depart_many_kernel(p, rng, k, engine);
+            served += k;
+          }
+          const auto& s = p.state();
+          leg.run.gap = s.gap();
+          leg.run.sink = s.gap() + s.underload_gap();
+          leg.run.loads = s.loads();
+        });
+        leg.perf = churn_counters.stop();
+        annotate_env(leg, hp_before);
+        const double kernel_rate = leg.timing.rate_median(churn_work);
+        if (serial_rate > 0.0) churn_speedups.emplace_back(channel, kernel_rate / serial_rate);
+        std::printf("  %-10s dep=%-8s isa=%-7s %10.3e events/s  (b-batch cycle %lld, "
+                    "%5.2fx vs serial, gap %.1f, %s)\n",
+                    "churn-kern", channel.c_str(), leg.isa.c_str(), kernel_rate,
+                    static_cast<long long>(cycle),
+                    serial_rate > 0.0 ? kernel_rate / serial_rate : 0.0, leg.run.gap,
+                    perf_note(leg.perf).c_str());
+        results.push_back(std::move(leg));
+      }
+    }
   }
 
   // Checkpoint-overhead leg: recorded (not speed-gated) so the cost of
@@ -803,8 +869,9 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
       // use their own work terms.
       const double leg_work =
           e.kernel == "campaign" ? static_cast<double>(std::max<step_count>(1, m / 2 / 8)) * 8.0
-          : e.kernel == "churn"  ? 2.0 * static_cast<double>(churn_pairs)
-                                 : work;
+          : e.kernel == "churn" || e.kernel == "churn-kernel"
+              ? 2.0 * static_cast<double>(churn_pairs)
+              : work;
       std::fprintf(f,
                    "    {\"kernel\": \"%s\", \"isa\": \"%s\", \"threads\": %zu,\n"
                    "     \"process\": \"%s\", \"weighting\": \"%s\", \"sampler\": \"%s\",\n"
@@ -857,6 +924,18 @@ void run_scale_benchmark(bin_count n, step_count m, std::size_t threads, std::si
                  "  \"kernel_tuning_speedup\": %.4f,\n"
                  "  \"shard_vs_fused_speedup\": %.4f,\n",
                  kernel_speedup, tuning_speedup, shard.timing.rate_median(work) / fused_rate);
+    // Per-channel batched-departure speedups: churn-kernel events/s over
+    // the serial churn reference on the same channel.
+    if (churn_speedups.empty()) {
+      std::fprintf(f, "  \"churn_kernel_vs_serial_speedup\": null,\n");
+    } else {
+      std::fprintf(f, "  \"churn_kernel_vs_serial_speedup\": {");
+      for (std::size_t i = 0; i < churn_speedups.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %.4f", i ? ", " : "", churn_speedups[i].first.c_str(),
+                     churn_speedups[i].second);
+      }
+      std::fprintf(f, "},\n");
+    }
     if (ckpt_overhead >= -0.5) {
       std::fprintf(f,
                    "  \"checkpoint_every\": %lld,\n  \"checkpoint_overhead_frac\": %.4f,\n",
@@ -1011,9 +1090,12 @@ int main(int argc, char** argv) {
     }
     if (cli.get_bool("hugepages")) set_hugepages_enabled(true);
     const churn_flag_values churn = get_churn_flags(cli);
-    const std::string departures_spec =
-        churn.departures == "none" ? "random" : churn.departures;
-    (void)make_departures(departures_spec);  // validate the spec up front
+    // "none" (the default) sweeps all three churn channels; an explicit
+    // --departures narrows the churn legs to that one channel.
+    const std::string departures_spec = churn.departures;
+    if (departures_spec != "none") {
+      (void)make_departures(departures_spec);  // validate the spec up front
+    }
     if (churn.telemetry > 0) {
       warn_once("throughput-churn-telemetry",
                 "--churn-telemetry has no effect here: the churn leg times throughput and "

@@ -45,7 +45,11 @@ class one_choice {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).
@@ -84,7 +88,11 @@ class two_choice {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).
@@ -141,7 +149,11 @@ class d_choice {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).
@@ -201,7 +213,11 @@ class one_plus_beta {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract: the load state is the only mutable member
   /// (parameters and model are configuration, rebuilt from the spec).

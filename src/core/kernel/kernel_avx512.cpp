@@ -207,6 +207,73 @@ NB_TGT_AVX512 void fill_avx512_impl(lane_soa& st, bin_count n, std::uint64_t thr
   }
 }
 
+/// Bounded-pair fill for the departure kernel's random channel: two
+/// xoshiro steps per 8-lane group, one Lemire multiply-shift against each
+/// bound, EXACT unsigned rejection against both thresholds, and masked
+/// per-lane replay over the unconditionally stored vector results (a
+/// rejected candidate is still < its bound, so the stores are safe to
+/// overwrite lane-by-lane).
+NB_TGT_AVX512 void fill_pair_avx512_impl(lane_soa& st, std::uint64_t b1, std::uint64_t t1,
+                                         std::uint64_t b2, std::uint64_t t2, std::uint32_t* out1,
+                                         std::uint32_t* out2, std::size_t count) {
+  const std::size_t lanes = st.lanes;
+  const std::size_t vec_lanes = lanes - lanes % 8;
+  const __m512i bound1 = _mm512_set1_epi64(static_cast<long long>(b1));
+  const __m512i bound2 = _mm512_set1_epi64(static_cast<long long>(b2));
+  const __m512i thr1 = _mm512_set1_epi64(static_cast<long long>(t1));
+  const __m512i thr2 = _mm512_set1_epi64(static_cast<long long>(t2));
+
+  std::size_t t = 0;
+  while (t + lanes <= count) {
+    for (std::size_t lane0 = 0; lane0 < vec_lanes; lane0 += 8) {
+      __m512i s0 = _mm512_load_si512(st.s0.data() + lane0);
+      __m512i s1 = _mm512_load_si512(st.s1.data() + lane0);
+      __m512i s2 = _mm512_load_si512(st.s2.data() + lane0);
+      __m512i s3 = _mm512_load_si512(st.s3.data() + lane0);
+      const __m512i a = xo_step(s0, s1, s2, s3);
+      const __m512i b = xo_step(s0, s1, s2, s3);
+      _mm512_store_si512(st.s0.data() + lane0, s0);
+      _mm512_store_si512(st.s1.data() + lane0, s1);
+      _mm512_store_si512(st.s2.data() + lane0, s2);
+      _mm512_store_si512(st.s3.data() + lane0, s3);
+
+      __m512i i1;
+      __m512i i2;
+      __m512i low_a;
+      __m512i low_b;
+      lemire8(a, bound1, i1, low_a);
+      lemire8(b, bound2, i2, low_b);
+      const __mmask8 rej =
+          _mm512_cmplt_epu64_mask(low_a, thr1) | _mm512_cmplt_epu64_mask(low_b, thr2);
+
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out1 + t + lane0),
+                          _mm512_cvtepi64_epi32(i1));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out2 + t + lane0),
+                          _mm512_cvtepi64_epi32(i2));
+
+      if (rej != 0) [[unlikely]] {  // masked replay: rejected lanes only
+        alignas(64) std::uint64_t qa[8];
+        alignas(64) std::uint64_t qb[8];
+        _mm512_store_si512(qa, a);
+        _mm512_store_si512(qb, b);
+        for (std::size_t l = 0; l < 8; ++l) {
+          if (((rej >> l) & 1u) == 0) continue;
+          const std::uint64_t queue[2] = {qa[l], qb[l]};
+          replay_pair(st, lane0 + l, b1, t1, b2, t2, queue, 2, out1[t + lane0 + l],
+                      out2[t + lane0 + l]);
+        }
+      }
+    }
+    for (std::size_t l = vec_lanes; l < lanes; ++l) {
+      replay_pair(st, l, b1, t1, b2, t2, nullptr, 0, out1[t + l], out2[t + l]);
+    }
+    t += lanes;
+  }
+  for (std::size_t l = 0; t < count; ++l, ++t) {
+    replay_pair(st, l, b1, t1, b2, t2, nullptr, 0, out1[t], out2[t]);
+  }
+}
+
 /// One alias pick for 8 lanes: native 64-bit threshold gather
 /// (vpgatherqq), a 32-bit alias gather widened back to 64-bit index
 /// lanes, and an unsigned 64-bit mask compare for the keep test -- no
@@ -292,6 +359,12 @@ NB_TGT_AVX512 void fill_alias_avx512_impl(lane_soa& st, bin_count n, std::uint64
 void fill_avx512(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
                  std::uint32_t* chosen, std::size_t balls, kernel_tuning tune) {
   fill_avx512_impl(st, n, threshold, snap, chosen, balls, tune.interleave);
+}
+
+void fill_pair_avx512(lane_soa& st, std::uint64_t b1, std::uint64_t t1, std::uint64_t b2,
+                      std::uint64_t t2, std::uint32_t* out1, std::uint32_t* out2,
+                      std::size_t count, kernel_tuning /*tune*/) {
+  fill_pair_avx512_impl(st, b1, t1, b2, t2, out1, out2, count);
 }
 
 void fill_alias_avx512(lane_soa& st, bin_count n, std::uint64_t threshold,

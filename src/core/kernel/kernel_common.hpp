@@ -224,4 +224,56 @@ void fill_alias_neon(lane_soa& st, bin_count n, std::uint64_t threshold, const s
                      std::size_t balls, kernel_tuning tune);
 #endif
 
+// ---------------------------------------------------------------------------
+// Bounded-pair lane path (the departure kernel's draw generator).
+//
+// The departure channels consume *pairs* of bounded draws per event
+// attempt.  Drain needs (bounded(n), bounded(n), tie), which IS the
+// uniform fill_* shape over a byte-inverted snapshot, so it reuses those
+// backends verbatim.  The random channel needs (bounded(n), bounded(B))
+// per rejection-sampling attempt -- a bin index plus an acceptance draw
+// against the frozen load bound B -- with no snapshot gather and no tie
+// draw; the pair fill below is that generic vector piece.  Per attempt,
+// lane l consumes one-or-more raw u64 for the bounded(b1) draw, then the
+// same for bounded(b2).  The scalar reference defines the order; vector
+// backends bulk-generate both draws and queue-replay Lemire rejections
+// exactly like the uniform fill.  Both bounds must be < 2^32.
+
+/// One bounded pair of lane l decided scalar (queue semantics as in
+/// replay_ball: an accept-first queue of {a, b} consumes exactly the two
+/// queued values and spills to the lane's live stream on rejection).
+inline void replay_pair(lane_soa& st, std::size_t l, std::uint64_t b1, std::uint64_t t1,
+                        std::uint64_t b2, std::uint64_t t2, const std::uint64_t* queue,
+                        int queued, std::uint32_t& o1, std::uint32_t& o2) noexcept {
+  ball_stream stream{st, l, queue, queued};
+  o1 = stream.draw_bounded(b1, t1);
+  o2 = stream.draw_bounded(b2, t2);
+}
+
+/// A backend fills out1[t] = bounded(b1), out2[t] = bounded(b2) for every
+/// attempt t in ball order, continuing the lane rotation from lane 0 (the
+/// driver cuts blocks at multiples of the lane count).  t1/t2 are the
+/// hoisted Lemire thresholds of b1/b2.  `tune` is execution-only.
+using fill_pair_fn = void (*)(lane_soa& st, std::uint64_t b1, std::uint64_t t1, std::uint64_t b2,
+                              std::uint64_t t2, std::uint32_t* out1, std::uint32_t* out2,
+                              std::size_t count, kernel_tuning tune);
+
+void fill_pair_scalar(lane_soa& st, std::uint64_t b1, std::uint64_t t1, std::uint64_t b2,
+                      std::uint64_t t2, std::uint32_t* out1, std::uint32_t* out2,
+                      std::size_t count, kernel_tuning tune);
+#if defined(__x86_64__) || defined(__i386__)
+void fill_pair_sse2(lane_soa& st, std::uint64_t b1, std::uint64_t t1, std::uint64_t b2,
+                    std::uint64_t t2, std::uint32_t* out1, std::uint32_t* out2,
+                    std::size_t count, kernel_tuning tune);
+void fill_pair_avx2(lane_soa& st, std::uint64_t b1, std::uint64_t t1, std::uint64_t b2,
+                    std::uint64_t t2, std::uint32_t* out1, std::uint32_t* out2,
+                    std::size_t count, kernel_tuning tune);
+void fill_pair_avx512(lane_soa& st, std::uint64_t b1, std::uint64_t t1, std::uint64_t b2,
+                      std::uint64_t t2, std::uint32_t* out1, std::uint32_t* out2,
+                      std::size_t count, kernel_tuning tune);
+#endif
+// No NEON pair fill: the path is pure ALU (no gathers to win back) and the
+// build host cannot execute aarch64 code to validate one; dispatch routes
+// aarch64 to the scalar reference, which is bit-identical by contract.
+
 }  // namespace nb::kernel_detail

@@ -114,6 +114,78 @@ NB_TGT_SSE2 void fill_sse2_impl(lane_soa& st, bin_count n, std::uint64_t thresho
   }
 }
 
+/// Bounded-pair fill for the departure kernel's random channel: two
+/// xoshiro steps and two Lemire multiply-shifts per 2-lane group, one
+/// against each bound.  The coarse rejection test covers both draws (both
+/// thresholds are < their bounds < 2^32, so a real rejection still forces
+/// the low product word's high dword to zero); a flagged group replays
+/// both lanes from a {a, b} queue.
+NB_TGT_SSE2 void fill_pair_sse2_impl(lane_soa& st, std::uint64_t b1, std::uint64_t t1,
+                                     std::uint64_t b2, std::uint64_t t2, std::uint32_t* out1,
+                                     std::uint32_t* out2, std::size_t count) {
+  const std::size_t lanes = st.lanes;
+  const std::size_t vec_lanes = lanes - lanes % 2;
+  const __m128i bound1 = _mm_set1_epi64x(static_cast<long long>(b1));
+  const __m128i bound2 = _mm_set1_epi64x(static_cast<long long>(b2));
+  const __m128i zero = _mm_setzero_si128();
+
+  std::size_t t = 0;
+  while (t + lanes <= count) {
+    for (std::size_t lane0 = 0; lane0 < vec_lanes; lane0 += 2) {
+      __m128i s0 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s0.data() + lane0));
+      __m128i s1 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s1.data() + lane0));
+      __m128i s2 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s2.data() + lane0));
+      __m128i s3 = _mm_load_si128(reinterpret_cast<const __m128i*>(st.s3.data() + lane0));
+      const __m128i a = xo_step(s0, s1, s2, s3);
+      const __m128i b = xo_step(s0, s1, s2, s3);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s0.data() + lane0), s0);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s1.data() + lane0), s1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s2.data() + lane0), s2);
+      _mm_store_si128(reinterpret_cast<__m128i*>(st.s3.data() + lane0), s3);
+
+      __m128i i1;
+      __m128i i2;
+      __m128i low_a;
+      __m128i low_b;
+      lemire2(a, bound1, i1, low_a);
+      lemire2(b, bound2, i2, low_b);
+
+      const __m128i hz =
+          _mm_or_si128(_mm_cmpeq_epi32(low_a, zero), _mm_cmpeq_epi32(low_b, zero));
+      const auto reject = static_cast<std::uint32_t>(_mm_movemask_epi8(hz)) & 0xF0F0u;
+
+      alignas(16) std::uint64_t qa[2];
+      alignas(16) std::uint64_t qb[2];
+      _mm_store_si128(reinterpret_cast<__m128i*>(qa), a);
+      _mm_store_si128(reinterpret_cast<__m128i*>(qb), b);
+      if (reject != 0) [[unlikely]] {
+        for (std::size_t l = 0; l < 2; ++l) {
+          const std::uint64_t queue[2] = {qa[l], qb[l]};
+          replay_pair(st, lane0 + l, b1, t1, b2, t2, queue, 2, out1[t + lane0 + l],
+                      out2[t + lane0 + l]);
+        }
+        continue;
+      }
+
+      alignas(16) std::uint64_t idx1[2];
+      alignas(16) std::uint64_t idx2[2];
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx1), i1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx2), i2);
+      for (std::size_t l = 0; l < 2; ++l) {
+        out1[t + lane0 + l] = static_cast<std::uint32_t>(idx1[l]);
+        out2[t + lane0 + l] = static_cast<std::uint32_t>(idx2[l]);
+      }
+    }
+    for (std::size_t l = vec_lanes; l < lanes; ++l) {
+      replay_pair(st, l, b1, t1, b2, t2, nullptr, 0, out1[t + l], out2[t + l]);
+    }
+    t += lanes;
+  }
+  for (std::size_t l = 0; t < count; ++l, ++t) {
+    replay_pair(st, l, b1, t1, b2, t2, nullptr, 0, out1[t], out2[t]);
+  }
+}
+
 /// Alias-sampled fill: vectorizes what pays on SSE2 -- the five xoshiro
 /// steps per 2-lane group and the Lemire multiply-shift for both slots --
 /// and does the alias/threshold/snapshot lookups scalar (no hardware
@@ -205,6 +277,12 @@ NB_TGT_SSE2 void fill_alias_sse2_impl(lane_soa& st, bin_count n, std::uint64_t t
 void fill_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,
                std::uint32_t* chosen, std::size_t balls, kernel_tuning /*tune*/) {
   fill_sse2_impl(st, n, threshold, snap, chosen, balls);
+}
+
+void fill_pair_sse2(lane_soa& st, std::uint64_t b1, std::uint64_t t1, std::uint64_t b2,
+                    std::uint64_t t2, std::uint32_t* out1, std::uint32_t* out2,
+                    std::size_t count, kernel_tuning /*tune*/) {
+  fill_pair_sse2_impl(st, b1, t1, b2, t2, out1, out2, count);
 }
 
 void fill_alias_sse2(lane_soa& st, bin_count n, std::uint64_t threshold, const std::uint8_t* snap,

@@ -41,6 +41,7 @@ bool compact_snapshot::assign(const std::vector<load_t>& loads) {
   base_ = mn;
   ok_ = (mx - mn) <= 255;
   if (!ok_) return false;
+  span_ = static_cast<std::uint8_t>(mx - mn);
   n_ = loads.size();
   off_.resize(n_ + tail_padding);
   if (hugepages_enabled() && off_.data() != advised_) {
@@ -174,6 +175,40 @@ void load_state::apply_increments(const std::vector<std::int64_t>& delta,
   }
   balls_ = balls_after;
   extra_weight_ = extra_after;
+  levels_ok_ = levels_.rebuild(loads_);
+}
+
+void load_state::apply_releases(const std::vector<std::uint32_t>& rel,
+                                weight_t weight_per_ball, step_count k) {
+  NB_ASSERT(!bulk_);
+  NB_REQUIRE(rel.size() == loads_.size(), "release vector must have one entry per bin");
+  NB_REQUIRE(weight_per_ball >= 1 && weight_per_ball <= max_ball_weight,
+             "per-ball weight must be in [1, max_ball_weight]");
+  NB_REQUIRE(!lease_on_,
+             "bulk releases cannot maintain the lease ring (the lease channel "
+             "expires per-ball through release_oldest)");
+  // Validate every bin and the totals BEFORE mutating any (strong
+  // exception safety, matching both apply_increments overloads), with the
+  // same bin-and-weight error vocabulary as release(i, w).
+  step_count total = 0;
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    const weight_t retired = static_cast<weight_t>(rel[i]) * weight_per_ball;
+    NB_REQUIRE(retired <= static_cast<weight_t>(loads_[i]),
+               "release of weight " + std::to_string(retired) + " would underflow bin " +
+                   std::to_string(i) + " (currently " + std::to_string(loads_[i]) + ")");
+    total += rel[i];
+  }
+  NB_REQUIRE(total == k, "departure block counts do not sum to the block size");
+  NB_REQUIRE(balls_ >= k, "release with no resident balls");
+  NB_REQUIRE(extra_weight_ >= k * (weight_per_ball - 1),
+             "departure block of weight " + std::to_string(weight_per_ball) +
+                 " per ball exceeds the resident extra weight (" +
+                 std::to_string(extra_weight_) + ")");
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    loads_[i] -= static_cast<load_t>(static_cast<weight_t>(rel[i]) * weight_per_ball);
+  }
+  balls_ -= k;
+  extra_weight_ -= k * (weight_per_ball - 1);
   levels_ok_ = levels_.rebuild(loads_);
 }
 

@@ -241,6 +241,9 @@ class compact_snapshot {
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
   [[nodiscard]] const std::uint8_t* data() const noexcept { return off_.data(); }
   [[nodiscard]] std::uint8_t off(bin_index i) const noexcept { return off_[i]; }
+  /// Largest offset (= span of the frozen loads).  The departure kernel's
+  /// random channel uses base() + max_off() as its frozen acceptance bound.
+  [[nodiscard]] std::uint8_t max_off() const noexcept { return span_; }
 
  private:
   std::vector<std::uint8_t> off_;  ///< n_ offsets + tail_padding zero bytes
@@ -249,6 +252,7 @@ class compact_snapshot {
   const std::uint8_t* advised_ = nullptr;
   std::size_t n_ = 0;
   load_t base_ = 0;
+  std::uint8_t span_ = 0;
   bool ok_ = false;
 };
 
@@ -456,6 +460,18 @@ class load_state {
   /// once, like the unsigned path.  Refuses under lease tracking (a merged
   /// signed window cannot say *which* resident balls departed).
   void apply_increments(const std::vector<std::int64_t>& delta, step_count ball_delta);
+
+  /// Applies a merged departure block: k departing balls, rel[i] of them
+  /// leaving bin i, each retiring weight_per_ball.  The signed mirror of
+  /// the unsigned apply_increments, validated BEFORE any mutation (strong
+  /// exception safety) with the same contract-error vocabulary as
+  /// release(i, w): no bin may underflow, a ball must be resident for each
+  /// departure, and the extra-weight accumulator must cover the retired
+  /// weight.  Rebuilds the level index once.  Refuses under lease tracking
+  /// (a merged block cannot say *which* resident balls departed; the lease
+  /// channel expires per-ball through release_oldest()).
+  void apply_releases(const std::vector<std::uint32_t>& rel, weight_t weight_per_ball,
+                      step_count k);
 
   /// ------------------------------------------------------------------
   /// FIFO lease ring (the "lease" departure channel): while tracking is

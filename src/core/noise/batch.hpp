@@ -64,7 +64,11 @@ class b_batch {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// The load of bin i as reported during the current batch (for tests).
   [[nodiscard]] load_t reported_load(bin_index i) const { return stale_[i]; }

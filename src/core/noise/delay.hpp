@@ -141,7 +141,11 @@ class tau_delay {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Window-parallel probe (see process.hpp): always 0.  tau-Delay's
   /// estimate window [x^{t-tau}, x^{t-1}] *slides* -- ball t+1's estimates

@@ -105,7 +105,11 @@ class rho_noisy_comp {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract: rho is configuration, the load state is the only
   /// mutable member.
@@ -170,7 +174,11 @@ class sigma_noisy_load_gaussian {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract.  Box-Muller draws Gaussians in pairs, so the
   /// sampler's cached second half is genuine mid-stream state: dropping it

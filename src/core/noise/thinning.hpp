@@ -83,7 +83,11 @@ class noisy_mean_thinning {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract: the strategy and parameters are configuration,
   /// the load state is the only mutable member.
@@ -143,7 +147,11 @@ class noisy_one_plus_beta {
   [[nodiscard]] const alloc_model& model() const noexcept { return model_; }
 
   /// One departure event through the model's channel (see depart_ball).
-  void depart(rng_t& rng) { depart_ball(state_, model_.departures, rng); }
+  void depart(rng_t& rng) { depart_ball(state_, model_, rng); }
+  /// Applies one engine-merged departure block (see apply_departure_block).
+  void commit_departures(const std::vector<std::uint32_t>& rel, step_count k) {
+    apply_departure_block(state_, model_, rel, k);
+  }
 
   /// Checkpoint contract: the strategy and parameters are configuration,
   /// the load state is the only mutable member.

@@ -35,6 +35,7 @@
 #include "common/serialize.hpp"
 #include "core/alloc_model.hpp"
 #include "core/kernel/kernel.hpp"
+#include "core/kernel/kernel_depart.hpp"
 #include "core/load_vector.hpp"
 #include "rng/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -161,6 +162,16 @@ inline void install_model(load_state& state, alloc_model& slot, alloc_model m) {
   slot = std::move(m);
 }
 
+/// The weight one drain departure retires under `weighting`: the fixed
+/// per-ball weight for deterministic non-unit weightings (every resident
+/// ball carries exactly that weight, so the departing ball's actual
+/// weight is known), one load unit otherwise -- trivially under unit
+/// weights, and under RNG-drawn weightings because the load vector
+/// cannot recover which weight draw landed where.
+[[nodiscard]] inline weight_t drain_weight(const ball_weighting& weighting) {
+  return !weighting.is_unit() && !weighting.is_random() ? weighting.fixed_weight() : 1;
+}
+
 /// Removes one departure event's worth of load from `state` per the
 /// model's departure channel.  The departure counterpart of deposit():
 /// every library process's depart() delegates here, so the three channel
@@ -174,14 +185,20 @@ inline void install_model(load_state& state, alloc_model& slot, alloc_model m) {
 ///   * lease -- FIFO expiry: the oldest resident ball departs whole, at
 ///     its recorded arrival weight (load_state's lease ring).
 ///   * drain -- weighted two-choice in reverse: sample two bins, release
-///     a unit from the FULLER non-empty one (ties broken by the next
-///     draw's top bit, mirroring the arrival tie-break; both-empty pairs
-///     redraw).
+///     one departing ball's weight (drain_weight above) from the FULLER
+///     one that can cover it (ties broken by the next draw's top bit,
+///     mirroring the arrival tie-break; pairs where neither bin covers
+///     the weight redraw).  Under the unit law this is exactly the
+///     historical "release a unit from the fuller non-empty bin", bit
+///     for bit; a bin whose load cannot cover the fixed weight (a state
+///     the fixed weighting never produces) trips release()'s underflow
+///     contract error, naming the bin and the weight.
 ///
 /// Draw order is part of the sampling contract exactly like arrivals:
 /// each channel's draws above are exhaustive and consumed in the order
 /// listed, so per-event and interleaved execution are bit-identical.
-inline void depart_ball(load_state& state, const departure_model& departures, rng_t& rng) {
+inline void depart_ball(load_state& state, const alloc_model& model, rng_t& rng) {
+  const departure_model& departures = model.departures;
   NB_REQUIRE(!departures.is_none(),
              "depart() needs a departure channel, but the model's departure_model is 'none'");
   NB_REQUIRE(state.balls() > 0, "depart() with no resident balls");
@@ -207,19 +224,20 @@ inline void depart_ball(load_state& state, const departure_model& departures, rn
       state.release_oldest();
       return;
     case departure_model::kind::drain: {
+      const weight_t w = drain_weight(model.weighting);
       for (;;) {
         const auto i = static_cast<bin_index>(bounded(rng, n));
         const auto j = static_cast<bin_index>(bounded(rng, n));
         const load_t li = loads[i];
         const load_t lj = loads[j];
-        if (li == 0 && lj == 0) continue;
+        if (static_cast<weight_t>(li) < w && static_cast<weight_t>(lj) < w) continue;
         bin_index chosen;
         if (li != lj) {
           chosen = li > lj ? i : j;
         } else {
           chosen = (rng.next() >> 63) != 0 ? i : j;
         }
-        state.release(chosen);
+        state.release(chosen, w);
         return;
       }
     }
@@ -232,11 +250,69 @@ concept departable_process = requires(P p, rng_t& g) {
   { p.depart(g) } -> std::same_as<void>;
 };
 
+/// Serves `count` departure events through the process's per-event
+/// depart() -- the serial reference law batched paths are measured
+/// against.  The per-event stream here IS the historical one, bit for
+/// bit; the engines' depart_many draws different (identically
+/// distributed) randomness, exactly like their step_many.
+template <departable_process P>
+inline void depart_many(P& process, rng_t& rng, step_count count) {
+  NB_ASSERT(count >= 0);
+  for (step_count t = 0; t < count; ++t) process.depart(rng);
+}
+
+/// Applies one merged departure block to `state` -- the bulk counterpart
+/// of depart_ball, shared by every process's commit_departures.  The
+/// lease channel expires the k oldest balls through the ring (RNG-free,
+/// bit-identical to k per-event departures; `rel` is ignored); drain and
+/// random apply a departure kernel's per-bin counts in one validated
+/// pass, retiring the drain weight (resp. unit quanta) per departing
+/// ball with release()'s contract-error vocabulary on any overdraw.
+inline void apply_departure_block(load_state& state, const alloc_model& model,
+                                  const std::vector<std::uint32_t>& rel, step_count k) {
+  const departure_model& departures = model.departures;
+  NB_REQUIRE(!departures.is_none(),
+             "commit_departures needs a departure channel, but the model's "
+             "departure_model is 'none'");
+  switch (departures.departure_kind()) {
+    case departure_model::kind::none:
+      return;  // unreachable: guarded above
+    case departure_model::kind::lease:
+      for (step_count t = 0; t < k; ++t) state.release_oldest();
+      return;
+    case departure_model::kind::drain:
+      state.apply_releases(rel, drain_weight(model.weighting), k);
+      return;
+    case departure_model::kind::random:
+      state.apply_releases(rel, 1, k);
+      return;
+  }
+}
+
+/// A process whose departures can be served in merged blocks: it exposes
+/// its model (the engines route on the departure channel) and applies a
+/// per-bin departure-count row in one commit.  Every library process
+/// implements commit_departures via apply_departure_block.
+template <typename P>
+concept batch_departable = departable_process<P> && modeled_process<P> &&
+    requires(P p, const std::vector<std::uint32_t>& rel, step_count k) {
+      { p.commit_departures(rel, k) } -> std::same_as<void>;
+    };
+
 /// An arrival/departure mix for advance(): `arrivals` balls arrive and
 /// `departures` events depart, spread evenly across the stream.
 struct traffic_spec {
   step_count arrivals = 0;
   step_count departures = 0;
+  /// Departure granularity: departures are served in blocks of up to
+  /// `grain` events, the arrival stream cut at the block boundaries
+  /// (Bresenham over blocks instead of single events).  <= 1 reproduces
+  /// the historical per-event interleave bit for bit.  Coarser grains
+  /// are a declared sampling-contract parameter -- they regroup the
+  /// stream's draw order -- and exist so engine-batched departure paths
+  /// see blocks big enough to amortize (window granularity, e.g. the
+  /// churn cycle length).
+  step_count grain = 1;
 };
 
 /// Runs an event stream through `process`: departures are spread evenly
@@ -250,19 +326,23 @@ template <single_steppable P>
 inline void advance(P& process, rng_t& rng, const traffic_spec& traffic) {
   const step_count a = traffic.arrivals;
   const step_count d = traffic.departures;
+  const step_count g = traffic.grain > 1 ? traffic.grain : 1;
   NB_ASSERT(a >= 0 && d >= 0);
   if (d == 0) {
     nb::step_many(process, rng, a);
     return;
   }
   step_count placed = 0;
-  for (step_count k = 0; k < d; ++k) {
-    // Slice k ends after floor(a*(k+1)/d) arrivals; a,d <= max_run_balls
-    // keeps the product well inside int64.
-    const step_count upto = a * (k + 1) / d;
+  for (step_count served = 0; served < d;) {
+    const step_count block = g < d - served ? g : d - served;
+    // The block ends after floor(a*(served+block)/d) arrivals; with
+    // grain <= 1 this is the historical per-event Bresenham slice.
+    // a,d <= max_run_balls keeps the product well inside int64.
+    const step_count upto = a * (served + block) / d;
     nb::step_many(process, rng, upto - placed);
     placed = upto;
-    process.depart(rng);
+    nb::depart_many(process, rng, block);
+    served += block;
   }
 }
 
@@ -480,7 +560,187 @@ class shard_engine {
     }
   }
 
+  /// Serves `count` departure events through `process`, shard-parallel:
+  /// each sufficiently large drain/random block snapshots the live loads,
+  /// splits its events across the fixed shard set (shard s serves its
+  /// share through the departure kernel on substream
+  /// shard_stream_seed(token, s), counting into its own uint16 row), and
+  /// merges the rows in fixed shard order.  Shards capacity-check against
+  /// the shared snapshot with only their OWN counts, so the merged row
+  /// can overdraw a bin; the merge clamps each bin to its snapshot
+  /// capacity and re-serves the deficit from the dedicated scalar stream
+  /// rng_t(derive_seed(token, shards)) under the serial channel law over
+  /// remaining loads -- deterministic, and thread-count invariant exactly
+  /// like step_many (threads only execute shards).  The lease channel
+  /// commits in bulk unconditionally (RNG-free); undersized blocks and
+  /// span-saturated loads fall back to the serial per-event loop with a
+  /// one-time diagnostic.
+  template <single_steppable P>
+    requires departable_process<P>
+  void depart_many(P& process, rng_t& rng, step_count count) {
+    NB_ASSERT(count >= 0);
+    if (count == 0) return;
+    if constexpr (!batch_departable<P>) {
+      warn_once("depart-engine/" + process.name(),
+                "batched departures have no effect on process '" + process.name() +
+                    "': it has no commit_departures (batch_departable); "
+                    "running the serial per-event loop instead");
+      nb::depart_many(process, rng, count);
+    } else {
+      const departure_model& departures = process.model().departures;
+      if (departures.is_none()) {
+        nb::depart_many(process, rng, count);
+        return;
+      }
+      if (departures.is_lease()) {
+        merged_.clear();
+        process.commit_departures(merged_, count);
+        return;
+      }
+      const auto n = static_cast<step_count>(process.state().n());
+      // Same uint16-row overflow cap as arrival windows: chunk oversized
+      // blocks deterministically (depends only on the shard count).
+      const step_count cap =
+          static_cast<step_count>(opt_.shards) * shard_deltas::max_row_count;
+      while (count > 0) {
+        const step_count k = count < cap ? count : cap;
+        if (k < opt_.min_window || k * 4 < n) {
+          warn_once("depart-engine-window/" + process.name(),
+                    "batched departures fall back to the serial per-event loop on process '" +
+                        process.name() +
+                        "': departure blocks under min_window (or shorter than n/4 events) "
+                        "cannot amortize the per-block snapshot");
+          nb::depart_many(process, rng, k);
+        } else if (!depart_block(process, rng, k)) {
+          warn_once("depart-engine-span/" + process.name(),
+                    "batched departures fall back to the serial per-event loop on process '" +
+                        process.name() +
+                        "': the live load span exceeds the compact snapshot's 8-bit range");
+          nb::depart_many(process, rng, k);
+        }
+        count -= k;
+      }
+    }
+  }
+
  private:
+  /// One shard-parallel departure block of `k` events; false when the
+  /// live loads cannot compact (caller falls back to the serial loop).
+  template <batch_departable P>
+  bool depart_block(P& process, rng_t& rng, step_count k) {
+    // Same double-buffer rotation as arrival windows: the previous
+    // block's deferred row clears may still be in flight on the pool.
+    snapshot_index_ ^= 1;
+    compact_snapshot& snapshot = snapshots_[snapshot_index_];
+    if (!snapshot.assign(process.state().loads())) return false;
+    const bin_count n = process.state().n();
+    const std::size_t shards = opt_.shards;
+    drain_deferred_clears();
+    if (deltas_.shards() != shards || deltas_.bins() != n) {
+      deltas_.reset(shards, n);
+      rows_clean_ = true;
+    }
+    const std::uint64_t token = rng.next();
+    const std::uint8_t* snap = snapshot.data();
+    const load_t base = snapshot.base();
+    const std::uint8_t span = snapshot.max_off();
+    const bool drain =
+        process.model().departures.departure_kind() == departure_model::kind::drain;
+    const depart_channel channel = drain ? depart_channel::drain : depart_channel::random;
+    const weight_t w = drain ? drain_weight(process.model().weighting) : weight_t{1};
+    const bool clean = rows_clean_;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const step_count shard_events =
+          k / static_cast<step_count>(shards) +
+          (static_cast<step_count>(s) < k % static_cast<step_count>(shards) ? 1 : 0);
+      std::uint16_t* row = deltas_.row(s);
+      if (shard_events == 0) {
+        if (!clean) deltas_.clear_row(s);
+        continue;
+      }
+      pool_.submit([n, snap, base, span, channel, w, row, shard_events, clean,
+                    seed = shard_stream_seed(token, s), lanes = opt_.lanes, isa = isa_] {
+        if (!clean) std::fill_n(row, n, std::uint16_t{0});
+        kernel_depart(isa, lanes, channel, n, snap, base, span, w, row, shard_events, seed);
+      });
+    }
+    pool_.wait_idle();
+    rows_clean_ = false;
+    merged_.resize(n);
+    const auto chunk = static_cast<bin_count>((n + shards - 1) / shards);
+    for (bin_index lo = 0; lo < n; lo += chunk) {
+      const bin_index hi = lo + chunk < n ? lo + chunk : n;
+      pool_.submit([this, lo, hi] { deltas_.sum_rows(merged_, lo, hi); });
+    }
+    pool_.wait_idle();
+    // Clamp and repair: each shard guarded only its own counts, so the
+    // merged row may overdraw a bin.  Clamp every bin to its snapshot
+    // capacity, then re-serve the deficit serially from the stream one
+    // past the shard substreams -- the same law the kernel's drain
+    // replay uses, here over the merged remaining loads.
+    const auto remaining = [&](bin_index c) -> weight_t {
+      return static_cast<weight_t>(base) + snap[c] -
+             static_cast<weight_t>(merged_[c]) * w;
+    };
+    step_count total = 0;
+    for (bin_index i = 0; i < n; ++i) {
+      const auto capacity = static_cast<std::uint32_t>(
+          (static_cast<weight_t>(base) + snap[i]) / w);
+      if (merged_[i] > capacity) merged_[i] = capacity;
+      total += merged_[i];
+    }
+    if (total < k) {
+      rng_t repair(derive_seed(token, shards));
+      const std::uint64_t bound = static_cast<std::uint64_t>(base) + span;
+      for (step_count t = total; t < k; ++t) {
+        if (!drain) {  // random: rejection-sample over remaining load
+          for (;;) {
+            const auto j = static_cast<bin_index>(bounded(repair, n));
+            if (bounded(repair, bound) < static_cast<std::uint64_t>(remaining(j))) {
+              ++merged_[j];
+              break;
+            }
+          }
+          continue;
+        }
+        int attempts = 0;
+        for (;;) {
+          if (++attempts > 4096) {  // deterministic fullest-bin fallback
+            bin_index best = 0;
+            weight_t best_rem = remaining(0);
+            for (bin_index i = 1; i < n; ++i) {
+              const weight_t r = remaining(i);
+              if (r > best_rem) {
+                best = i;
+                best_rem = r;
+              }
+            }
+            NB_REQUIRE(best_rem >= w, "drain departure block cannot retire weight " +
+                                          std::to_string(w) +
+                                          ": no bin's remaining load covers it");
+            ++merged_[best];
+            break;
+          }
+          const auto i = static_cast<bin_index>(bounded(repair, n));
+          const auto j = static_cast<bin_index>(bounded(repair, n));
+          const weight_t ri = remaining(i);
+          const weight_t rj = remaining(j);
+          if (ri < w && rj < w) continue;
+          const bin_index c =
+              ri != rj ? (ri > rj ? i : j) : ((repair.next() >> 63) != 0 ? i : j);
+          ++merged_[c];
+          break;
+        }
+      }
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      pool_.submit([this, s] { deltas_.clear_row(s); });
+    }
+    clears_pending_ = true;
+    process.commit_departures(merged_, k);
+    return true;
+  }
+
   /// Per-shard scratch that outlives one window: the generic (non-kernel)
   /// decide loop's index block.  Engine-owned and cache-line-aligned so a
   /// shard task allocates nothing per window and two shards' scratch
@@ -722,11 +982,74 @@ class kernel_engine {
     }
   }
 
+  /// Serves `count` departure events through `process`.  Sufficiently
+  /// large drain/random blocks run the SIMD departure kernel against a
+  /// snapshot of the LIVE loads (departures need no frozen window of
+  /// their own -- the block freezes its snapshot at the block start, so
+  /// windowless processes batch too) with one master-stream token per
+  /// block, exactly the step_many cadence; the lease channel is RNG-free
+  /// ring popping and commits in bulk unconditionally.  Undersized blocks
+  /// and span-saturated loads fall back to the serial per-event loop with
+  /// a one-time diagnostic -- like every engine fallback, accepted but
+  /// ineffective is something the caller must hear about.
+  template <single_steppable P>
+    requires departable_process<P>
+  void depart_many(P& process, rng_t& rng, step_count count) {
+    NB_ASSERT(count >= 0);
+    if (count == 0) return;
+    if constexpr (!batch_departable<P>) {
+      warn_once("depart-engine/" + process.name(),
+                "batched departures have no effect on process '" + process.name() +
+                    "': it has no commit_departures (batch_departable); "
+                    "running the serial per-event loop instead");
+      nb::depart_many(process, rng, count);
+    } else {
+      const departure_model& departures = process.model().departures;
+      if (departures.is_none()) {
+        // Let the per-event law raise its configuration error.
+        nb::depart_many(process, rng, count);
+        return;
+      }
+      if (departures.is_lease()) {
+        rel_.clear();
+        process.commit_departures(rel_, count);
+        return;
+      }
+      const bin_count n = process.state().n();
+      if (count < opt_.min_window || count * 4 < static_cast<step_count>(n)) {
+        warn_once("depart-engine-window/" + process.name(),
+                  "batched departures fall back to the serial per-event loop on process '" +
+                      process.name() +
+                      "': departure blocks under min_window (or shorter than n/4 events) "
+                      "cannot amortize the per-block snapshot");
+        nb::depart_many(process, rng, count);
+        return;
+      }
+      if (!snapshot_.assign(process.state().loads())) {
+        warn_once("depart-engine-span/" + process.name(),
+                  "batched departures fall back to the serial per-event loop on process '" +
+                      process.name() +
+                      "': the live load span exceeds the compact snapshot's 8-bit range");
+        nb::depart_many(process, rng, count);
+        return;
+      }
+      const bool drain = departures.departure_kind() == departure_model::kind::drain;
+      const weight_t w = drain ? drain_weight(process.model().weighting) : weight_t{1};
+      const std::uint64_t token = rng.next();
+      rel_.assign(n, 0);
+      kernel_depart(isa_, opt_.lanes, drain ? depart_channel::drain : depart_channel::random, n,
+                    snapshot_.data(), snapshot_.base(), snapshot_.max_off(), w, rel_.data(),
+                    count, token);
+      process.commit_departures(rel_, count);
+    }
+  }
+
  private:
   kernel_options opt_;
   kernel_isa isa_;
   compact_snapshot snapshot_;
   std::vector<std::uint32_t> inc_;
+  std::vector<std::uint32_t> rel_;
 };
 
 /// Type-erased handle so heterogeneous processes can share registries,
@@ -764,6 +1087,19 @@ class any_process {
   /// contract_error when the wrapped type is not departable (pre-churn
   /// process types that never adopted depart()).
   void depart(rng_t& rng) { impl_->depart(rng); }
+  /// `count` departure events through the wrapped process's serial
+  /// per-event loop -- one indirect call for the whole block.
+  void depart_many(rng_t& rng, step_count count) { impl_->depart_many(rng, count); }
+  /// Same, shard-parallel through the engine's batched departure path
+  /// (batch-departable wrapped types; everything else falls back to the
+  /// serial per-event loop inside the engine).
+  void depart_many_parallel(rng_t& rng, step_count count, shard_engine& engine) {
+    impl_->depart_many_parallel(rng, count, engine);
+  }
+  /// Same, through the serial kernel engine's batched departure path.
+  void depart_many_kernel(rng_t& rng, step_count count, kernel_engine& engine) {
+    impl_->depart_many_kernel(rng, count, engine);
+  }
   [[nodiscard]] const load_state& state() const { return impl_->state(); }
   void reset() { impl_->reset(); }
   [[nodiscard]] std::string name() const { return impl_->name(); }
@@ -794,6 +1130,9 @@ class any_process {
     virtual void step_many_parallel(rng_t&, step_count, shard_engine&) = 0;
     virtual void step_many_kernel(rng_t&, step_count, kernel_engine&) = 0;
     virtual void depart(rng_t&) = 0;
+    virtual void depart_many(rng_t&, step_count) = 0;
+    virtual void depart_many_parallel(rng_t&, step_count, shard_engine&) = 0;
+    virtual void depart_many_kernel(rng_t&, step_count, kernel_engine&) = 0;
     [[nodiscard]] virtual const load_state& state() const = 0;
     virtual void reset() = 0;
     [[nodiscard]] virtual std::string name() const = 0;
@@ -822,6 +1161,27 @@ class any_process {
     void depart(rng_t& rng) override {
       if constexpr (departable_process<P>) {
         process.depart(rng);
+      } else {
+        throw contract_error("process '" + process.name() + "' does not support departures");
+      }
+    }
+    void depart_many(rng_t& rng, step_count count) override {
+      if constexpr (departable_process<P>) {
+        nb::depart_many(process, rng, count);
+      } else {
+        throw contract_error("process '" + process.name() + "' does not support departures");
+      }
+    }
+    void depart_many_parallel(rng_t& rng, step_count count, shard_engine& engine) override {
+      if constexpr (departable_process<P>) {
+        engine.depart_many(process, rng, count);
+      } else {
+        throw contract_error("process '" + process.name() + "' does not support departures");
+      }
+    }
+    void depart_many_kernel(rng_t& rng, step_count count, kernel_engine& engine) override {
+      if constexpr (departable_process<P>) {
+        engine.depart_many(process, rng, count);
       } else {
         throw contract_error("process '" + process.name() + "' does not support departures");
       }
@@ -911,6 +1271,39 @@ inline void step_many_kernel(P& process, rng_t& rng, step_count count, kernel_en
 inline void step_many_kernel(any_process& process, rng_t& rng, step_count count,
                              kernel_engine& engine) {
   process.step_many_kernel(rng, count, engine);
+}
+
+/// Type-erased overload of the serial reference depart_many.
+inline void depart_many(any_process& process, rng_t& rng, step_count count) {
+  process.depart_many(rng, count);
+}
+
+/// Batched-departure counterparts of step_many_parallel/step_many_kernel:
+/// serve `count` departure events through the engine, kernel-batched
+/// wherever the process is batch-departable and its channel/block size
+/// qualify, serially (with the engine's one-time fallback diagnostics)
+/// everywhere else.
+template <single_steppable P>
+  requires departable_process<P>
+inline void depart_many_parallel(P& process, rng_t& rng, step_count count,
+                                 shard_engine& engine) {
+  engine.depart_many(process, rng, count);
+}
+
+inline void depart_many_parallel(any_process& process, rng_t& rng, step_count count,
+                                 shard_engine& engine) {
+  process.depart_many_parallel(rng, count, engine);
+}
+
+template <single_steppable P>
+  requires departable_process<P>
+inline void depart_many_kernel(P& process, rng_t& rng, step_count count, kernel_engine& engine) {
+  engine.depart_many(process, rng, count);
+}
+
+inline void depart_many_kernel(any_process& process, rng_t& rng, step_count count,
+                               kernel_engine& engine) {
+  process.depart_many_kernel(rng, count, engine);
 }
 
 }  // namespace nb

@@ -157,8 +157,8 @@ run_result run_cell(const campaign_config& config, std::size_t index, std::uint6
         if (churn) {
           // Churn progress is not the resident ball count; the driver
           // validates the counter against its cycle structure.
-          progress_done =
-              restore_checkpoint_identity(process, rng, *ckpt, engine.fingerprint(), index, seed);
+          progress_done = restore_checkpoint_identity(process, rng, *ckpt,
+                                                      engine.churn_fingerprint(), index, seed);
         } else {
           restore_from_checkpoint(process, rng, *ckpt, engine.fingerprint(), index, seed,
                                   config.m);
@@ -167,9 +167,11 @@ run_result run_cell(const campaign_config& config, std::size_t index, std::uint6
       }
     }
     const auto save_mark = [&](step_count progress) {
-      write_checkpoint_file(
-          ckpt_path,
-          capture_checkpoint(process, rng, engine.fingerprint(), index, seed, progress));
+      // Churn marks carry the batched-departure contract tag; insertion
+      // marks keep the unchanged insertion fingerprint.
+      const std::string& fp = churn ? engine.churn_fingerprint() : engine.fingerprint();
+      write_checkpoint_file(ckpt_path,
+                            capture_checkpoint(process, rng, fp, index, seed, progress));
     };
     if (churn) {
       r = run_churn_checkpointed(process, churn_opt, rng, engine, opt.checkpoint_every, save_mark,

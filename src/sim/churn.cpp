@@ -85,7 +85,7 @@ churn_result run_churn_checkpointed(any_process& process, const churn_options& o
     const step_count remaining = opt.events - pairs_done;
     const step_count k = opt.cycle < remaining ? opt.cycle : remaining;
     engine.step(process, rng, k);
-    for (step_count i = 0; i < k; ++i) process.depart(rng);
+    engine.depart(process, rng, k);
     pairs_done += k;
     progress += 2 * k;
     crash_test_tick(2 * k);

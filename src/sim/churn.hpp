@@ -4,19 +4,24 @@
 // from an empty state through the selected engine (an ordinary insertion
 // run).  The churn phase then serves `events` arrival/departure pairs in
 // fixed-size cycles: each cycle moves `cycle` arrivals through the engine
-// (so fused loops, shard windows and the SIMD kernel keep their speed
-// under churn) followed by the same number of departures through the
-// process's departure channel, drawn serially from the master stream.
-// At every cycle boundary the resident ball count is back at `occupancy`
-// -- that is where telemetry samples and checkpoint marks land.
+// followed by a block of `cycle` departures through the SAME engine --
+// qualifying drain/random blocks run the SIMD departure kernel
+// (core/kernel/kernel_depart.hpp), lease blocks pop the ring in bulk,
+// and everything else (including every serial-engine run) takes the
+// per-event reference loop on the master stream, so fused loops, shard
+// windows and both kernels keep their speed under churn.  At every cycle
+// boundary the resident ball count is back at `occupancy` -- that is
+// where telemetry samples and checkpoint marks land.
 //
 // Sampling contract: `cycle` is part of it (it decides how arrivals and
 // departures interleave in the master stream), exactly like the engines'
-// shard/lane counts; threads and the ISA backend remain execution-only.
-// The gap trajectory is therefore bit-identical for any thread count,
-// across ISA backends, and -- for processes without stale-snapshot
-// windows, where every engine takes the identical serial fused loop --
-// across the serial/shard/kernel engines too (tests/test_churn.cpp).
+// shard/lane counts and the batched-departure path itself
+// (run_engine::churn_fingerprint); threads and the ISA backend remain
+// execution-only.  The gap trajectory is therefore bit-identical for any
+// thread count, across ISA backends, and -- for processes without
+// stale-snapshot windows under the serial per-event departure law, where
+// every engine takes the identical serial fused loop -- across the
+// serial/shard/kernel engines too (tests/test_churn.cpp).
 //
 // Checkpoint/resume: progress is counted in events, not resident balls
 // (departures make balls() non-monotone), as warm-up balls first and

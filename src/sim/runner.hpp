@@ -77,6 +77,14 @@ class run_engine {
     } else {
       fingerprint_ = "serial";
     }
+    churn_fingerprint_ = fingerprint_;
+    if (shard_.has_value() || kernel_.has_value()) {
+      // Engine-selected runs serve departure blocks through the batched
+      // path, an additional sampling-contract parameter the insertion
+      // fingerprint does not carry (insertion-only journals stay
+      // restorable across this change).
+      churn_fingerprint_.insert(churn_fingerprint_.size() - 1, ",depart=batch");
+    }
   }
 
   /// Allocates `count` balls through the selected engine, drawing from
@@ -92,6 +100,22 @@ class run_engine {
     }
   }
 
+  /// Serves `count` departure events through the selected engine: the
+  /// SIMD departure kernel (shard-parallel or serial) for qualifying
+  /// drain/random blocks, the bulk lease pop, or the serial per-event
+  /// reference loop -- exactly the depart_many* free-function dispatch.
+  template <single_steppable P>
+    requires departable_process<P>
+  void depart(P& process, rng_t& rng, step_count count) {
+    if (shard_.has_value()) {
+      depart_many_parallel(process, rng, count, *shard_);
+    } else if (kernel_.has_value()) {
+      depart_many_kernel(process, rng, count, *kernel_);
+    } else {
+      nb::depart_many(process, rng, count);
+    }
+  }
+
   /// The engine's sampling-contract identity: mode plus the parameters
   /// that influence the drawn randomness (shards, lanes) -- and nothing
   /// execution-only (threads, ISA backend).  A checkpoint written under
@@ -99,10 +123,22 @@ class run_engine {
   /// with a different thread count or ISA is legal by construction.
   [[nodiscard]] const std::string& fingerprint() const noexcept { return fingerprint_; }
 
+  /// The sampling-contract identity of runs that also serve departures
+  /// through this engine (churn runs): equal to fingerprint() for the
+  /// serial engine, and tagged with the batched-departure contract for
+  /// the shard/kernel engines (e.g. "kernel[lanes=8,depart=batch]") --
+  /// a churn checkpoint written under the batched path must not resume
+  /// under a pre-batch journal's engine, and vice versa.  Insertion-only
+  /// checkpoints keep using fingerprint(), which is unchanged.
+  [[nodiscard]] const std::string& churn_fingerprint() const noexcept {
+    return churn_fingerprint_;
+  }
+
  private:
   std::optional<shard_engine> shard_;
   std::optional<kernel_engine> kernel_;
   std::string fingerprint_;
+  std::string churn_fingerprint_;
 };
 
 /// Options for repeated runs.

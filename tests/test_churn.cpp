@@ -9,8 +9,17 @@
 //     across serial/shard/kernel engines on windowless processes, across
 //     thread counts on the shard engine, and across ISA backends on the
 //     kernel engine;
+//   * the batched departure path (cycles at or above the engines'
+//     min_window route through the SIMD departure kernel): a declared
+//     sampling-contract change that stays ISA- and thread-count
+//     invariant, conserves occupancy at every cycle boundary, and agrees
+//     with the serial per-event law distributionally;
 //   * checkpoint + restore mid-churn == uninterrupted, bit for bit, with
-//     the lease ring in flight;
+//     the lease ring in flight and with the batched path engaged
+//     (churn_fingerprint guards the contract);
+//   * drain departures under a fixed ball weighting retire the ball's
+//     actual weight, serially and in bulk, with underflow contract
+//     errors naming the bin and the weight;
 //   * the allocate/release contract surface: underflow/overflow messages
 //     name the bin and the attempted weight, departures without a channel
 //     or without residents refuse loudly.
@@ -280,8 +289,8 @@ TEST(RunChurn, CheckpointRestoreMidChurnIsBitIdenticalWithLeaseRingInFlight) {
   const churn_result full_result = run_churn_checkpointed(
       full, opt, full_rng, full_engine, every,
       [&](step_count progress) {
-        marks.push_back(
-            capture_checkpoint(full, full_rng, full_engine.fingerprint(), 3, seed, progress));
+        marks.push_back(capture_checkpoint(full, full_rng, full_engine.churn_fingerprint(), 3,
+                                           seed, progress));
       });
   ASSERT_GE(marks.size(), 2u);
   const run_checkpoint& survived = marks.back();
@@ -294,7 +303,7 @@ TEST(RunChurn, CheckpointRestoreMidChurnIsBitIdenticalWithLeaseRingInFlight) {
   rng_t resumed_rng(1);  // clobbered by the restore
   run_engine resumed_engine{engine_config{}};
   const step_count progress_done = restore_checkpoint_identity(
-      resumed, resumed_rng, decoded, resumed_engine.fingerprint(), 3, seed);
+      resumed, resumed_rng, decoded, resumed_engine.churn_fingerprint(), 3, seed);
   EXPECT_EQ(progress_done, survived.balls_done);
   EXPECT_EQ(resumed.state().balls(), opt.occupancy);
   const churn_result resumed_result = run_churn_checkpointed(
@@ -304,6 +313,283 @@ TEST(RunChurn, CheckpointRestoreMidChurnIsBitIdenticalWithLeaseRingInFlight) {
   EXPECT_EQ(full.state().loads(), resumed.state().loads());
   EXPECT_EQ(full_result.final_state.gap, resumed_result.final_state.gap);
   EXPECT_EQ(reference_rng.state(), resumed_rng.state());
+}
+
+// ---------------------------------------------------------------------------
+// The batched departure path: cycles at or above the engines' min_window
+// serve departure blocks through the SIMD departure kernel.
+
+TEST(RunChurn, BatchedDeparturesEngageAndStayIsaInvariant) {
+  // cycle == min_window (4096): the kernel engine serves every departure
+  // block through the departure kernel.  The batched path is a declared
+  // sampling-contract change (different loads than the serial engine) but
+  // the ISA backend stays execution-only (bit-identical trajectories).
+  process_spec spec;
+  spec.kind = "two-choice";
+  spec.n = 64;
+  spec.departures = "drain";
+  churn_options opt;
+  opt.occupancy = 8192;
+  opt.events = 8192;
+  opt.cycle = 4096;
+  opt.telemetry_every = 2048;
+
+  engine_config scalar;
+  scalar.use_kernel = true;
+  scalar.isa = kernel_isa::scalar;
+  engine_config best = scalar;
+  best.isa = detect_kernel_isa();
+
+  const churn_trace a = run_churn_trace(spec, scalar, opt, 61);
+  const churn_trace b = run_churn_trace(spec, best, opt, 61);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_TRUE(trajectories_identical(a.trajectory, b.trajectory));
+  for (const churn_point& point : a.trajectory) {
+    EXPECT_EQ(point.resident, opt.occupancy);  // boundaries conserve occupancy
+  }
+
+  // Undersized blocks would have fallen back serially with a one-shot
+  // diagnostic; qualifying ones must not have.
+  EXPECT_FALSE(warned("depart-engine-window/" + make_process(spec).name()));
+
+  const churn_trace serial = run_churn_trace(spec, engine_config{}, opt, 61);
+  EXPECT_NE(serial.loads, a.loads);
+}
+
+TEST(RunChurn, BatchedDeparturesThreadCountInvariantOnShardEngine) {
+  process_spec spec;
+  spec.kind = "b-batch";
+  spec.n = 64;
+  spec.param = 64.0;
+  spec.departures = "drain";
+  churn_options opt;
+  opt.occupancy = 8192;
+  opt.events = 8192;
+  opt.cycle = 4096;
+
+  engine_config one;
+  one.threads_per_run = 1;
+  one.shards = 8;
+  engine_config three = one;
+  three.threads_per_run = 3;
+
+  const churn_trace a = run_churn_trace(spec, one, opt, 62);
+  const churn_trace b = run_churn_trace(spec, three, opt, 62);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_TRUE(trajectories_identical(a.trajectory, b.trajectory));
+}
+
+TEST(RunChurn, BatchedAndSerialAgreeDistributionallyAtCycleBoundaries) {
+  // The batched path draws different (identically distributed) randomness
+  // than the per-event law; both sit at full occupancy at every cycle
+  // boundary, and their steady-state gaps agree in the mean -- the same
+  // bar as the allocation engines' distributional parity tests.
+  process_spec spec;
+  spec.kind = "two-choice";
+  spec.n = 64;
+  spec.departures = "random";
+  churn_options opt;
+  opt.occupancy = 8192;
+  opt.events = 8192;
+  opt.cycle = 4096;
+  const std::size_t runs = 12;
+  double serial_mean = 0.0;
+  double batched_mean = 0.0;
+  engine_config kernel;
+  kernel.use_kernel = true;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const churn_trace serial = run_churn_trace(spec, engine_config{}, opt, derive_seed(5000, r));
+    const churn_trace batched = run_churn_trace(spec, kernel, opt, derive_seed(6000, r));
+    serial_mean += serial.trajectory.back().gap;
+    batched_mean += batched.trajectory.back().gap;
+    EXPECT_EQ(serial.trajectory.back().resident, opt.occupancy);
+    EXPECT_EQ(batched.trajectory.back().resident, opt.occupancy);
+  }
+  EXPECT_NEAR(serial_mean / runs, batched_mean / runs, 1.5);
+}
+
+TEST(RunChurn, CheckpointRestoreMidChurnIsBitIdenticalOnBatchedKernelPath) {
+  // Mid-churn checkpoint + restore with the batched departure path
+  // engaged: marks land at cycle boundaries, the resumed run re-enters
+  // the same kernel_depart call sequence, and churn_fingerprint (tagged
+  // ",depart=batch") guards the contract.
+  process_spec spec;
+  spec.kind = "two-choice";
+  spec.n = 64;
+  spec.departures = "drain";
+  churn_options opt;
+  opt.occupancy = 8192;
+  opt.events = 12288;
+  opt.cycle = 4096;
+  const std::uint64_t seed = 63;
+  const step_count every = 6000;
+  engine_config config;
+  config.use_kernel = true;
+  config.isa = kernel_isa::scalar;
+
+  any_process reference = make_process(spec);
+  rng_t reference_rng(seed);
+  run_engine reference_engine{config};
+  (void)run_churn(reference, opt, reference_rng, reference_engine);
+
+  any_process full = make_process(spec);
+  rng_t full_rng(seed);
+  run_engine full_engine{config};
+  EXPECT_NE(full_engine.churn_fingerprint().find(",depart=batch"), std::string::npos);
+  EXPECT_EQ(full_engine.fingerprint().find(",depart=batch"), std::string::npos);
+  std::vector<run_checkpoint> marks;
+  (void)run_churn_checkpointed(full, opt, full_rng, full_engine, every,
+                               [&](step_count progress) {
+                                 marks.push_back(capture_checkpoint(
+                                     full, full_rng, full_engine.churn_fingerprint(), 4, seed,
+                                     progress));
+                               });
+  ASSERT_GE(marks.size(), 2u);
+  const run_checkpoint survived = decode_checkpoint(encode_checkpoint(marks.back()));
+  ASSERT_GT(survived.balls_done, opt.occupancy) << "the kept mark must be mid-churn";
+
+  // Restoring under the pre-batch insertion fingerprint must refuse: the
+  // batched path is a different sampling contract.
+  {
+    any_process wrong = make_process(spec);
+    rng_t wrong_rng(1);
+    EXPECT_THROW(static_cast<void>(restore_checkpoint_identity(
+                     wrong, wrong_rng, survived, full_engine.fingerprint(), 4, seed)),
+                 contract_error);
+  }
+
+  any_process resumed = make_process(spec);
+  rng_t resumed_rng(1);  // clobbered by the restore
+  run_engine resumed_engine{config};
+  const step_count progress_done = restore_checkpoint_identity(
+      resumed, resumed_rng, survived, resumed_engine.churn_fingerprint(), 4, seed);
+  EXPECT_EQ(progress_done, survived.balls_done);
+  (void)run_churn_checkpointed(resumed, opt, resumed_rng, resumed_engine, every, {},
+                               progress_done);
+
+  EXPECT_EQ(reference.state().loads(), resumed.state().loads());
+  EXPECT_EQ(reference_rng.state(), resumed_rng.state());
+}
+
+TEST(RunChurn, CheckpointRestoreBatchedEngineKeepsLeaseRingInFlight) {
+  // The lease channel through an engine-selected (batched-path) run: the
+  // bulk ring pop is part of the ",depart=batch" contract, and a mid-churn
+  // mark round-trips the partially drained ring bit for bit.
+  process_spec spec;
+  spec.kind = "two-choice";
+  spec.n = 64;
+  spec.departures = "lease";
+  churn_options opt;
+  opt.occupancy = 2000;
+  opt.events = 1500;
+  opt.cycle = 256;
+  const std::uint64_t seed = 64;
+  const step_count every = 1000;
+  engine_config config;
+  config.use_kernel = true;
+
+  any_process reference = make_process(spec);
+  rng_t reference_rng(seed);
+  run_engine reference_engine{config};
+  (void)run_churn(reference, opt, reference_rng, reference_engine);
+
+  any_process full = make_process(spec);
+  rng_t full_rng(seed);
+  run_engine full_engine{config};
+  std::vector<run_checkpoint> marks;
+  (void)run_churn_checkpointed(full, opt, full_rng, full_engine, every,
+                               [&](step_count progress) {
+                                 marks.push_back(capture_checkpoint(
+                                     full, full_rng, full_engine.churn_fingerprint(), 4, seed,
+                                     progress));
+                               });
+  ASSERT_GE(marks.size(), 2u);
+  const run_checkpoint survived = decode_checkpoint(encode_checkpoint(marks.back()));
+  ASSERT_GT(survived.balls_done, opt.occupancy);
+
+  any_process resumed = make_process(spec);
+  rng_t resumed_rng(1);
+  run_engine resumed_engine{config};
+  const step_count progress_done = restore_checkpoint_identity(
+      resumed, resumed_rng, survived, resumed_engine.churn_fingerprint(), 4, seed);
+  (void)run_churn_checkpointed(resumed, opt, resumed_rng, resumed_engine, every, {},
+                               progress_done);
+
+  EXPECT_EQ(reference.state().loads(), resumed.state().loads());
+  EXPECT_EQ(reference_rng.state(), resumed_rng.state());
+}
+
+// ---------------------------------------------------------------------------
+// Weighted drain: the channel retires the departing ball's actual weight.
+
+TEST(WeightedDrain, SerialDepartRetiresTheBallsActualWeight) {
+  two_choice process(8);
+  process.set_model(make_model("fixed:4", "uniform", 8, "drain"));
+  rng_t rng(3);
+  step_many(process, rng, 10);
+  ASSERT_EQ(process.state().balls(), 10);
+  ASSERT_EQ(nb::testing::total_balls(process.state().loads()), 40);
+  const std::vector<load_t> before = process.state().loads();
+  process.depart(rng);
+  const std::vector<load_t> after = process.state().loads();
+  EXPECT_EQ(process.state().balls(), 9);
+  // Exactly one bin dropped, by exactly the fixed per-ball weight.
+  int changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (after[i] != before[i]) {
+      ++changed;
+      EXPECT_EQ(before[i] - after[i], 4) << "bin " << i;
+      EXPECT_GE(before[i], 4) << "bin " << i << " could not have covered the weight";
+    }
+  }
+  EXPECT_EQ(changed, 1);
+}
+
+TEST(WeightedDrain, UnitWeightDrainIsTheHistoricalStreamBitForBit) {
+  // fixed:1 and unit weighting are the same drain law, stream position
+  // included -- the weighted path is exact at w = 1.
+  two_choice weighted(16);
+  weighted.set_model(make_model("fixed:1", "uniform", 16, "drain"));
+  two_choice unit(16);
+  unit.set_model(make_model("unit", "uniform", 16, "drain"));
+  rng_t rng_a(17);
+  rng_t rng_b(17);
+  step_many(weighted, rng_a, 400);
+  step_many(unit, rng_b, 400);
+  for (int i = 0; i < 200; ++i) {
+    weighted.depart(rng_a);
+    unit.depart(rng_b);
+  }
+  EXPECT_EQ(weighted.state().loads(), unit.state().loads());
+  EXPECT_EQ(rng_a.state(), rng_b.state());
+}
+
+TEST(WeightedDrain, BulkReleaseUnderflowNamesBinAndWeight) {
+  load_state state(2);
+  state.allocate(0, 5);
+  state.allocate(1, 9);
+  const std::vector<std::uint32_t> rel = {2, 0};
+  try {
+    state.apply_releases(rel, 3, 2);  // bin 0 would retire 6 > 5
+    FAIL() << "bulk release past zero must throw";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("weight 6"), std::string::npos) << what;
+    EXPECT_NE(what.find("bin 0"), std::string::npos) << what;
+  }
+  // Nothing was mutated (strong exception safety).
+  EXPECT_EQ(state.loads()[0], 5);
+  EXPECT_EQ(state.loads()[1], 9);
+  EXPECT_EQ(state.balls(), 2);
+}
+
+TEST(WeightedDrain, BulkReleaseRefusesToBypassTheLeaseRing) {
+  load_state state(2);
+  state.set_lease_tracking(true);
+  state.allocate(0);
+  state.allocate(1);
+  const std::vector<std::uint32_t> rel = {1, 0};
+  EXPECT_THROW(state.apply_releases(rel, 1, 1), contract_error);
 }
 
 // ---------------------------------------------------------------------------
